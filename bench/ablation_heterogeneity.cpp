@@ -1,0 +1,111 @@
+// Ablation A3 (the paper's declared future work): accuracy across data
+// heterogeneity levels. Sweeps the Dirichlet concentration beta from
+// pathological skew to IID and compares the global baseline (FedAvg),
+// an iterative clustered method (IFCA), and FedClust.
+//
+// Expected shape: clustered methods win big at small beta (strong label
+// skew = real cluster structure), and the gap closes as data approaches
+// IID, where a single global model is optimal.
+//
+//   ./ablation_heterogeneity [--rounds 10] [--clients 12]
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "utils/cli.hpp"
+#include "utils/table.hpp"
+
+using namespace fedclust;
+
+int main(int argc, char** argv) {
+  CliParser cli("ablation_heterogeneity",
+                "Accuracy vs non-IID level (Dirichlet beta sweep)");
+  cli.add_int("rounds", 10, "communication rounds per run");
+  cli.add_int("clients", 12, "number of clients");
+  cli.add_int("pool", 840, "total training samples");
+  cli.add_int("seed", 17, "random seed");
+  cli.add_flag("quick", "tiny configuration for smoke runs");
+  cli.parse(argc, argv);
+
+  const bool quick = cli.get_flag("quick");
+  const auto rounds =
+      quick ? std::size_t{4} : static_cast<std::size_t>(cli.get_int("rounds"));
+  const auto clients =
+      quick ? std::size_t{6} : static_cast<std::size_t>(cli.get_int("clients"));
+  const auto pool =
+      quick ? std::size_t{360} : static_cast<std::size_t>(cli.get_int("pool"));
+
+  struct Level {
+    const char* label;
+    double beta;
+  };
+  const Level levels[] = {{"Dir(0.05)", 0.05},
+                          {"Dir(0.1)", 0.1},
+                          {"Dir(0.5)", 0.5},
+                          {"Dir(1.0)", 1.0},
+                          {"IID (Dir 1e3)", 1000.0}};
+
+  TextTable table({"Heterogeneity", "Skew index", "FedAvg (%)", "IFCA (%)",
+                   "FedClust (%)", "FedClust clusters"});
+
+  for (const Level& level : levels) {
+    bench::Scenario s;
+    s.dataset = data::SyntheticKind::kFmnist;
+    s.num_clients = clients;
+    s.dirichlet_beta = level.beta;
+    s.pool_samples = pool;
+    s.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    s.engine.local.epochs = 1;
+    s.engine.local.batch_size = 32;
+    s.engine.local.sgd.lr = 0.02;
+    s.engine.local.sgd.momentum = 0.9;
+    s.engine.eval_every = rounds;
+
+    // Heterogeneity index of this partition, for the x-axis.
+    const data::SyntheticGenerator gen(s.dataset, s.seed);
+    Rng data_rng = Rng(s.seed).split(101);
+    const data::Dataset pool_ds = gen.generate(s.pool_samples, data_rng);
+    Rng part_rng = Rng(s.seed).split(102);
+    const auto part = partition::dirichlet_partition(
+        pool_ds, s.num_clients, level.beta, part_rng, 12);
+    const double skew = partition::heterogeneity_index(pool_ds, part);
+
+    double acc_fedavg = 0.0, acc_ifca = 0.0, acc_fedclust = 0.0;
+    std::size_t fc_clusters = 0;
+    {
+      fl::Federation fed = bench::make_federation(s);
+      acc_fedavg =
+          100.0 * algorithms::FedAvg().run(fed, rounds).final_accuracy.mean;
+    }
+    {
+      fl::Federation fed = bench::make_federation(s);
+      acc_ifca = 100.0 * algorithms::Ifca({.num_clusters = 4,
+                                           .init_perturbation = 0.1})
+                             .run(fed, rounds)
+                             .final_accuracy.mean;
+    }
+    {
+      fl::Federation fed = bench::make_federation(s);
+      const fl::RunResult r =
+          core::FedClust({.warmup_epochs = 2, .min_gap_ratio = 1.5})
+              .run(fed, rounds);
+      acc_fedclust = 100.0 * r.final_accuracy.mean;
+      fc_clusters = r.final_round().num_clusters;
+    }
+
+    table.new_row()
+        .add(level.label)
+        .add(skew, 3)
+        .add(acc_fedavg, 2)
+        .add(acc_ifca, 2)
+        .add(acc_fedclust, 2)
+        .add(static_cast<long long>(fc_clusters));
+    std::fprintf(stderr, "[hetero] %s done\n", level.label);
+  }
+
+  std::printf("\nAblation A3 — accuracy vs data heterogeneity (FMNIST "
+              "stand-in, %zu clients, %zu rounds)\n\n%s\n",
+              clients, rounds, table.to_string().c_str());
+  std::printf("expected: clustered methods dominate at high skew; the gap "
+              "narrows toward IID where one global model suffices.\n");
+  return 0;
+}

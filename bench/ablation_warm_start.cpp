@@ -1,0 +1,80 @@
+// Ablation A4 (extension beyond the paper): warm-starting cluster
+// classifiers from the round-0 uploads.
+//
+// During formation the server already holds every member's final-layer
+// weights; FedClustConfig::warm_start_classifier seeds each cluster
+// model's classifier with the member mean instead of the raw
+// initialization — zero extra communication. This harness compares the
+// per-round accuracy trajectory of cold vs warm start on the Table-I
+// workload.
+//
+//   ./ablation_warm_start [--rounds 8] [--clients 16]
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "utils/cli.hpp"
+#include "utils/table.hpp"
+
+using namespace fedclust;
+
+int main(int argc, char** argv) {
+  CliParser cli("ablation_warm_start",
+                "FedClust cold vs warm-started cluster classifiers");
+  cli.add_int("rounds", 8, "communication rounds per run");
+  cli.add_int("clients", 16, "number of clients");
+  cli.add_int("pool", 800, "total training samples");
+  cli.add_double("beta", 0.1, "Dirichlet concentration");
+  cli.add_int("seed", 23, "random seed");
+  cli.add_flag("quick", "tiny configuration for smoke runs");
+  cli.parse(argc, argv);
+
+  const bool quick = cli.get_flag("quick");
+  bench::Scenario s;
+  s.dataset = data::SyntheticKind::kFmnist;
+  s.num_clients =
+      quick ? std::size_t{6} : static_cast<std::size_t>(cli.get_int("clients"));
+  s.dirichlet_beta = cli.get_double("beta");
+  s.pool_samples =
+      quick ? std::size_t{300} : static_cast<std::size_t>(cli.get_int("pool"));
+  s.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  s.engine.local.epochs = 2;
+  s.engine.local.batch_size = 32;
+  s.engine.local.sgd.lr = 0.03;
+  s.engine.eval_every = 1;
+
+  const auto rounds =
+      quick ? std::size_t{3} : static_cast<std::size_t>(cli.get_int("rounds"));
+
+  TextTable table({"Variant", "Round 1 acc (%)", "Round 3 acc (%)",
+                   "Final acc (%)", "Clusters"});
+
+  for (const bool warm : {false, true}) {
+    fl::Federation fed = bench::make_federation(s);
+    core::FedClust algo({.warmup_epochs = 2,
+                         .rel_factor = 0.6,
+                         .warm_start_classifier = warm});
+    const fl::RunResult r = algo.run(fed, rounds);
+
+    auto acc_at = [&](std::size_t round) -> double {
+      for (const fl::RoundMetrics& m : r.rounds) {
+        if (m.round == round) return 100.0 * m.acc_mean;
+      }
+      return 0.0;
+    };
+    table.new_row()
+        .add(warm ? "warm-started classifier" : "cold start (paper)")
+        .add(acc_at(1), 2)
+        .add(acc_at(std::min<std::size_t>(3, rounds - 1)), 2)
+        .add(100.0 * r.final_accuracy.mean, 2)
+        .add(static_cast<long long>(r.final_round().num_clusters));
+    std::fprintf(stderr, "[warm-start] %s done\n", warm ? "warm" : "cold");
+  }
+
+  std::printf("\nAblation A4 — warm-starting cluster classifiers from the "
+              "round-0 partial uploads (FMNIST stand-in, Dir(%.2f))\n\n%s\n",
+              cli.get_double("beta"), table.to_string().c_str());
+  std::printf("warm start costs zero extra bytes (the server already holds "
+              "the round-0 uploads); expected: earlier-round accuracy "
+              "improves, final accuracy converges to the same level.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "nn/models.hpp"
+
+namespace fedclust::bench {
+
+fl::Federation make_federation(const Scenario& s,
+                               std::vector<std::size_t>* true_groups_out) {
+  const data::SyntheticGenerator gen(s.dataset, s.seed);
+  Rng data_rng = Rng(s.seed).split(101);
+  const data::Dataset pool = gen.generate(s.pool_samples, data_rng);
+
+  Rng part_rng = Rng(s.seed).split(102);
+  partition::Partition part;
+  if (s.dirichlet_beta > 0.0) {
+    part = partition::dirichlet_partition(pool, s.num_clients,
+                                          s.dirichlet_beta, part_rng,
+                                          /*min_samples=*/12);
+  } else {
+    // Two groups over disjoint label halves — the §II motivation setup.
+    part = partition::grouped_label_partition(
+        pool, s.num_clients, {{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}}, part_rng,
+        s.within_group_beta);
+  }
+  if (true_groups_out != nullptr) *true_groups_out = part.true_groups;
+
+  Rng split_rng = Rng(s.seed).split(103);
+  std::vector<fl::ClientData> clients;
+  for (const auto& ds : partition::materialize(pool, part)) {
+    auto [train, test] = ds.stratified_split(s.test_fraction, split_rng);
+    if (test.empty()) test = train;
+    clients.push_back({std::move(train), std::move(test)});
+  }
+
+  nn::Model model = nn::lenet5(gen.image_spec());
+  Rng init_rng = Rng(s.seed).split(104);
+  model.init_params(init_rng);
+
+  fl::FederationConfig cfg = s.engine;
+  cfg.seed = s.seed;
+  return fl::Federation(std::move(model), std::move(clients), cfg);
+}
+
+std::vector<std::unique_ptr<fl::Algorithm>> make_algorithms(
+    std::size_t expected_clusters) {
+  std::vector<std::unique_ptr<fl::Algorithm>> algos;
+  algos.push_back(std::make_unique<algorithms::FedAvg>());
+  algos.push_back(std::make_unique<algorithms::FedProx>(0.05));
+  algos.push_back(std::make_unique<algorithms::Cfl>(algorithms::CflConfig{
+      .eps1 = 0.8, .eps2 = 1.2, .warmup_rounds = 3, .min_cluster_size = 3}));
+  algos.push_back(std::make_unique<algorithms::Ifca>(algorithms::IfcaConfig{
+      .num_clusters = expected_clusters, .init_perturbation = 0.1}));
+  algos.push_back(std::make_unique<algorithms::Pacfl>(algorithms::PacflConfig{
+      .subspace_rank = 3, .samples_per_class_cap = 24}));
+  algos.push_back(std::make_unique<core::FedClust>(core::FedClustConfig{
+      .warmup_epochs = 2, .rel_factor = 0.6}));
+  return algos;
+}
+
+MeanStd mean_std(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  for (double v : values) out.mean += v;
+  out.mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - out.mean) * (v - out.mean);
+  out.std = std::sqrt(var / static_cast<double>(values.size()));
+  return out;
+}
+
+}  // namespace fedclust::bench

@@ -1,0 +1,60 @@
+// Shared setup for the paper-reproduction bench harnesses: builds the
+// synthetic dataset pools, partitions them across clients per the
+// paper's Non-IID Dir(0.1) protocol, and constructs the algorithm zoo.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/cfl.hpp"
+#include "algorithms/fedavg.hpp"
+#include "algorithms/ifca.hpp"
+#include "algorithms/pacfl.hpp"
+#include "core/fedclust.hpp"
+#include "data/synthetic.hpp"
+#include "partition/partition.hpp"
+#include "utils/logging.hpp"
+
+namespace fedclust::bench {
+
+/// One experimental setting (dataset × partition × engine knobs).
+struct Scenario {
+  data::SyntheticKind dataset = data::SyntheticKind::kFmnist;
+  std::size_t num_clients = 20;
+  /// Dirichlet concentration; <= 0 selects the explicit two-group
+  /// partition used by the Fig. 1 / newcomer experiments.
+  double dirichlet_beta = 0.1;
+  /// Grouped scenarios only (dirichlet_beta <= 0): Dirichlet skew WITHIN
+  /// each group; 0 = deal the group's labels evenly (crisp groups).
+  double within_group_beta = 0.5;
+  std::size_t pool_samples = 1200;
+  double test_fraction = 0.25;
+  std::uint64_t seed = 1;
+
+  fl::FederationConfig engine;
+};
+
+/// Builds the federation for a scenario: LeNet-5 on the emulated dataset,
+/// Dirichlet (or grouped) partition, per-client stratified test splits.
+/// When `true_groups_out` is non-null it receives the ground-truth groups
+/// (empty for Dirichlet partitions).
+fl::Federation make_federation(const Scenario& s,
+                               std::vector<std::size_t>* true_groups_out =
+                                   nullptr);
+
+/// The Table-I algorithm zoo with the default hyperparameters used across
+/// the benches. `expected_clusters` parameterizes IFCA's k (it must be
+/// chosen a priori — the limitation the paper calls out).
+std::vector<std::unique_ptr<fl::Algorithm>> make_algorithms(
+    std::size_t expected_clusters);
+
+/// Mean and (population) std of a sample.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+MeanStd mean_std(const std::vector<double>& values);
+
+}  // namespace fedclust::bench

@@ -1,0 +1,124 @@
+// Reproduces Fig. 1 of the FedClust paper: pairwise distance matrices of
+// client model weights, computed layer by layer, for 10 clients split
+// into two label groups (G1 = classes {0..4}, G2 = classes {5..9}).
+//
+// The paper's observation: early conv-layer weights show no structure,
+// while the FINAL fully connected layer's distance matrix exhibits a
+// clean 2x2 block structure mirroring the data groups. We print each
+// layer's distance matrix plus two numeric summaries:
+//   * block contrast  — mean between-group / mean within-group distance
+//     (1.0 = no structure; larger = sharper blocks), and
+//   * ARI of the HC cut at k=2 against the ground-truth groups.
+//
+//   ./fig1_layer_distance [--clients 10] [--epochs 3] [--pool 800]
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cluster/distance.hpp"
+#include "cluster/hierarchical.hpp"
+#include "cluster/metrics.hpp"
+#include "core/partial_weights.hpp"
+#include "nn/models.hpp"
+#include "utils/cli.hpp"
+#include "utils/table.hpp"
+
+using namespace fedclust;
+
+int main(int argc, char** argv) {
+  CliParser cli("fig1_layer_distance",
+                "Reproduces Fig. 1: layer-wise client distance matrices");
+  // Defaults mirror the paper's regime: ONE brief round of local
+  // training on modest client data. The depth gradient of the distance
+  // structure is sharpest there; with much more local training every
+  // layer specializes to its group and the contrast flattens (see
+  // EXPERIMENTS.md).
+  cli.add_int("clients", 10, "number of clients (two groups)");
+  cli.add_int("epochs", 1, "local warmup epochs before measuring");
+  cli.add_int("pool", 300, "total training samples");
+  cli.add_int("seed", 7, "random seed");
+  cli.add_flag("quick", "tiny configuration for smoke runs");
+  cli.parse(argc, argv);
+
+  const bool quick = cli.get_flag("quick");
+  const auto clients = static_cast<std::size_t>(cli.get_int("clients"));
+  const auto epochs =
+      quick ? std::size_t{1} : static_cast<std::size_t>(cli.get_int("epochs"));
+  const auto pool_n =
+      quick ? std::size_t{300} : static_cast<std::size_t>(cli.get_int("pool"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  // CIFAR-like data, VGG-mini (the paper used CIFAR-10 + VGG-16; see
+  // DESIGN.md §3 for the substitution).
+  const data::SyntheticGenerator gen(data::SyntheticKind::kCifar10, seed);
+  Rng data_rng = Rng(seed).split(1);
+  const data::Dataset pool = gen.generate(pool_n, data_rng);
+
+  Rng part_rng = Rng(seed).split(2);
+  const partition::Partition part = partition::grouped_label_partition(
+      pool, clients, {{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}}, part_rng);
+  const auto datasets = partition::materialize(pool, part);
+
+  nn::Model template_model = nn::vgg_mini(gen.image_spec());
+  Rng init_rng = Rng(seed).split(3);
+  template_model.init_params(init_rng);
+
+  // Local training from the common initialization (exactly the FedClust
+  // warmup round).
+  std::printf("training %zu clients locally for %zu epoch(s)...\n", clients,
+              epochs);
+  std::vector<std::vector<float>> client_weights(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    nn::Model m = template_model.clone();
+    fl::LocalTrainConfig cfg;
+    cfg.epochs = epochs;
+    cfg.batch_size = 32;
+    cfg.sgd.lr = 0.02;
+    cfg.sgd.momentum = 0.9;
+    fl::train_local(m, datasets[c], cfg, Rng(seed).split(100 + c));
+    client_weights[c] = m.flat_weights();
+  }
+
+  // Layer sweep: every weight matrix in depth order (conv -> fc).
+  TextTable summary(
+      {"Layer", "Block contrast", "ARI of HC cut (k=2)", "Role"});
+  std::vector<std::string> layer_names;
+  for (const nn::ParamSlice& s : template_model.slices()) {
+    if (s.name.ends_with(".weight")) layer_names.push_back(s.name);
+  }
+
+  for (std::size_t li = 0; li < layer_names.size(); ++li) {
+    const std::string& layer = layer_names[li];
+    const auto slices = core::resolve_partial_slices(template_model, layer);
+    std::vector<std::vector<float>> partials(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      partials[c] = core::extract_slices(client_weights[c], slices);
+    }
+    const Matrix dist = cluster::pairwise_euclidean(partials);
+
+    const double contrast = cluster::block_contrast(dist, part.true_groups);
+    const auto dendro =
+        cluster::agglomerative_cluster(dist, cluster::Linkage::kAverage);
+    const double ari =
+        cluster::adjusted_rand_index(dendro.cut_k(2), part.true_groups);
+
+    const bool final_layer = li + 1 == layer_names.size();
+    summary.new_row()
+        .add(layer)
+        .add(contrast, 3)
+        .add(ari, 3)
+        .add(final_layer ? "final (classifier) — FedClust uses this"
+                         : (layer.rfind("conv", 0) == 0 ? "conv" : "fc"));
+
+    std::printf("\n-- %s — pairwise Euclidean distance matrix "
+                "(clients 0,2,4,6,8 in G1; 1,3,5,7,9 in G2) --\n",
+                layer.c_str());
+    std::printf("%s", dist.to_string(2).c_str());
+  }
+
+  std::printf("\nFig. 1 summary — the block structure should appear only in "
+              "the late/fully connected layers:\n\n%s\n",
+              summary.to_string().c_str());
+  std::printf("paper: Fig. 1(d) (final FC layer) shows the clustering "
+              "structure clearly; Fig. 1(a)-(b) (conv layers) do not.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// google-benchmark microbenchmarks for the hot kernels underlying the
+// simulation: GEMM, direct vs im2col convolution, pooling, SVD,
+// pairwise distances, and hierarchical clustering scaling.
+#include <benchmark/benchmark.h>
+
+#include "cluster/distance.hpp"
+#include "cluster/hierarchical.hpp"
+#include "linalg/svd.hpp"
+#include "nn/models.hpp"
+#include "tensor/ops.hpp"
+#include "utils/rng.hpp"
+
+namespace {
+
+using namespace fedclust;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn(std::move(shape), rng);
+}
+
+void BM_MatmulSquare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Tensor a = random_tensor({n, n}, 1);
+  const Tensor b = random_tensor({n, n}, 2);
+  Tensor c;
+  for (auto _ : state) {
+    ops::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_MatmulSquare)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dDirect(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const ops::Conv2dSpec spec{3, 6, 5, 0, 1};
+  const Tensor input = random_tensor({batch, 3, 32, 32}, 3);
+  const Tensor weight = random_tensor({6, 3, 5, 5}, 4);
+  const Tensor bias = random_tensor({6}, 5);
+  Tensor out;
+  for (auto _ : state) {
+    ops::conv2d_forward(input, weight, bias, spec, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_Conv2dDirect)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_Conv2dIm2col(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const ops::Conv2dSpec spec{3, 6, 5, 0, 1};
+  const Tensor input = random_tensor({batch, 3, 32, 32}, 3);
+  const Tensor weight = random_tensor({6, 3, 5, 5}, 4);
+  const Tensor bias = random_tensor({6}, 5);
+  Tensor out, scratch;
+  for (auto _ : state) {
+    ops::conv2d_forward_im2col(input, weight, bias, spec, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_Conv2dIm2col)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_MaxPool(benchmark::State& state) {
+  const Tensor input = random_tensor({32, 6, 28, 28}, 6);
+  Tensor out;
+  std::vector<std::size_t> argmax;
+  for (auto _ : state) {
+    ops::max_pool_forward(input, 2, out, argmax);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MaxPool);
+
+void BM_Lenet5Forward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  nn::Model model = nn::lenet5({3, 32, 32, 10});
+  Rng rng(7);
+  model.init_params(rng);
+  const Tensor x = random_tensor({batch, 3, 32, 32}, 8);
+  for (auto _ : state) {
+    Tensor y = model.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_Lenet5Forward)->Arg(1)->Arg(32);
+
+void BM_SvdTallThin(benchmark::State& state) {
+  const auto cols = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  Matrix a(1024, cols);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = rng.normal();
+  }
+  for (auto _ : state) {
+    Matrix u = truncated_left_singular_vectors_gram(a, 3);
+    benchmark::DoNotOptimize(u.data());
+  }
+}
+BENCHMARK(BM_SvdTallThin)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_PairwiseEuclidean(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(10);
+  std::vector<std::vector<float>> vectors(n, std::vector<float>(850));
+  for (auto& v : vectors) {
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+  }
+  for (auto _ : state) {
+    Matrix d = cluster::pairwise_euclidean(vectors);
+    benchmark::DoNotOptimize(d.data());
+  }
+}
+BENCHMARK(BM_PairwiseEuclidean)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_AgglomerativeCluster(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<std::vector<float>> vectors(n, std::vector<float>(16));
+  for (auto& v : vectors) {
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+  }
+  const Matrix d = cluster::pairwise_euclidean(vectors);
+  for (auto _ : state) {
+    cluster::Dendrogram dendro =
+        cluster::agglomerative_cluster(d, cluster::Linkage::kAverage);
+    benchmark::DoNotOptimize(dendro.merges.data());
+  }
+}
+BENCHMARK(BM_AgglomerativeCluster)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

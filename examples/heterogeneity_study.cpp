@@ -1,0 +1,100 @@
+// Heterogeneity study: how the value of clustering depends on how
+// non-IID the data actually is.
+//
+// Sweeps the Dirichlet beta for a fixed federation and reports, per
+// level: the partition's heterogeneity index, the number of clusters
+// FedClust discovers, and the accuracy gap between FedClust and FedAvg.
+// Useful as a worked example of the partition + metrics APIs.
+//
+// Build & run:   ./build/examples/heterogeneity_study
+#include <cstdio>
+
+#include "algorithms/fedavg.hpp"
+#include "core/fedclust.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+#include "partition/partition.hpp"
+
+using namespace fedclust;
+
+namespace {
+
+fl::Federation build_federation(double beta, std::uint64_t seed) {
+  const data::SyntheticGenerator generator(data::SyntheticKind::kFmnist,
+                                           seed);
+  Rng data_rng = Rng(seed).split(1);
+  const data::Dataset pool = generator.generate(600, data_rng);
+
+  Rng part_rng = Rng(seed).split(2);
+  const partition::Partition part =
+      partition::dirichlet_partition(pool, 10, beta, part_rng, 12);
+
+  Rng split_rng = Rng(seed).split(3);
+  std::vector<fl::ClientData> clients;
+  for (const auto& ds : partition::materialize(pool, part)) {
+    auto [train, test] = ds.stratified_split(0.25, split_rng);
+    if (test.empty()) test = train;
+    clients.push_back({std::move(train), std::move(test)});
+  }
+
+  nn::Model model = nn::lenet5(generator.image_spec());
+  Rng init_rng = Rng(seed).split(4);
+  model.init_params(init_rng);
+
+  fl::FederationConfig config;
+  config.local.epochs = 1;
+  config.local.batch_size = 32;
+  config.local.sgd.lr = 0.02;
+  config.local.sgd.momentum = 0.9;
+  config.seed = seed;
+  config.eval_every = 100;  // final evaluation only
+  return fl::Federation(std::move(model), std::move(clients), config);
+}
+
+double skew_of(double beta, std::uint64_t seed) {
+  const data::SyntheticGenerator generator(data::SyntheticKind::kFmnist,
+                                           seed);
+  Rng data_rng = Rng(seed).split(1);
+  const data::Dataset pool = generator.generate(600, data_rng);
+  Rng part_rng = Rng(seed).split(2);
+  const partition::Partition part =
+      partition::dirichlet_partition(pool, 10, beta, part_rng, 12);
+  return partition::heterogeneity_index(pool, part);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t rounds = 8;
+  const std::uint64_t seed = 31;
+
+  std::printf("%-10s %-12s %-12s %-14s %-10s %s\n", "beta", "skew index",
+              "FedAvg (%)", "FedClust (%)", "clusters", "gap (pp)");
+
+  for (const double beta : {0.05, 0.1, 0.3, 1.0, 100.0}) {
+    double acc_avg = 0.0;
+    {
+      fl::Federation fed = build_federation(beta, seed);
+      acc_avg =
+          100.0 * algorithms::FedAvg().run(fed, rounds).final_accuracy.mean;
+    }
+    double acc_fc = 0.0;
+    std::size_t clusters = 0;
+    {
+      fl::Federation fed = build_federation(beta, seed);
+      const fl::RunResult r =
+          core::FedClust({.warmup_epochs = 2, .min_gap_ratio = 1.5})
+              .run(fed, rounds);
+      acc_fc = 100.0 * r.final_accuracy.mean;
+      clusters = r.final_round().num_clusters;
+    }
+    std::printf("%-10.2f %-12.3f %-12.2f %-14.2f %-10zu %+.2f\n", beta,
+                skew_of(beta, seed), acc_avg, acc_fc, clusters,
+                acc_fc - acc_avg);
+  }
+
+  std::printf("\nreading: the more skewed the label marginals (small beta),\n"
+              "the more FedClust's per-cluster models pay off; near IID the\n"
+              "advantage disappears by design.\n");
+  return 0;
+}

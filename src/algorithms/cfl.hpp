@@ -1,0 +1,49 @@
+// CFL — Clustered Federated Learning (Sattler et al., IEEE TNNLS 2020).
+//
+// Starts with one cluster containing every client and recursively
+// bipartitions: when a cluster's training has (nearly) converged — the
+// norm of the mean client update falls below eps1 — while individual
+// clients still push in conflicting directions — the max update norm
+// stays above eps2 — the cluster is split in two along the cosine
+// similarity structure of the client updates.
+//
+// This is the baseline whose weakness motivates FedClust: splits can only
+// happen after the cluster has already converged, so stable clusters cost
+// many communication rounds.
+//
+// Bipartition detail: Sattler et al. derive the optimal bipartition from
+// the pairwise cosine similarity of updates; we realize it as a
+// complete-linkage HC cut at k=2 on the cosine distance matrix, the
+// standard practical approximation.
+#pragma once
+
+#include "fl/algorithm.hpp"
+
+namespace fedclust::algorithms {
+
+struct CflConfig {
+  /// Split when ||mean update|| < eps1 ...
+  double eps1 = 0.4;
+  /// ... while max_i ||update_i|| > eps2.
+  double eps2 = 0.6;
+  /// Never split before this round (lets training leave the initial
+  /// transient).
+  std::size_t warmup_rounds = 2;
+  /// Clusters at or below this size are never split further.
+  std::size_t min_cluster_size = 2;
+};
+
+class Cfl : public fl::Algorithm {
+ public:
+  explicit Cfl(CflConfig config) : config_(config) {}
+
+  std::string name() const override { return "CFL"; }
+  fl::RunResult run(fl::Federation& federation, std::size_t rounds) override;
+
+  const CflConfig& config() const { return config_; }
+
+ private:
+  CflConfig config_;
+};
+
+}  // namespace fedclust::algorithms

@@ -1,0 +1,68 @@
+#include "algorithms/common.hpp"
+
+#include <algorithm>
+
+namespace fedclust::algorithms {
+
+double per_cluster_fedavg_round(
+    fl::Federation& federation, std::size_t round,
+    const std::vector<std::size_t>& labels,
+    std::vector<std::vector<float>>& cluster_weights,
+    const fl::LocalTrainConfig* config_override) {
+  FEDCLUST_REQUIRE(labels.size() == federation.num_clients(),
+                   "labels must cover every client");
+  for (std::size_t l : labels) {
+    FEDCLUST_REQUIRE(l < cluster_weights.size(),
+                     "cluster label " << l << " has no model");
+  }
+
+  const std::vector<std::size_t> participants =
+      federation.sample_clients(round);
+
+  // Everyone downloads their cluster model; everyone uploads a full one.
+  const std::uint64_t model_bytes =
+      fl::CommMeter::float_bytes(federation.model_size());
+  for (std::size_t cid : participants) {
+    (void)cid;
+    federation.comm().download(model_bytes);
+  }
+
+  const std::vector<fl::ClientUpdate> updates = federation.train_clients(
+      participants, round,
+      [&](std::size_t cid) {
+        return std::span<const float>(cluster_weights[labels[cid]]);
+      },
+      config_override);
+
+  double loss_sum = 0.0;
+  for (const fl::ClientUpdate& u : updates) {
+    federation.comm().upload(model_bytes);
+    loss_sum += u.train_loss;
+  }
+
+  // Group this round's updates by cluster and average.
+  std::vector<std::vector<fl::ClientUpdate>> by_cluster(
+      cluster_weights.size());
+  for (const fl::ClientUpdate& u : updates) {
+    by_cluster[labels[u.client_id]].push_back(u);
+  }
+  for (std::size_t c = 0; c < by_cluster.size(); ++c) {
+    if (!by_cluster[c].empty()) {
+      cluster_weights[c] = fl::weighted_average(by_cluster[c]);
+    }
+  }
+  return updates.empty() ? 0.0
+                         : loss_sum / static_cast<double>(updates.size());
+}
+
+fl::AccuracySummary evaluate_clustered(
+    const fl::Federation& federation, const std::vector<std::size_t>& labels,
+    const std::vector<std::vector<float>>& cluster_weights) {
+  FEDCLUST_REQUIRE(labels.size() == federation.num_clients(),
+                   "labels must cover every client");
+  return federation.evaluate_personalized([&](std::size_t cid) {
+    return std::span<const float>(cluster_weights[labels[cid]]);
+  });
+}
+
+}  // namespace fedclust::algorithms

@@ -1,0 +1,111 @@
+#include "algorithms/fedavg.hpp"
+
+#include "algorithms/common.hpp"
+
+namespace fedclust::algorithms {
+namespace {
+
+/// FedAvg and FedProx share everything except the local training config.
+fl::RunResult run_global_averaging(const std::string& name,
+                                   fl::Federation& federation,
+                                   std::size_t rounds,
+                                   const fl::LocalTrainConfig* override_cfg) {
+  federation.comm().reset();
+
+  fl::RunResult result;
+  result.algorithm = name;
+  result.cluster_labels.assign(federation.num_clients(), 0);
+
+  std::vector<std::vector<float>> global{
+      federation.template_model().flat_weights()};
+  const std::vector<std::size_t> labels(federation.num_clients(), 0);
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    federation.comm().begin_round(round);
+    const double loss = per_cluster_fedavg_round(federation, round, labels,
+                                                 global, override_cfg);
+    const bool last = round + 1 == rounds;
+    if (last || (round + 1) % federation.config().eval_every == 0) {
+      const fl::AccuracySummary acc =
+          evaluate_clustered(federation, labels, global);
+      result.rounds.push_back(fl::make_round_metrics(
+          round, acc, loss, federation.comm(), /*num_clusters=*/1));
+      if (last) result.final_accuracy = acc;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+fl::RunResult FedAvg::run(fl::Federation& federation, std::size_t rounds) {
+  return run_global_averaging(name(), federation, rounds, nullptr);
+}
+
+fl::RunResult FedAvgM::run(fl::Federation& federation, std::size_t rounds) {
+  FEDCLUST_REQUIRE(momentum_ >= 0.0 && momentum_ < 1.0,
+                   "server momentum must be in [0, 1)");
+  federation.comm().reset();
+
+  fl::RunResult result;
+  result.algorithm = name();
+  result.cluster_labels.assign(federation.num_clients(), 0);
+
+  std::vector<float> global = federation.template_model().flat_weights();
+  std::vector<float> velocity(global.size(), 0.0f);
+  const std::uint64_t model_bytes =
+      fl::CommMeter::float_bytes(federation.model_size());
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    federation.comm().begin_round(round);
+    const std::vector<std::size_t> participants =
+        federation.sample_clients(round);
+    for (std::size_t cid : participants) {
+      (void)cid;
+      federation.comm().download(model_bytes);
+    }
+    const std::vector<fl::ClientUpdate> updates = federation.train_clients(
+        participants, round,
+        [&](std::size_t) { return std::span<const float>(global); });
+    double loss_sum = 0.0;
+    for (const fl::ClientUpdate& u : updates) {
+      federation.comm().upload(model_bytes);
+      loss_sum += u.train_loss;
+    }
+
+    // Server update: v = beta*v + (avg - w); w += v. A round in which
+    // every client dropped out leaves the model untouched.
+    if (!updates.empty()) {
+      const std::vector<float> averaged = fl::weighted_average(updates);
+      const float beta = static_cast<float>(momentum_);
+      for (std::size_t i = 0; i < global.size(); ++i) {
+        velocity[i] = beta * velocity[i] + (averaged[i] - global[i]);
+        global[i] += velocity[i];
+      }
+    }
+
+    const bool last = round + 1 == rounds;
+    if (last || (round + 1) % federation.config().eval_every == 0) {
+      const fl::AccuracySummary acc = federation.evaluate_personalized(
+          [&](std::size_t) { return std::span<const float>(global); });
+      result.rounds.push_back(fl::make_round_metrics(
+          round, acc,
+          updates.empty() ? 0.0
+                          : loss_sum / static_cast<double>(updates.size()),
+          federation.comm(), 1));
+      if (last) result.final_accuracy = acc;
+    }
+  }
+  return result;
+}
+
+fl::RunResult FedProx::run(fl::Federation& federation, std::size_t rounds) {
+  // Same engine config, but the local objective gains the proximal term
+  // anchored at the model each client downloads (train_local captures the
+  // reference at entry).
+  fl::LocalTrainConfig local = federation.config().local;
+  local.sgd.prox_mu = mu_;
+  return run_global_averaging(name(), federation, rounds, &local);
+}
+
+}  // namespace fedclust::algorithms

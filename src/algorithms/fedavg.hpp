@@ -1,0 +1,52 @@
+// FedAvg (McMahan et al., AISTATS 2017) — the canonical FL baseline —
+// and FedProx (Li et al., MLSys 2020), which adds a proximal term to the
+// local objective to curb client drift under heterogeneity.
+#pragma once
+
+#include "fl/algorithm.hpp"
+
+namespace fedclust::algorithms {
+
+/// Single global model, sample-weighted averaging each round.
+class FedAvg : public fl::Algorithm {
+ public:
+  FedAvg() = default;
+
+  std::string name() const override { return "FedAvg"; }
+  fl::RunResult run(fl::Federation& federation, std::size_t rounds) override;
+};
+
+/// FedAvg whose local objective is F_i(w) + (mu/2)||w - w_global||^2.
+class FedProx : public fl::Algorithm {
+ public:
+  explicit FedProx(double mu = 0.01) : mu_(mu) {}
+
+  std::string name() const override { return "FedProx"; }
+  fl::RunResult run(fl::Federation& federation, std::size_t rounds) override;
+
+  double mu() const { return mu_; }
+
+ private:
+  double mu_;
+};
+
+/// FedAvgM (Hsu et al., 2019): FedAvg with server-side momentum — the
+/// server treats the averaged client delta as a pseudo-gradient and
+/// applies it through a momentum buffer. Dampens the oscillations that
+/// label-skew drift induces in plain FedAvg. Extension baseline (not in
+/// the paper's Table I).
+class FedAvgM : public fl::Algorithm {
+ public:
+  explicit FedAvgM(double server_momentum = 0.9)
+      : momentum_(server_momentum) {}
+
+  std::string name() const override { return "FedAvgM"; }
+  fl::RunResult run(fl::Federation& federation, std::size_t rounds) override;
+
+  double server_momentum() const { return momentum_; }
+
+ private:
+  double momentum_;
+};
+
+}  // namespace fedclust::algorithms

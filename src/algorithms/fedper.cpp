@@ -1,0 +1,104 @@
+#include "algorithms/fedper.hpp"
+
+#include "nn/slicing.hpp"
+
+namespace fedclust::algorithms {
+
+fl::RunResult FedPer::run(fl::Federation& federation, std::size_t rounds) {
+  federation.comm().reset();
+
+  fl::RunResult result;
+  result.algorithm = name();
+  const std::size_t n = federation.num_clients();
+  result.cluster_labels.assign(n, 0);  // one shared base
+
+  const std::vector<nn::ParamSlice> head =
+      nn::resolve_partial_slices(federation.template_model(),
+                                   config_.head_spec);
+  const std::size_t head_floats = nn::slices_numel(head);
+  FEDCLUST_REQUIRE(head_floats < federation.model_size(),
+                   "FedPer head covers the whole model — nothing to share");
+
+  // Global base weights live inside a full-size vector; personal heads
+  // are stored per client and spliced in before local training.
+  std::vector<float> global = federation.template_model().flat_weights();
+  std::vector<std::vector<float>> heads(
+      n, nn::extract_slices(global, head));
+
+  auto splice_head = [&](std::vector<float>& full, std::size_t client) {
+    std::size_t cursor = 0;
+    for (const nn::ParamSlice& s : head) {
+      for (std::size_t i = 0; i < s.size; ++i, ++cursor) {
+        full[s.offset + i] = heads[client][cursor];
+      }
+    }
+  };
+
+  const std::uint64_t base_bytes =
+      fl::CommMeter::float_bytes(federation.model_size() - head_floats);
+
+  // Per-client start vectors must outlive train_clients' callback.
+  std::vector<std::vector<float>> starts(n);
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    federation.comm().begin_round(round);
+    const std::vector<std::size_t> participants =
+        federation.sample_clients(round);
+
+    for (const std::size_t cid : participants) {
+      federation.comm().download(base_bytes);  // base only; head is local
+      starts[cid] = global;
+      splice_head(starts[cid], cid);
+    }
+
+    const std::vector<fl::ClientUpdate> updates = federation.train_clients(
+        participants, round, [&](std::size_t cid) {
+          return std::span<const float>(starts[cid]);
+        });
+
+    double loss_sum = 0.0;
+    for (const fl::ClientUpdate& u : updates) {
+      federation.comm().upload(base_bytes);
+      loss_sum += u.train_loss;
+      heads[u.client_id] = nn::extract_slices(u.weights, head);
+    }
+
+    // Aggregate the base; the heads stay personal. An all-dropout round
+    // leaves the base unchanged.
+    if (!updates.empty()) {
+      std::vector<float> new_global = fl::weighted_average(updates);
+      // Restore the template head region of the global vector so the
+      // global never carries any single client's head.
+      std::size_t cursor = 0;
+      const std::vector<float> template_head = nn::extract_slices(
+          federation.template_model().flat_weights(), head);
+      for (const nn::ParamSlice& s : head) {
+        for (std::size_t i = 0; i < s.size; ++i, ++cursor) {
+          new_global[s.offset + i] = template_head[cursor];
+        }
+      }
+      global = std::move(new_global);
+    }
+
+    const bool last = round + 1 == rounds;
+    if (last || (round + 1) % federation.config().eval_every == 0) {
+      for (std::size_t cid = 0; cid < n; ++cid) {
+        starts[cid] = global;
+        splice_head(starts[cid], cid);
+      }
+      const fl::AccuracySummary acc =
+          federation.evaluate_personalized([&](std::size_t cid) {
+            return std::span<const float>(starts[cid]);
+          });
+      result.rounds.push_back(fl::make_round_metrics(
+          round, acc,
+          updates.empty() ? 0.0
+                          : loss_sum / static_cast<double>(updates.size()),
+          federation.comm(), /*num_clusters=*/1));
+      if (last) result.final_accuracy = acc;
+    }
+  }
+  return result;
+}
+
+}  // namespace fedclust::algorithms

@@ -1,0 +1,35 @@
+// FedPer (Arivazhagan et al., 2019) — personalization-layer FL.
+//
+// The model is split into a shared BASE (feature extractor, aggregated
+// by the server like FedAvg) and a personal HEAD (the final classifier
+// layer, which never leaves the device). This baseline is the
+// personalization mirror image of FedClust's premise: both agree the
+// final layer is where the data distribution lives — FedPer keeps it
+// local per client, FedClust uses it to group clients. Not in the
+// paper's Table I; included as an extension baseline.
+#pragma once
+
+#include "fl/algorithm.hpp"
+
+namespace fedclust::algorithms {
+
+struct FedPerConfig {
+  /// Slice spec of the personal head (see core::resolve_partial_slices):
+  /// default is the final layer's weight and bias.
+  std::string head_spec = "final+bias";
+};
+
+class FedPer : public fl::Algorithm {
+ public:
+  explicit FedPer(FedPerConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "FedPer"; }
+  fl::RunResult run(fl::Federation& federation, std::size_t rounds) override;
+
+  const FedPerConfig& config() const { return config_; }
+
+ private:
+  FedPerConfig config_;
+};
+
+}  // namespace fedclust::algorithms

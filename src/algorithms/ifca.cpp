@@ -1,0 +1,91 @@
+#include "algorithms/ifca.hpp"
+
+#include <limits>
+
+#include "cluster/hierarchical.hpp"
+#include "utils/rng.hpp"
+
+namespace fedclust::algorithms {
+
+fl::RunResult Ifca::run(fl::Federation& federation, std::size_t rounds) {
+  FEDCLUST_REQUIRE(config_.num_clusters >= 1, "IFCA needs k >= 1");
+  federation.comm().reset();
+
+  fl::RunResult result;
+  result.algorithm = name();
+
+  // k models: template plus small independent perturbations so the
+  // cluster-identity estimation can break symmetry in round 0.
+  const std::vector<float> base = federation.template_model().flat_weights();
+  std::vector<std::vector<float>> models(config_.num_clusters, base);
+  Rng init_rng = Rng(federation.config().seed).split(0x1fca);
+  for (std::size_t k = 1; k < models.size(); ++k) {
+    for (float& w : models[k]) {
+      w += static_cast<float>(init_rng.normal(0.0, config_.init_perturbation));
+    }
+  }
+
+  std::vector<std::size_t> labels(federation.num_clients(), 0);
+  const std::uint64_t model_bytes =
+      fl::CommMeter::float_bytes(federation.model_size());
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    federation.comm().begin_round(round);
+    const std::vector<std::size_t> participants =
+        federation.sample_clients(round);
+
+    // Identity estimation: every participant downloads all k models and
+    // evaluates them on its local training data.
+    for (std::size_t cid : participants) {
+      federation.comm().download(model_bytes * models.size());
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_k = 0;
+      for (std::size_t k = 0; k < models.size(); ++k) {
+        const double loss = federation.client_train_loss(cid, models[k]);
+        if (loss < best) {
+          best = loss;
+          best_k = k;
+        }
+      }
+      labels[cid] = best_k;
+    }
+
+    // Local training on the chosen model.
+    const std::vector<fl::ClientUpdate> updates = federation.train_clients(
+        participants, round, [&](std::size_t cid) {
+          return std::span<const float>(models[labels[cid]]);
+        });
+
+    double loss_sum = 0.0;
+    std::vector<std::vector<fl::ClientUpdate>> by_cluster(models.size());
+    for (const fl::ClientUpdate& u : updates) {
+      federation.comm().upload(model_bytes);
+      loss_sum += u.train_loss;
+      by_cluster[labels[u.client_id]].push_back(u);
+    }
+    for (std::size_t k = 0; k < models.size(); ++k) {
+      if (!by_cluster[k].empty()) {
+        models[k] = fl::weighted_average(by_cluster[k]);
+      }
+    }
+
+    const bool last = round + 1 == rounds;
+    if (last || (round + 1) % federation.config().eval_every == 0) {
+      const fl::AccuracySummary acc =
+          federation.evaluate_personalized([&](std::size_t cid) {
+            return std::span<const float>(models[labels[cid]]);
+          });
+      result.rounds.push_back(fl::make_round_metrics(
+          round, acc,
+          updates.empty() ? 0.0
+                          : loss_sum / static_cast<double>(updates.size()),
+          federation.comm(), cluster::num_clusters(labels)));
+      if (last) result.final_accuracy = acc;
+    }
+  }
+
+  result.cluster_labels = labels;
+  return result;
+}
+
+}  // namespace fedclust::algorithms

@@ -1,0 +1,37 @@
+// IFCA — the Iterative Federated Clustering Algorithm (Ghosh et al.,
+// NeurIPS 2020).
+//
+// The server keeps k cluster models. Every round each participating
+// client downloads ALL k models, picks the one with the lowest loss on
+// its local data (cluster-identity estimation), trains that model, and
+// uploads the result; the server averages per cluster.
+//
+// The paper's critique that FedClust addresses: k must be chosen a
+// priori, and broadcasting k models multiplies the download cost.
+#pragma once
+
+#include "fl/algorithm.hpp"
+
+namespace fedclust::algorithms {
+
+struct IfcaConfig {
+  std::size_t num_clusters = 2;
+  /// Scale of the random perturbation that differentiates the k initial
+  /// models (all derive from the federation's template).
+  double init_perturbation = 0.05;
+};
+
+class Ifca : public fl::Algorithm {
+ public:
+  explicit Ifca(IfcaConfig config) : config_(config) {}
+
+  std::string name() const override { return "IFCA"; }
+  fl::RunResult run(fl::Federation& federation, std::size_t rounds) override;
+
+  const IfcaConfig& config() const { return config_; }
+
+ private:
+  IfcaConfig config_;
+};
+
+}  // namespace fedclust::algorithms

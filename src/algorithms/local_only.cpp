@@ -1,0 +1,47 @@
+#include "algorithms/local_only.hpp"
+
+namespace fedclust::algorithms {
+
+fl::RunResult LocalOnly::run(fl::Federation& federation, std::size_t rounds) {
+  federation.comm().reset();
+
+  fl::RunResult result;
+  result.algorithm = name();
+  const std::size_t n = federation.num_clients();
+  // Every client is its own "cluster"; weights persist across rounds.
+  result.cluster_labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.cluster_labels[i] = i;
+
+  std::vector<std::vector<float>> weights(
+      n, federation.template_model().flat_weights());
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    federation.comm().begin_round(round);  // stays at zero bytes
+    std::vector<std::size_t> everyone(n);
+    for (std::size_t i = 0; i < n; ++i) everyone[i] = i;
+    const std::vector<fl::ClientUpdate> updates = federation.train_clients(
+        everyone, round, [&](std::size_t cid) {
+          return std::span<const float>(weights[cid]);
+        });
+    double loss_sum = 0.0;
+    for (const fl::ClientUpdate& u : updates) {
+      weights[u.client_id] = u.weights;
+      loss_sum += u.train_loss;
+    }
+
+    const bool last = round + 1 == rounds;
+    if (last || (round + 1) % federation.config().eval_every == 0) {
+      const fl::AccuracySummary acc =
+          federation.evaluate_personalized([&](std::size_t cid) {
+            return std::span<const float>(weights[cid]);
+          });
+      result.rounds.push_back(fl::make_round_metrics(
+          round, acc, loss_sum / static_cast<double>(updates.size()),
+          federation.comm(), n));
+      if (last) result.final_accuracy = acc;
+    }
+  }
+  return result;
+}
+
+}  // namespace fedclust::algorithms

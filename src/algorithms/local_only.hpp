@@ -1,0 +1,23 @@
+// LocalOnly — the no-communication reference point.
+//
+// Every client trains its own model from the common initialization and
+// never talks to the server. Under extreme label skew this is a strong
+// baseline (each client's problem is small), and it brackets the
+// clustered methods from the other side than FedAvg does: FedAvg shares
+// everything, LocalOnly shares nothing, clustered FL sits between.
+// Not part of the paper's Table I; included as an analysis baseline.
+#pragma once
+
+#include "fl/algorithm.hpp"
+
+namespace fedclust::algorithms {
+
+class LocalOnly : public fl::Algorithm {
+ public:
+  LocalOnly() = default;
+
+  std::string name() const override { return "LocalOnly"; }
+  fl::RunResult run(fl::Federation& federation, std::size_t rounds) override;
+};
+
+}  // namespace fedclust::algorithms

@@ -1,0 +1,148 @@
+#include "algorithms/pacfl.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "algorithms/common.hpp"
+#include "linalg/svd.hpp"
+
+namespace fedclust::algorithms {
+namespace {
+
+/// Client-side: orthonormal basis spanning the top-p directions of each
+/// locally present class, concatenated column-wise (d × Σ_c p_c).
+Matrix client_subspace_basis(const data::Dataset& train,
+                             const PacflConfig& config) {
+  const std::size_t d = train.spec().channels * train.spec().height *
+                        train.spec().width;
+  std::vector<std::vector<std::size_t>> by_class(train.spec().classes);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    by_class[static_cast<std::size_t>(train.label(i))].push_back(i);
+  }
+
+  std::vector<Matrix> blocks;
+  std::size_t total_cols = 0;
+  for (const auto& cls : by_class) {
+    if (cls.empty()) continue;
+    const std::size_t take =
+        std::min(cls.size(), config.samples_per_class_cap);
+    Matrix a(d, take);
+    for (std::size_t j = 0; j < take; ++j) {
+      const Tensor img = train.image(cls[j]);
+      for (std::size_t i = 0; i < d; ++i) a(i, j) = img[i];
+    }
+    const std::size_t p = std::min(config.subspace_rank, take);
+    Matrix u = truncated_left_singular_vectors_gram(a, p);
+    total_cols += u.cols();
+    blocks.push_back(std::move(u));
+  }
+  FEDCLUST_CHECK(total_cols > 0, "client has no data for PACFL basis");
+
+  Matrix basis(d, total_cols);
+  std::size_t col = 0;
+  for (const Matrix& b : blocks) {
+    for (std::size_t j = 0; j < b.cols(); ++j, ++col) {
+      for (std::size_t i = 0; i < d; ++i) basis(i, col) = b(i, j);
+    }
+  }
+  // Columns are orthonormal within a class but not across classes;
+  // re-orthonormalize so principal angles are well-defined.
+  const std::size_t rank = orthonormalize_columns(basis);
+  if (rank < basis.cols()) {
+    Matrix trimmed(d, rank);
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = 0; j < rank; ++j) trimmed(i, j) = basis(i, j);
+    }
+    return trimmed;
+  }
+  return basis;
+}
+
+}  // namespace
+
+std::vector<std::size_t> Pacfl::cluster_clients(
+    const fl::Federation& federation, Matrix* dissimilarity_out,
+    std::uint64_t* upload_bytes_out) const {
+  const std::size_t n = federation.num_clients();
+
+  std::vector<Matrix> bases;
+  bases.reserve(n);
+  std::uint64_t upload_bytes = 0;
+  for (std::size_t c = 0; c < n; ++c) {
+    bases.push_back(
+        client_subspace_basis(federation.client_data(c).train, config_));
+    upload_bytes +=
+        fl::CommMeter::float_bytes(bases.back().rows() * bases.back().cols());
+  }
+
+  Matrix dis(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const std::vector<double> angles = principal_angles(bases[i], bases[j]);
+      const double mean =
+          std::accumulate(angles.begin(), angles.end(), 0.0) /
+          static_cast<double>(angles.size());
+      dis(i, j) = mean;
+      dis(j, i) = mean;
+    }
+  }
+
+  const cluster::Dendrogram dendro =
+      cluster::agglomerative_cluster(dis, config_.linkage);
+  const double threshold =
+      config_.threshold > 0.0
+          ? config_.threshold
+          : cluster::suggest_threshold(dendro, config_.min_gap_ratio);
+
+  if (dissimilarity_out != nullptr) *dissimilarity_out = dis;
+  if (upload_bytes_out != nullptr) *upload_bytes_out = upload_bytes;
+  return dendro.cut_threshold(threshold);
+}
+
+fl::RunResult Pacfl::run(fl::Federation& federation, std::size_t rounds) {
+  FEDCLUST_REQUIRE(rounds >= 2, "PACFL needs the formation round plus at "
+                                "least one training round");
+  federation.comm().reset();
+
+  fl::RunResult result;
+  result.algorithm = name();
+
+  // Round 0: one-shot clustering from data subspaces (upload only — no
+  // model travels).
+  federation.comm().begin_round(0);
+  std::uint64_t upload_bytes = 0;
+  const std::vector<std::size_t> labels =
+      cluster_clients(federation, nullptr, &upload_bytes);
+  federation.comm().upload(upload_bytes);
+
+  std::vector<std::vector<float>> cluster_weights(
+      cluster::num_clusters(labels),
+      federation.template_model().flat_weights());
+
+  {
+    const fl::AccuracySummary acc =
+        evaluate_clustered(federation, labels, cluster_weights);
+    result.rounds.push_back(fl::make_round_metrics(
+        0, acc, 0.0, federation.comm(), cluster_weights.size()));
+  }
+
+  // Rounds 1..R-1: per-cluster FedAvg.
+  for (std::size_t round = 1; round < rounds; ++round) {
+    federation.comm().begin_round(round);
+    const double loss = per_cluster_fedavg_round(federation, round, labels,
+                                                 cluster_weights);
+    const bool last = round + 1 == rounds;
+    if (last || (round + 1) % federation.config().eval_every == 0) {
+      const fl::AccuracySummary acc =
+          evaluate_clustered(federation, labels, cluster_weights);
+      result.rounds.push_back(fl::make_round_metrics(
+          round, acc, loss, federation.comm(), cluster_weights.size()));
+      if (last) result.final_accuracy = acc;
+    }
+  }
+
+  result.cluster_labels = labels;
+  return result;
+}
+
+}  // namespace fedclust::algorithms

@@ -1,0 +1,84 @@
+#include "cluster/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedclust::cluster {
+namespace {
+
+void check_rectangular(const std::vector<std::vector<float>>& vectors) {
+  FEDCLUST_REQUIRE(!vectors.empty(), "need at least one vector");
+  const std::size_t dim = vectors.front().size();
+  FEDCLUST_REQUIRE(dim > 0, "vectors must be non-empty");
+  for (const auto& v : vectors) {
+    FEDCLUST_REQUIRE(v.size() == dim, "vectors have inconsistent lengths");
+  }
+}
+
+}  // namespace
+
+Matrix pairwise_euclidean(const std::vector<std::vector<float>>& vectors) {
+  check_rectangular(vectors);
+  const std::size_t n = vectors.size();
+  const std::size_t dim = vectors.front().size();
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      const float* a = vectors[i].data();
+      const float* b = vectors[j].data();
+      for (std::size_t k = 0; k < dim; ++k) {
+        const double diff = static_cast<double>(a[k]) - b[k];
+        s += diff * diff;
+      }
+      const double dist = std::sqrt(s);
+      d(i, j) = dist;
+      d(j, i) = dist;
+    }
+  }
+  return d;
+}
+
+Matrix pairwise_cosine_similarity(
+    const std::vector<std::vector<float>>& vectors) {
+  check_rectangular(vectors);
+  const std::size_t n = vectors.size();
+  const std::size_t dim = vectors.front().size();
+  std::vector<double> norms(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (float v : vectors[i]) s += static_cast<double>(v) * v;
+    norms[i] = std::sqrt(s);
+  }
+  Matrix sim(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sim(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double dp = 0.0;
+      const float* a = vectors[i].data();
+      const float* b = vectors[j].data();
+      for (std::size_t k = 0; k < dim; ++k) {
+        dp += static_cast<double>(a[k]) * b[k];
+      }
+      const double denom = norms[i] * norms[j];
+      const double s = denom > 0.0 ? dp / denom : 0.0;
+      sim(i, j) = s;
+      sim(j, i) = s;
+    }
+  }
+  return sim;
+}
+
+Matrix pairwise_cosine_distance(
+    const std::vector<std::vector<float>>& vectors) {
+  Matrix d = pairwise_cosine_similarity(vectors);
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    for (std::size_t j = 0; j < d.cols(); ++j) {
+      d(i, j) = std::clamp(1.0 - d(i, j), 0.0, 2.0);
+    }
+    d(i, i) = 0.0;
+  }
+  return d;
+}
+
+}  // namespace fedclust::cluster

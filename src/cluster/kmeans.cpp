@@ -1,0 +1,138 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "utils/error.hpp"
+
+namespace fedclust::cluster {
+namespace {
+
+double sq_distance(const std::vector<float>& p,
+                   const std::vector<double>& center) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double d = static_cast<double>(p[i]) - center[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<std::vector<float>>& points,
+                    std::size_t k, Rng& rng, std::size_t max_iterations,
+                    double tol) {
+  FEDCLUST_REQUIRE(!points.empty(), "kmeans needs at least one point");
+  FEDCLUST_REQUIRE(k >= 1 && k <= points.size(),
+                   "k must be in [1, num_points]");
+  const std::size_t n = points.size();
+  const std::size_t dim = points.front().size();
+  for (const auto& p : points) {
+    FEDCLUST_REQUIRE(p.size() == dim, "points have inconsistent dimensions");
+  }
+
+  KMeansResult result;
+  result.centers.reserve(k);
+
+  // k-means++ seeding: first center uniform, then proportional to the
+  // squared distance to the nearest chosen center.
+  const std::size_t first = rng.uniform_int(n);
+  result.centers.emplace_back(points[first].begin(), points[first].end());
+  std::vector<double> best_sq(n, std::numeric_limits<double>::infinity());
+  while (result.centers.size() < k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      best_sq[i] =
+          std::min(best_sq[i], sq_distance(points[i], result.centers.back()));
+    }
+    double total = 0.0;
+    for (double d : best_sq) total += d;
+    std::size_t chosen = 0;
+    if (total <= 0.0) {
+      chosen = rng.uniform_int(n);  // all points coincide with centers
+    } else {
+      double r = rng.uniform() * total;
+      for (; chosen + 1 < n; ++chosen) {
+        if (r < best_sq[chosen]) break;
+        r -= best_sq[chosen];
+      }
+    }
+    result.centers.push_back(
+        std::vector<double>(points[chosen].begin(), points[chosen].end()));
+  }
+
+  result.labels.assign(n, 0);
+  for (result.iterations = 0; result.iterations < max_iterations;
+       ++result.iterations) {
+    // Assignment step.
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = sq_distance(points[i], result.centers[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (result.labels[i] != best_c) {
+        result.labels[i] = best_c;
+        changed = true;
+      }
+    }
+
+    // Update step.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counts[result.labels[i]];
+      for (std::size_t d = 0; d < dim; ++d) {
+        sums[result.labels[i]][d] += points[i][d];
+      }
+    }
+    double max_shift = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster with the point farthest from its
+        // current centroid.
+        double worst = -1.0;
+        std::size_t far = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d =
+              sq_distance(points[i], result.centers[result.labels[i]]);
+          if (d > worst) {
+            worst = d;
+            far = i;
+          }
+        }
+        result.centers[c].assign(points[far].begin(), points[far].end());
+        result.labels[far] = c;
+        changed = true;
+        continue;
+      }
+      double shift = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double next = sums[c][d] / static_cast<double>(counts[c]);
+        const double delta = next - result.centers[c][d];
+        shift += delta * delta;
+        result.centers[c][d] = next;
+      }
+      max_shift = std::max(max_shift, shift);
+    }
+
+    if (!changed && max_shift < tol) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.inertia += sq_distance(points[i], result.centers[result.labels[i]]);
+  }
+  return result;
+}
+
+}  // namespace fedclust::cluster

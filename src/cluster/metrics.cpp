@@ -1,0 +1,164 @@
+#include "cluster/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/hierarchical.hpp"
+
+namespace fedclust::cluster {
+namespace {
+
+/// Contingency table between two labelings plus marginals.
+struct Contingency {
+  std::vector<std::vector<std::size_t>> table;  // a × b
+  std::vector<std::size_t> row_sums;
+  std::vector<std::size_t> col_sums;
+  std::size_t n = 0;
+};
+
+Contingency contingency(const std::vector<std::size_t>& a,
+                        const std::vector<std::size_t>& b) {
+  FEDCLUST_REQUIRE(a.size() == b.size() && !a.empty(),
+                   "labelings must be equal-sized and non-empty");
+  const std::size_t ka = num_clusters(a);
+  const std::size_t kb = num_clusters(b);
+  Contingency c;
+  c.table.assign(ka, std::vector<std::size_t>(kb, 0));
+  c.row_sums.assign(ka, 0);
+  c.col_sums.assign(kb, 0);
+  c.n = a.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ++c.table[a[i]][b[i]];
+    ++c.row_sums[a[i]];
+    ++c.col_sums[b[i]];
+  }
+  return c;
+}
+
+double choose2(std::size_t x) {
+  return 0.5 * static_cast<double>(x) * static_cast<double>(x ? x - 1 : 0);
+}
+
+}  // namespace
+
+double adjusted_rand_index(const std::vector<std::size_t>& labels_a,
+                           const std::vector<std::size_t>& labels_b) {
+  const Contingency c = contingency(labels_a, labels_b);
+  double index = 0.0;
+  for (const auto& row : c.table) {
+    for (std::size_t v : row) index += choose2(v);
+  }
+  double sum_a = 0.0;
+  for (std::size_t v : c.row_sums) sum_a += choose2(v);
+  double sum_b = 0.0;
+  for (std::size_t v : c.col_sums) sum_b += choose2(v);
+  const double expected = sum_a * sum_b / choose2(c.n);
+  const double max_index = 0.5 * (sum_a + sum_b);
+  if (max_index == expected) return 1.0;  // both partitions trivial
+  return (index - expected) / (max_index - expected);
+}
+
+double normalized_mutual_information(
+    const std::vector<std::size_t>& labels_a,
+    const std::vector<std::size_t>& labels_b) {
+  const Contingency c = contingency(labels_a, labels_b);
+  const double n = static_cast<double>(c.n);
+
+  double mi = 0.0;
+  for (std::size_t i = 0; i < c.table.size(); ++i) {
+    for (std::size_t j = 0; j < c.table[i].size(); ++j) {
+      if (c.table[i][j] == 0) continue;
+      const double pij = static_cast<double>(c.table[i][j]) / n;
+      const double pi = static_cast<double>(c.row_sums[i]) / n;
+      const double pj = static_cast<double>(c.col_sums[j]) / n;
+      mi += pij * std::log(pij / (pi * pj));
+    }
+  }
+  auto entropy = [&](const std::vector<std::size_t>& sums) {
+    double h = 0.0;
+    for (std::size_t s : sums) {
+      if (s == 0) continue;
+      const double p = static_cast<double>(s) / n;
+      h -= p * std::log(p);
+    }
+    return h;
+  };
+  const double ha = entropy(c.row_sums);
+  const double hb = entropy(c.col_sums);
+  if (ha == 0.0 && hb == 0.0) return 1.0;  // both partitions trivial
+  const double denom = 0.5 * (ha + hb);
+  return denom > 0.0 ? std::max(0.0, mi / denom) : 0.0;
+}
+
+double purity(const std::vector<std::size_t>& predicted,
+              const std::vector<std::size_t>& truth) {
+  const Contingency c = contingency(predicted, truth);
+  std::size_t correct = 0;
+  for (const auto& row : c.table) {
+    correct += *std::max_element(row.begin(), row.end());
+  }
+  return static_cast<double>(correct) / static_cast<double>(c.n);
+}
+
+double silhouette(const Matrix& distances,
+                  const std::vector<std::size_t>& labels) {
+  const std::size_t n = labels.size();
+  FEDCLUST_REQUIRE(distances.rows() == n && distances.cols() == n,
+                   "distance matrix does not match labels");
+  const std::size_t k = num_clusters(labels);
+  if (k <= 1 || k >= n) return 0.0;
+
+  const auto members = members_by_cluster(labels);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t own = labels[i];
+    if (members[own].size() <= 1) continue;  // singleton contributes 0
+
+    double a = 0.0;
+    for (std::size_t j : members[own]) {
+      if (j != i) a += distances(i, j);
+    }
+    a /= static_cast<double>(members[own].size() - 1);
+
+    double b = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == own || members[c].empty()) continue;
+      double mean = 0.0;
+      for (std::size_t j : members[c]) mean += distances(i, j);
+      mean /= static_cast<double>(members[c].size());
+      b = std::min(b, mean);
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+double block_contrast(const Matrix& distances,
+                      const std::vector<std::size_t>& groups) {
+  const std::size_t n = groups.size();
+  FEDCLUST_REQUIRE(distances.rows() == n && distances.cols() == n,
+                   "distance matrix does not match groups");
+  double within = 0.0, between = 0.0;
+  std::size_t nw = 0, nb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (groups[i] == groups[j]) {
+        within += distances(i, j);
+        ++nw;
+      } else {
+        between += distances(i, j);
+        ++nb;
+      }
+    }
+  }
+  FEDCLUST_REQUIRE(nw > 0 && nb > 0,
+                   "block_contrast needs both within- and between-group pairs");
+  within /= static_cast<double>(nw);
+  between /= static_cast<double>(nb);
+  if (within == 0.0) return std::numeric_limits<double>::infinity();
+  return between / within;
+}
+
+}  // namespace fedclust::cluster

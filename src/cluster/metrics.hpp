@@ -1,0 +1,42 @@
+// External and internal cluster-quality metrics.
+//
+// Used by the Fig. 1 reproduction and the ablations to quantify how well
+// a clustering recovers the ground-truth client groups (ARI, NMI,
+// purity) and how well separated the clusters are without ground truth
+// (silhouette, block contrast).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace fedclust::cluster {
+
+/// Adjusted Rand Index in [-1, 1]; 1 = identical partitions, ~0 = random.
+double adjusted_rand_index(const std::vector<std::size_t>& labels_a,
+                           const std::vector<std::size_t>& labels_b);
+
+/// Normalized mutual information in [0, 1] (arithmetic-mean
+/// normalization); 1 = identical partitions.
+double normalized_mutual_information(const std::vector<std::size_t>& labels_a,
+                                     const std::vector<std::size_t>& labels_b);
+
+/// Fraction of points whose cluster's majority ground-truth label matches
+/// their own; in (0, 1].
+double purity(const std::vector<std::size_t>& predicted,
+              const std::vector<std::size_t>& truth);
+
+/// Mean silhouette coefficient from a precomputed distance matrix; in
+/// [-1, 1]. Singleton clusters contribute 0.
+double silhouette(const Matrix& distances,
+                  const std::vector<std::size_t>& labels);
+
+/// Block contrast of a distance matrix under ground-truth groups: mean
+/// between-group distance divided by mean within-group distance. > 1
+/// means the matrix exhibits the block structure of Fig. 1; higher is
+/// sharper. Returns +inf when all within-group distances are 0.
+double block_contrast(const Matrix& distances,
+                      const std::vector<std::size_t>& groups);
+
+}  // namespace fedclust::cluster

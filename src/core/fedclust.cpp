@@ -1,0 +1,237 @@
+#include "core/fedclust.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "algorithms/common.hpp"
+#include "cluster/distance.hpp"
+#include "cluster/metrics.hpp"
+#include "fl/trainer.hpp"
+
+namespace fedclust::core {
+
+ClusteringOutcome FedClust::form_clusters(fl::Federation& federation,
+                                          std::size_t round) const {
+  const nn::Model& tmpl = federation.template_model();
+  const std::vector<nn::ParamSlice> slices =
+      resolve_partial_slices(tmpl, config_.partial_spec);
+  const std::vector<float> init_weights = tmpl.flat_weights();
+
+  // Warmup round: every client trains from the common initialization.
+  fl::LocalTrainConfig warmup = federation.config().local;
+  if (config_.warmup_epochs > 0) warmup.epochs = config_.warmup_epochs;
+
+  std::vector<std::size_t> everyone(federation.num_clients());
+  for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
+
+  // The paper's formation round covers all available clients, so the
+  // warmup is exempt from dropout injection.
+  const std::vector<fl::ClientUpdate> updates = federation.train_clients(
+      everyone, round,
+      [&](std::size_t) { return std::span<const float>(init_weights); },
+      &warmup, /*allow_failures=*/false);
+
+  ClusteringOutcome out;
+  out.partial_weights.resize(federation.num_clients());
+  for (const fl::ClientUpdate& u : updates) {
+    out.partial_weights[u.client_id] = extract_slices(u.weights, slices);
+  }
+
+  // Wire accounting: full model down (initial broadcast), partial up.
+  out.download_bytes = fl::CommMeter::float_bytes(federation.model_size()) *
+                       federation.num_clients();
+  out.upload_bytes = fl::CommMeter::float_bytes(slices_numel(slices)) *
+                     federation.num_clients();
+
+  // Server side: proximity matrix -> HC -> cut.
+  out.proximity = cluster::pairwise_euclidean(out.partial_weights);
+  out.dendrogram = cluster::agglomerative_cluster(out.proximity,
+                                                  config_.linkage);
+
+  const CutPolicy policy = config_.threshold > 0.0
+                               ? CutPolicy::kFixedThreshold
+                               : config_.cut_policy;
+  switch (policy) {
+    case CutPolicy::kFixedThreshold:
+      out.threshold = config_.threshold;
+      out.labels = out.dendrogram.cut_threshold(out.threshold);
+      break;
+    case CutPolicy::kRelativeThreshold: {
+      double mean_distance = 0.0;
+      std::size_t pairs = 0;
+      for (std::size_t i = 0; i < out.proximity.rows(); ++i) {
+        for (std::size_t j = i + 1; j < out.proximity.cols(); ++j) {
+          mean_distance += out.proximity(i, j);
+          ++pairs;
+        }
+      }
+      if (pairs > 0) mean_distance /= static_cast<double>(pairs);
+      out.threshold = config_.rel_factor * mean_distance;
+      out.labels = out.dendrogram.cut_threshold(out.threshold);
+      break;
+    }
+    case CutPolicy::kLargestGap:
+      out.threshold =
+          cluster::suggest_threshold(out.dendrogram, config_.min_gap_ratio);
+      out.labels = out.dendrogram.cut_threshold(out.threshold);
+      break;
+    case CutPolicy::kSilhouette: {
+      const std::size_t n = federation.num_clients();
+      const std::size_t k_max = std::max<std::size_t>(
+          2, config_.max_clusters > 0 ? config_.max_clusters : n / 2);
+      double best_score = -2.0;
+      std::vector<std::size_t> best = std::vector<std::size_t>(n, 0);
+      std::size_t best_k = 1;
+      for (std::size_t k = 2; k <= std::min(k_max, n); ++k) {
+        std::vector<std::size_t> labels = out.dendrogram.cut_k(k);
+        const double score = cluster::silhouette(out.proximity, labels);
+        if (score > best_score) {
+          best_score = score;
+          best = std::move(labels);
+          best_k = k;
+        }
+      }
+      if (best_score < config_.min_silhouette) {
+        // No clustering structure at any k: keep one cluster.
+        out.labels.assign(n, 0);
+        out.threshold = out.dendrogram.merges.empty()
+                            ? 0.0
+                            : out.dendrogram.merges.back().distance + 1.0;
+      } else {
+        out.labels = std::move(best);
+        // Report the equivalent distance cut for interpretability: the
+        // distance of the first merge the cut rejected.
+        const std::size_t applied = n - best_k;
+        out.threshold = applied < out.dendrogram.merges.size()
+                            ? out.dendrogram.merges[applied].distance
+                            : out.dendrogram.merges.back().distance + 1.0;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
+  FEDCLUST_REQUIRE(rounds >= 2, "FedClust needs the formation round plus at "
+                                "least one training round");
+  federation.comm().reset();
+
+  fl::RunResult result;
+  result.algorithm = name();
+
+  // Round 0: one-shot weight-driven cluster formation.
+  federation.comm().begin_round(0);
+  ClusteringOutcome outcome = form_clusters(federation, /*round=*/0);
+  federation.comm().download(outcome.download_bytes);
+  federation.comm().upload(outcome.upload_bytes);
+
+  const std::vector<std::size_t>& labels = outcome.labels;
+  std::vector<std::vector<float>> cluster_weights(
+      cluster::num_clusters(labels),
+      federation.template_model().flat_weights());
+
+  if (config_.warm_start_classifier) {
+    // The server already holds every member's round-0 partial upload;
+    // seed each cluster's slice with the member mean. Zero extra bytes.
+    const std::vector<nn::ParamSlice> slices = resolve_partial_slices(
+        federation.template_model(), config_.partial_spec);
+    const auto members = cluster::members_by_cluster(labels);
+    for (std::size_t c = 0; c < members.size(); ++c) {
+      if (members[c].empty()) continue;
+      const std::size_t dim = outcome.partial_weights[members[c][0]].size();
+      std::vector<double> mean(dim, 0.0);
+      for (const std::size_t m : members[c]) {
+        for (std::size_t i = 0; i < dim; ++i) {
+          mean[i] += outcome.partial_weights[m][i];
+        }
+      }
+      const double inv = 1.0 / static_cast<double>(members[c].size());
+      std::size_t cursor = 0;
+      for (const nn::ParamSlice& s : slices) {
+        for (std::size_t i = 0; i < s.size; ++i, ++cursor) {
+          cluster_weights[c][s.offset + i] =
+              static_cast<float>(mean[cursor] * inv);
+        }
+      }
+    }
+  }
+
+  {
+    const fl::AccuracySummary acc =
+        algorithms::evaluate_clustered(federation, labels, cluster_weights);
+    result.rounds.push_back(fl::make_round_metrics(
+        0, acc, 0.0, federation.comm(), cluster_weights.size()));
+  }
+
+  // Rounds 1..R-1: FedAvg within each cluster.
+  for (std::size_t round = 1; round < rounds; ++round) {
+    federation.comm().begin_round(round);
+    const double loss = algorithms::per_cluster_fedavg_round(
+        federation, round, labels, cluster_weights);
+    const bool last = round + 1 == rounds;
+    if (last || (round + 1) % federation.config().eval_every == 0) {
+      const fl::AccuracySummary acc = algorithms::evaluate_clustered(
+          federation, labels, cluster_weights);
+      result.rounds.push_back(fl::make_round_metrics(
+          round, acc, loss, federation.comm(), cluster_weights.size()));
+      if (last) result.final_accuracy = acc;
+    }
+  }
+
+  result.cluster_labels = labels;
+  last_clustering_ = std::move(outcome);
+  return result;
+}
+
+std::size_t FedClust::assign_newcomer(
+    const nn::Model& template_model, const data::Dataset& newcomer_train,
+    const fl::LocalTrainConfig& local_config, Rng rng,
+    const ClusteringOutcome& outcome, std::vector<float>* partial_out) const {
+  FEDCLUST_REQUIRE(!outcome.labels.empty(),
+                   "clustering outcome has no members");
+
+  // The newcomer repeats the formation protocol solo: train from the
+  // initial global model, extract the same partial slice.
+  fl::LocalTrainConfig warmup = local_config;
+  if (config_.warmup_epochs > 0) warmup.epochs = config_.warmup_epochs;
+  nn::Model model = template_model.clone();
+  fl::train_local(model, newcomer_train, warmup, rng);
+
+  const std::vector<nn::ParamSlice> slices =
+      resolve_partial_slices(template_model, config_.partial_spec);
+  const std::vector<float> partial =
+      extract_slices(model.flat_weights(), slices);
+  if (partial_out != nullptr) *partial_out = partial;
+
+  // Nearest cluster by mean Euclidean distance to stored member vectors.
+  const std::size_t k = cluster::num_clusters(outcome.labels);
+  std::vector<double> sum(k, 0.0);
+  std::vector<std::size_t> count(k, 0);
+  for (std::size_t i = 0; i < outcome.labels.size(); ++i) {
+    const std::vector<float>& member = outcome.partial_weights[i];
+    FEDCLUST_REQUIRE(member.size() == partial.size(),
+                     "stored partial weights do not match newcomer slice");
+    double s = 0.0;
+    for (std::size_t d = 0; d < partial.size(); ++d) {
+      const double diff =
+          static_cast<double>(member[d]) - static_cast<double>(partial[d]);
+      s += diff * diff;
+    }
+    sum[outcome.labels[i]] += std::sqrt(s);
+    ++count[outcome.labels[i]];
+  }
+  std::size_t best = 0;
+  double best_mean = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < k; ++c) {
+    if (count[c] == 0) continue;
+    const double mean = sum[c] / static_cast<double>(count[c]);
+    if (mean < best_mean) {
+      best_mean = mean;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace fedclust::core

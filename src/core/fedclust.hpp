@@ -1,0 +1,127 @@
+// FedClust — weight-driven one-shot clustered federated learning.
+// This module implements the paper's contribution (§III):
+//
+//  1. the server broadcasts the initial global model to all clients;
+//  2. clients train locally for a few epochs and upload ONLY the final
+//     (classifier) layer's weights — a proxy for their underlying data
+//     distribution (§II, Fig. 1);
+//  3. the server builds the pairwise Euclidean proximity matrix of those
+//     partial weights;
+//  4. agglomerative hierarchical clustering with a distance-threshold cut
+//     groups clients — no predefined cluster count;
+//  5. from the next round on, each cluster runs FedAvg independently.
+//
+// Newcomers are accommodated in real time: a new client trains the same
+// warmup locally and is assigned to the cluster whose members' stored
+// partial weights are nearest on average (steps 1-3 for one client, no
+// re-clustering).
+#pragma once
+
+#include <optional>
+
+#include "cluster/hierarchical.hpp"
+#include "core/partial_weights.hpp"
+#include "fl/algorithm.hpp"
+
+namespace fedclust::core {
+
+/// How the dendrogram is cut into flat clusters. The paper prescribes a
+/// distance threshold but leaves its choice open; both automatic
+/// policies below need no tuning.
+enum class CutPolicy {
+  /// Cut at rel_factor × (mean pairwise distance). Scale-invariant, so
+  /// one factor works across datasets/models; at the default 0.9 the
+  /// granularity tracks the accuracy-optimal clustering on Dirichlet
+  /// label-skew populations. Default.
+  kRelativeThreshold,
+  /// Maximize the mean silhouette over k = 2..max_clusters; falls back
+  /// to one cluster when even the best silhouette shows no structure.
+  /// Favors the coarsest geometric structure — right for populations
+  /// with a few crisp groups, too coarse for smooth Dirichlet skew.
+  kSilhouette,
+  /// Cut in the middle of the largest gap between consecutive merge
+  /// distances. Crisper but degenerates to k=2 on smooth dendrograms.
+  kLargestGap,
+  /// Use FedClustConfig::threshold as a fixed distance cut.
+  kFixedThreshold,
+};
+
+struct FedClustConfig {
+  /// Local epochs of the warmup (cluster-formation) round; 0 = use the
+  /// federation's configured local epochs.
+  std::size_t warmup_epochs = 0;
+  /// Which weights clients upload for clustering; see
+  /// resolve_partial_slices for the accepted specs. Default: final layer.
+  std::string partial_spec = "final";
+  cluster::Linkage linkage = cluster::Linkage::kAverage;
+  CutPolicy cut_policy = CutPolicy::kRelativeThreshold;
+  /// Fixed distance cut; setting it > 0 implies kFixedThreshold.
+  double threshold = 0.0;
+  /// kRelativeThreshold: cut at this fraction of the mean pairwise
+  /// distance.
+  double rel_factor = 0.9;
+  /// kLargestGap: required gap size relative to the mean merge step.
+  double min_gap_ratio = 2.0;
+  /// kSilhouette: candidate k ranges over [2, max_clusters];
+  /// 0 = num_clients / 2.
+  std::size_t max_clusters = 0;
+  /// kSilhouette: below this best-silhouette value the population is
+  /// considered unclusterable and kept as one cluster.
+  double min_silhouette = 0.05;
+  /// Extension beyond the paper: initialize each cluster model's
+  /// uploaded slice with the mean of its members' round-0 uploads (the
+  /// server already holds them), instead of the raw initialization.
+  /// Costs no extra communication; ablated in bench/comm_cost.
+  bool warm_start_classifier = false;
+};
+
+/// Everything the server learns in the one-shot clustering round. Kept
+/// around to admit newcomers without re-clustering.
+struct ClusteringOutcome {
+  std::vector<std::vector<float>> partial_weights;  ///< per client
+  Matrix proximity;                                 ///< Euclidean distances
+  cluster::Dendrogram dendrogram;
+  double threshold = 0.0;  ///< the cut actually applied
+  std::vector<std::size_t> labels;
+  std::uint64_t upload_bytes = 0;
+  std::uint64_t download_bytes = 0;
+};
+
+class FedClust : public fl::Algorithm {
+ public:
+  explicit FedClust(FedClustConfig config) : config_(config) {}
+
+  std::string name() const override { return "FedClust"; }
+  fl::RunResult run(fl::Federation& federation, std::size_t rounds) override;
+
+  const FedClustConfig& config() const { return config_; }
+
+  /// The one-shot formation step alone (round 0). Exposed for the Fig. 1
+  /// reproduction, the ablations, and the newcomer bench. Does not meter
+  /// communication; run() does.
+  ClusteringOutcome form_clusters(fl::Federation& federation,
+                                  std::size_t round = 0) const;
+
+  /// State captured by the last run() (empty before the first run).
+  const std::optional<ClusteringOutcome>& last_clustering() const {
+    return last_clustering_;
+  }
+
+  /// Dynamic newcomer admission: trains `newcomer_train` locally from the
+  /// initial global model, extracts the partial weights, and returns the
+  /// cluster whose members are closest on average. `outcome` is typically
+  /// last_clustering(); `template_model` must match the federation's.
+  /// Also returns the newcomer's partial vector via `partial_out` when
+  /// non-null (so callers can append it to the outcome).
+  std::size_t assign_newcomer(const nn::Model& template_model,
+                              const data::Dataset& newcomer_train,
+                              const fl::LocalTrainConfig& local_config,
+                              Rng rng, const ClusteringOutcome& outcome,
+                              std::vector<float>* partial_out = nullptr) const;
+
+ private:
+  FedClustConfig config_;
+  std::optional<ClusteringOutcome> last_clustering_;
+};
+
+}  // namespace fedclust::core

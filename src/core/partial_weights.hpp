@@ -1,0 +1,18 @@
+// Partial-weight selection — the "strategically selected" model slice
+// FedClust uploads instead of the full model (paper §II/Fig. 1).
+//
+// The implementation lives in nn/slicing.hpp because it is a generic
+// model-weights utility (FedPer reuses it for its personal head); this
+// header re-exports it under the core namespace, where the FedClust API
+// surfaces it.
+#pragma once
+
+#include "nn/slicing.hpp"
+
+namespace fedclust::core {
+
+using nn::extract_slices;
+using nn::resolve_partial_slices;
+using nn::slices_numel;
+
+}  // namespace fedclust::core

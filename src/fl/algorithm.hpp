@@ -1,0 +1,25 @@
+// Uniform interface every FL algorithm (baselines and FedClust) exposes
+// to the bench harnesses.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fl/metrics.hpp"
+
+namespace fedclust::fl {
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  /// Display name used in tables ("FedAvg", "FedClust", ...).
+  virtual std::string name() const = 0;
+
+  /// Executes `rounds` communication rounds against the federation.
+  /// Implementations reset the federation's CommMeter at entry, meter all
+  /// traffic they generate, and evaluate per federation.config().eval_every.
+  virtual RunResult run(Federation& federation, std::size_t rounds) = 0;
+};
+
+}  // namespace fedclust::fl

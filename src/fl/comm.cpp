@@ -1,0 +1,34 @@
+#include "fl/comm.hpp"
+
+#include "utils/error.hpp"
+
+namespace fedclust::fl {
+
+void CommMeter::begin_round(std::size_t round) {
+  FEDCLUST_REQUIRE(round == down_.size(),
+                   "rounds must be opened in order: expected "
+                       << down_.size() << ", got " << round);
+  down_.push_back(0);
+  up_.push_back(0);
+}
+
+void CommMeter::download(std::uint64_t bytes) {
+  FEDCLUST_REQUIRE(!down_.empty(), "begin_round before recording traffic");
+  down_.back() += bytes;
+  total_down_ += bytes;
+}
+
+void CommMeter::upload(std::uint64_t bytes) {
+  FEDCLUST_REQUIRE(!up_.empty(), "begin_round before recording traffic");
+  up_.back() += bytes;
+  total_up_ += bytes;
+}
+
+void CommMeter::reset() {
+  down_.clear();
+  up_.clear();
+  total_down_ = 0;
+  total_up_ = 0;
+}
+
+}  // namespace fedclust::fl

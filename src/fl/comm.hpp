@@ -1,0 +1,48 @@
+// Communication accounting.
+//
+// Every parameter vector shipped between server and clients is metered at
+// float32 width. The paper's efficiency claim is that FedClust forms
+// clusters in ONE communication round (uploading only final-layer
+// weights), versus CFL's many rounds of full-model traffic — this meter
+// is what the comm_cost bench reads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fedclust::fl {
+
+/// Byte counters split by direction, with per-round granularity.
+class CommMeter {
+ public:
+  /// Marks the beginning of round `r`; rounds must be opened in order.
+  void begin_round(std::size_t round);
+
+  /// Records server -> client traffic (model broadcast).
+  void download(std::uint64_t bytes);
+  /// Records client -> server traffic (update upload).
+  void upload(std::uint64_t bytes);
+
+  /// Bytes for a vector of `num_floats` float32 values.
+  static std::uint64_t float_bytes(std::size_t num_floats) {
+    return static_cast<std::uint64_t>(num_floats) * 4;
+  }
+
+  std::uint64_t total_download() const { return total_down_; }
+  std::uint64_t total_upload() const { return total_up_; }
+  std::uint64_t total() const { return total_down_ + total_up_; }
+
+  /// Per-round totals (index = round order passed to begin_round).
+  const std::vector<std::uint64_t>& round_download() const { return down_; }
+  const std::vector<std::uint64_t>& round_upload() const { return up_; }
+
+  void reset();
+
+ private:
+  std::vector<std::uint64_t> down_;
+  std::vector<std::uint64_t> up_;
+  std::uint64_t total_down_ = 0;
+  std::uint64_t total_up_ = 0;
+};
+
+}  // namespace fedclust::fl

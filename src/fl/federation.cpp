@@ -1,0 +1,151 @@
+#include "fl/federation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedclust::fl {
+
+Federation::Federation(nn::Model template_model,
+                       std::vector<ClientData> clients,
+                       FederationConfig config)
+    : template_(std::move(template_model)),
+      clients_(std::move(clients)),
+      config_(config),
+      model_size_(template_.num_weights()),
+      pool_(config.threads) {
+  FEDCLUST_REQUIRE(!clients_.empty(), "federation needs at least one client");
+  FEDCLUST_REQUIRE(model_size_ > 0, "template model has no parameters");
+  FEDCLUST_REQUIRE(config_.participation > 0.0 && config_.participation <= 1.0,
+                   "participation must be in (0, 1]");
+  FEDCLUST_REQUIRE(config_.eval_every > 0, "eval_every must be positive");
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    FEDCLUST_REQUIRE(!clients_[i].train.empty(),
+                     "client " << i << " has no training data");
+  }
+}
+
+const ClientData& Federation::client_data(std::size_t i) const {
+  FEDCLUST_REQUIRE(i < clients_.size(), "client id out of range");
+  return clients_[i];
+}
+
+Rng Federation::client_rng(std::size_t client, std::size_t round) const {
+  // Key the stream by both ids so no (client, round) pair collides.
+  return Rng(config_.seed).split(0x10000 + client).split(round);
+}
+
+Rng Federation::round_rng(std::size_t round) const {
+  return Rng(config_.seed).split(0x20000).split(round);
+}
+
+std::vector<std::size_t> Federation::sample_clients(std::size_t round) const {
+  const std::size_t want = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(
+             config_.participation * static_cast<double>(clients_.size()))));
+  if (want >= clients_.size()) {
+    std::vector<std::size_t> all(clients_.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return all;
+  }
+  Rng rng = round_rng(round);
+  auto ids = rng.sample_without_replacement(clients_.size(), want);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+bool Federation::client_fails(std::size_t client, std::size_t round) const {
+  if (config_.dropout <= 0.0) return false;
+  // Independent stream so failures don't perturb training randomness.
+  Rng rng = Rng(config_.seed).split(0x30000 + client).split(round);
+  return rng.bernoulli(config_.dropout);
+}
+
+std::vector<ClientUpdate> Federation::train_clients(
+    const std::vector<std::size_t>& clients, std::size_t round,
+    const std::function<std::span<const float>(std::size_t)>&
+        start_weights_for,
+    const LocalTrainConfig* config_override, bool allow_failures) {
+  const LocalTrainConfig& local =
+      config_override != nullptr ? *config_override : config_.local;
+
+  // Decide failures up front so dropped clients cost no training time.
+  std::vector<std::size_t> survivors;
+  survivors.reserve(clients.size());
+  for (const std::size_t cid : clients) {
+    if (!allow_failures || !client_fails(cid, round)) {
+      survivors.push_back(cid);
+    }
+  }
+
+  std::vector<ClientUpdate> updates(survivors.size());
+  pool_.parallel_for(0, survivors.size(), [&](std::size_t slot) {
+    const std::size_t cid = survivors[slot];
+    FEDCLUST_REQUIRE(cid < clients_.size(), "client id out of range");
+    nn::Model model = template_.clone();
+    model.set_flat_weights(start_weights_for(cid));
+    const float loss = train_local(model, clients_[cid].train, local,
+                                   client_rng(cid, round));
+    updates[slot] = ClientUpdate{cid, model.flat_weights(),
+                                 clients_[cid].train.size(), loss};
+  });
+  return updates;
+}
+
+EvalResult Federation::evaluate_client(std::size_t client,
+                                       std::span<const float> weights) const {
+  FEDCLUST_REQUIRE(client < clients_.size(), "client id out of range");
+  FEDCLUST_REQUIRE(!clients_[client].test.empty(),
+                   "client " << client << " has no test data");
+  nn::Model model = template_.clone();
+  model.set_flat_weights(weights);
+  return evaluate(model, clients_[client].test);
+}
+
+double Federation::client_train_loss(std::size_t client,
+                                     std::span<const float> weights) const {
+  FEDCLUST_REQUIRE(client < clients_.size(), "client id out of range");
+  nn::Model model = template_.clone();
+  model.set_flat_weights(weights);
+  return evaluate(model, clients_[client].train).loss;
+}
+
+AccuracySummary Federation::evaluate_personalized(
+    const std::function<std::span<const float>(std::size_t)>& weights_for)
+    const {
+  AccuracySummary out;
+  out.per_client.assign(clients_.size(), 0.0);
+  pool_.parallel_for(0, clients_.size(), [&](std::size_t i) {
+    out.per_client[i] = evaluate_client(i, weights_for(i)).accuracy;
+  });
+  double sum = 0.0;
+  for (double a : out.per_client) sum += a;
+  out.mean = sum / static_cast<double>(out.per_client.size());
+  double var = 0.0;
+  for (double a : out.per_client) var += (a - out.mean) * (a - out.mean);
+  out.std = std::sqrt(var / static_cast<double>(out.per_client.size()));
+  return out;
+}
+
+std::vector<float> weighted_average(const std::vector<ClientUpdate>& updates) {
+  FEDCLUST_REQUIRE(!updates.empty(), "cannot average zero updates");
+  const std::size_t dim = updates.front().weights.size();
+  double total = 0.0;
+  for (const ClientUpdate& u : updates) {
+    FEDCLUST_REQUIRE(u.weights.size() == dim,
+                     "update size mismatch in weighted_average");
+    FEDCLUST_REQUIRE(u.num_samples > 0, "update with zero samples");
+    total += static_cast<double>(u.num_samples);
+  }
+  std::vector<double> acc(dim, 0.0);
+  for (const ClientUpdate& u : updates) {
+    const double w = static_cast<double>(u.num_samples) / total;
+    for (std::size_t i = 0; i < dim; ++i) {
+      acc[i] += w * static_cast<double>(u.weights[i]);
+    }
+  }
+  std::vector<float> out(dim);
+  for (std::size_t i = 0; i < dim; ++i) out[i] = static_cast<float>(acc[i]);
+  return out;
+}
+
+}  // namespace fedclust::fl

@@ -1,0 +1,129 @@
+// The federated-learning simulation engine.
+//
+// A Federation owns the client population (private train/test splits),
+// the model template every algorithm starts from, a thread pool that
+// trains sampled clients in parallel, and the communication meter.
+//
+// Determinism: all randomness derives from config.seed through splittable
+// streams keyed by (client, round), so results are bit-identical
+// regardless of thread count or scheduling order.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "fl/comm.hpp"
+#include "fl/trainer.hpp"
+#include "fl/types.hpp"
+#include "nn/model.hpp"
+#include "utils/thread_pool.hpp"
+
+namespace fedclust::fl {
+
+/// Engine-level configuration shared by all algorithms.
+struct FederationConfig {
+  LocalTrainConfig local{};
+  /// Fraction of clients sampled each round (1.0 = full participation,
+  /// the Table-I setting for 20 clients).
+  double participation = 1.0;
+  /// Worker threads for parallel client training; 0 = hardware default.
+  std::size_t threads = 0;
+  /// Failure injection: probability that a sampled client drops out of a
+  /// round after being selected (device churn). The failed client's
+  /// update simply never arrives; deterministic per (seed, client,
+  /// round).
+  double dropout = 0.0;
+  std::uint64_t seed = 42;
+  /// Evaluate (and record metrics) every this many rounds; the final
+  /// round is always evaluated.
+  std::size_t eval_every = 1;
+};
+
+/// Mean/std of per-client accuracy — the paper's reported metric.
+struct AccuracySummary {
+  double mean = 0.0;
+  double std = 0.0;
+  std::vector<double> per_client;
+};
+
+class Federation {
+ public:
+  /// `template_model` must already have initialized parameters; every
+  /// algorithm clones it so all methods start from identical weights.
+  Federation(nn::Model template_model, std::vector<ClientData> clients,
+             FederationConfig config);
+
+  std::size_t num_clients() const { return clients_.size(); }
+  const ClientData& client_data(std::size_t i) const;
+  const FederationConfig& config() const { return config_; }
+  CommMeter& comm() { return comm_; }
+
+  /// Deep copy of the common initial model.
+  nn::Model make_model() const { return template_.clone(); }
+  const nn::Model& template_model() const { return template_; }
+  /// Learnable scalars per model (full update size on the wire).
+  std::size_t model_size() const { return model_size_; }
+
+  /// Independent stream for (client, round) — identical across runs.
+  Rng client_rng(std::size_t client, std::size_t round) const;
+  /// Independent stream for round-level decisions (client sampling).
+  Rng round_rng(std::size_t round) const;
+
+  /// Clients participating in `round` (sorted ids). With participation
+  /// 1.0 this is everyone.
+  std::vector<std::size_t> sample_clients(std::size_t round) const;
+
+  /// Trains the listed clients in parallel, each starting from
+  /// `start_weights_for(client_id)` (which must stay valid for the call).
+  /// Returns updates in input order. Does NOT meter communication — the
+  /// algorithm decides what actually crossed the wire (e.g. FedClust
+  /// uploads only final-layer weights in round 0).
+  ///
+  /// When config().dropout > 0 and `allow_failures` is true, each client
+  /// independently drops out with that probability and its update is
+  /// omitted from the result (so the result may be shorter than
+  /// `clients`). Pass allow_failures = false for protocol steps that
+  /// must hear from everyone (e.g. FedClust's formation round, which the
+  /// paper runs over all available clients).
+  std::vector<ClientUpdate> train_clients(
+      const std::vector<std::size_t>& clients, std::size_t round,
+      const std::function<std::span<const float>(std::size_t)>&
+          start_weights_for,
+      const LocalTrainConfig* config_override = nullptr,
+      bool allow_failures = true);
+
+  /// Whether a given client drops out of a given round under the
+  /// configured dropout probability (deterministic).
+  bool client_fails(std::size_t client, std::size_t round) const;
+
+  /// Loss/accuracy of a weight vector on one client's local test split.
+  EvalResult evaluate_client(std::size_t client,
+                             std::span<const float> weights) const;
+
+  /// Mean loss of a weight vector on one client's TRAIN split (IFCA's
+  /// cluster-identity estimation reads this).
+  double client_train_loss(std::size_t client,
+                           std::span<const float> weights) const;
+
+  /// Per-client test accuracy (parallel over clients) where client i is
+  /// evaluated with `weights_for(i)`; cluster methods pass their cluster
+  /// model, global methods the single global model.
+  AccuracySummary evaluate_personalized(
+      const std::function<std::span<const float>(std::size_t)>& weights_for)
+      const;
+
+ private:
+  nn::Model template_;
+  std::vector<ClientData> clients_;
+  FederationConfig config_;
+  std::size_t model_size_ = 0;
+  mutable ThreadPool pool_;
+  CommMeter comm_;
+};
+
+/// Sample-count-weighted average of client weight vectors (FedAvg's
+/// aggregation rule). All updates must have equal length.
+std::vector<float> weighted_average(const std::vector<ClientUpdate>& updates);
+
+}  // namespace fedclust::fl

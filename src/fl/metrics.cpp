@@ -1,0 +1,38 @@
+#include "fl/metrics.hpp"
+
+#include "utils/error.hpp"
+
+namespace fedclust::fl {
+
+const RoundMetrics& RunResult::final_round() const {
+  FEDCLUST_REQUIRE(!rounds.empty(), "run has no evaluated rounds");
+  return rounds.back();
+}
+
+bool RunResult::rounds_to_accuracy(double target, std::size_t& round_out,
+                                   std::uint64_t& bytes_out) const {
+  for (const RoundMetrics& r : rounds) {
+    if (r.acc_mean >= target) {
+      round_out = r.round;
+      bytes_out = r.cum_upload + r.cum_download;
+      return true;
+    }
+  }
+  return false;
+}
+
+RoundMetrics make_round_metrics(std::size_t round, const AccuracySummary& acc,
+                                double train_loss, const CommMeter& comm,
+                                std::size_t num_clusters) {
+  RoundMetrics m;
+  m.round = round;
+  m.acc_mean = acc.mean;
+  m.acc_std = acc.std;
+  m.train_loss = train_loss;
+  m.cum_upload = comm.total_upload();
+  m.cum_download = comm.total_download();
+  m.num_clusters = num_clusters;
+  return m;
+}
+
+}  // namespace fedclust::fl

@@ -1,0 +1,45 @@
+// Per-round metric records and the result of a full algorithm run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fl/federation.hpp"
+
+namespace fedclust::fl {
+
+/// Snapshot taken at the end of an evaluated round.
+struct RoundMetrics {
+  std::size_t round = 0;
+  double acc_mean = 0.0;  ///< mean per-client local test accuracy
+  double acc_std = 0.0;   ///< std across clients
+  double train_loss = 0.0;
+  std::uint64_t cum_upload = 0;    ///< cumulative bytes client -> server
+  std::uint64_t cum_download = 0;  ///< cumulative bytes server -> client
+  std::size_t num_clusters = 1;    ///< active clusters this round
+};
+
+/// Everything a benchmark needs from one algorithm execution.
+struct RunResult {
+  std::string algorithm;
+  std::vector<RoundMetrics> rounds;
+  /// Per-client cluster assignment at the end of the run (all zeros for
+  /// global methods).
+  std::vector<std::size_t> cluster_labels;
+  /// Final personalized accuracy summary.
+  AccuracySummary final_accuracy;
+
+  const RoundMetrics& final_round() const;
+  /// First evaluated round whose mean accuracy reaches `target`, with the
+  /// cumulative bytes spent by then; returns false if never reached.
+  bool rounds_to_accuracy(double target, std::size_t& round_out,
+                          std::uint64_t& bytes_out) const;
+};
+
+/// Helper used by every algorithm to append a RoundMetrics entry.
+RoundMetrics make_round_metrics(std::size_t round, const AccuracySummary& acc,
+                                double train_loss, const CommMeter& comm,
+                                std::size_t num_clusters);
+
+}  // namespace fedclust::fl

@@ -1,0 +1,59 @@
+#include "fl/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "utils/error.hpp"
+
+namespace fedclust::fl {
+namespace {
+
+constexpr const char* kRoundsHeader =
+    "algorithm,round,acc_mean,acc_std,train_loss,cum_upload_bytes,"
+    "cum_download_bytes,num_clusters\n";
+
+void append_rounds(std::ostringstream& oss, const RunResult& result) {
+  for (const RoundMetrics& r : result.rounds) {
+    oss << result.algorithm << ',' << r.round << ',' << r.acc_mean << ','
+        << r.acc_std << ',' << r.train_loss << ',' << r.cum_upload << ','
+        << r.cum_download << ',' << r.num_clusters << '\n';
+  }
+}
+
+}  // namespace
+
+std::string rounds_to_csv(const RunResult& result) {
+  std::ostringstream oss;
+  oss << kRoundsHeader;
+  append_rounds(oss, result);
+  return oss.str();
+}
+
+std::string rounds_to_csv(const std::vector<RunResult>& results) {
+  std::ostringstream oss;
+  oss << kRoundsHeader;
+  for (const RunResult& r : results) append_rounds(oss, r);
+  return oss.str();
+}
+
+std::string clients_to_csv(const RunResult& result) {
+  FEDCLUST_REQUIRE(result.final_accuracy.per_client.size() ==
+                       result.cluster_labels.size(),
+                   "per-client accuracy and cluster labels disagree");
+  std::ostringstream oss;
+  oss << "algorithm,client,cluster,accuracy\n";
+  for (std::size_t c = 0; c < result.cluster_labels.size(); ++c) {
+    oss << result.algorithm << ',' << c << ',' << result.cluster_labels[c]
+        << ',' << result.final_accuracy.per_client[c] << '\n';
+  }
+  return oss.str();
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  FEDCLUST_CHECK(out.good(), "cannot open " << path << " for writing");
+  out << content;
+  FEDCLUST_CHECK(out.good(), "write to " << path << " failed");
+}
+
+}  // namespace fedclust::fl

@@ -1,0 +1,31 @@
+// Persisting run results for offline analysis/plotting.
+//
+// Bench harnesses print human-readable tables; these helpers dump the
+// full per-round time series and per-client outcomes as CSV (one row per
+// evaluated round / per client) so figures can be regenerated outside
+// the binary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fl/metrics.hpp"
+
+namespace fedclust::fl {
+
+/// CSV of the per-round series: algorithm,round,acc_mean,acc_std,
+/// train_loss,cum_upload,cum_download,num_clusters.
+std::string rounds_to_csv(const RunResult& result);
+
+/// CSV of the final per-client outcome: algorithm,client,cluster,
+/// accuracy.
+std::string clients_to_csv(const RunResult& result);
+
+/// Concatenates the per-round series of several runs (shared header) —
+/// the shape plotting scripts want for method-comparison figures.
+std::string rounds_to_csv(const std::vector<RunResult>& results);
+
+/// Writes `content` to `path`, throwing on I/O failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace fedclust::fl

@@ -1,0 +1,60 @@
+#include "fl/trainer.hpp"
+
+namespace fedclust::fl {
+
+float train_local(nn::Model& model, const data::Dataset& dataset,
+                  const LocalTrainConfig& config, Rng rng) {
+  FEDCLUST_REQUIRE(!dataset.empty(), "cannot train on an empty dataset");
+  FEDCLUST_REQUIRE(config.epochs > 0, "need at least one local epoch");
+
+  nn::Sgd optimizer(model, config.sgd);
+  if (config.sgd.prox_mu > 0.0) {
+    optimizer.capture_prox_reference();
+  }
+
+  data::BatchIterator batches(dataset, config.batch_size, rng);
+  const std::size_t steps_per_epoch = batches.batches_per_epoch();
+
+  double last_epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double loss_sum = 0.0;
+    for (std::size_t step = 0; step < steps_per_epoch; ++step) {
+      const data::Batch batch = batches.next();
+      model.zero_grad();
+      const Tensor logits = model.forward(batch.images, /*train=*/true);
+      const nn::LossResult loss =
+          nn::softmax_cross_entropy(logits, batch.labels);
+      model.backward(loss.grad_logits);
+      optimizer.step();
+      loss_sum += loss.loss;
+    }
+    last_epoch_loss = loss_sum / static_cast<double>(steps_per_epoch);
+  }
+  return static_cast<float>(last_epoch_loss);
+}
+
+EvalResult evaluate(nn::Model& model, const data::Dataset& dataset,
+                    std::size_t batch_size) {
+  FEDCLUST_REQUIRE(!dataset.empty(), "cannot evaluate on an empty dataset");
+  EvalResult out;
+  std::size_t done = 0;
+  double loss_weighted = 0.0;
+  double correct = 0.0;
+  while (done < dataset.size()) {
+    const std::size_t take = std::min(batch_size, dataset.size() - done);
+    std::vector<std::size_t> idx(take);
+    for (std::size_t i = 0; i < take; ++i) idx[i] = done + i;
+    const data::Batch batch = dataset.gather(idx);
+    const Tensor logits = model.forward(batch.images, /*train=*/false);
+    loss_weighted += static_cast<double>(nn::softmax_cross_entropy_loss(
+                         logits, batch.labels)) *
+                     static_cast<double>(take);
+    correct += nn::accuracy(logits, batch.labels) * static_cast<double>(take);
+    done += take;
+  }
+  out.loss = loss_weighted / static_cast<double>(dataset.size());
+  out.accuracy = correct / static_cast<double>(dataset.size());
+  return out;
+}
+
+}  // namespace fedclust::fl

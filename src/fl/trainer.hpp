@@ -1,0 +1,27 @@
+// Local training and evaluation loops.
+//
+// Every FL algorithm delegates client-side work to these two functions:
+// `train_local` runs E epochs of mini-batch SGD on one client's data and
+// `evaluate` measures loss/accuracy on a dataset in inference mode.
+#pragma once
+
+#include "fl/types.hpp"
+#include "nn/loss.hpp"
+#include "utils/rng.hpp"
+
+namespace fedclust::fl {
+
+/// Trains `model` in place on `dataset` for config.epochs of shuffled
+/// mini-batches; returns the mean training loss of the final epoch.
+/// `rng` drives batch shuffling (hand each client an independent stream).
+/// When config.sgd.prox_mu > 0 the proximal reference is the model's
+/// weights at entry (FedProx semantics).
+float train_local(nn::Model& model, const data::Dataset& dataset,
+                  const LocalTrainConfig& config, Rng rng);
+
+/// Loss and accuracy of `model` on `dataset`, evaluated in inference mode
+/// in batches of `batch_size`.
+EvalResult evaluate(nn::Model& model, const data::Dataset& dataset,
+                    std::size_t batch_size = 256);
+
+}  // namespace fedclust::fl

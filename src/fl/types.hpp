@@ -1,0 +1,41 @@
+// Shared value types of the federated-learning engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/optimizer.hpp"
+
+namespace fedclust::fl {
+
+/// One client's private data: a train split and a local test split whose
+/// label distribution mirrors the train split (the Table-I evaluation
+/// protocol).
+struct ClientData {
+  data::Dataset train;
+  data::Dataset test;
+};
+
+/// Local training hyperparameters applied at every client.
+struct LocalTrainConfig {
+  std::size_t epochs = 1;
+  std::size_t batch_size = 32;
+  nn::SgdConfig sgd{};
+};
+
+/// What a client sends back after local training.
+struct ClientUpdate {
+  std::size_t client_id = 0;
+  std::vector<float> weights;   ///< full post-training weight vector
+  std::size_t num_samples = 0;  ///< local train set size (FedAvg weighting)
+  float train_loss = 0.0f;      ///< mean loss over the last local epoch
+};
+
+/// Loss/accuracy pair from evaluating a model on one dataset.
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+
+}  // namespace fedclust::fl

@@ -1,0 +1,93 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace fedclust {
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  FEDCLUST_REQUIRE(!rows.empty(), "from_rows needs at least one row");
+  const std::size_t cols = rows.front().size();
+  Matrix m(rows.size(), cols);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    FEDCLUST_REQUIRE(rows[i].size() == cols, "ragged rows in from_rows");
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rows[i][j];
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::col(std::size_t j) const {
+  FEDCLUST_REQUIRE(j < cols_, "column index out of range");
+  std::vector<double> out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+std::vector<double> Matrix::row(std::size_t i) const {
+  FEDCLUST_REQUIRE(i < rows_, "row index out of range");
+  return {data_.begin() + static_cast<std::ptrdiff_t>(i * cols_),
+          data_.begin() + static_cast<std::ptrdiff_t>((i + 1) * cols_)};
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      oss << (j ? " " : "") << std::setw(precision + 5) << (*this)(i, j);
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  FEDCLUST_REQUIRE(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  FEDCLUST_REQUIRE(a.rows() == b.rows(), "matmul_tn inner dimension mismatch");
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = a(k, i);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aki * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace fedclust

@@ -1,0 +1,67 @@
+// Double-precision dense matrix used by the clustering and subspace code.
+//
+// Neural-network tensors are float32 (tensor/), but the server-side
+// analytics — proximity matrices, SVD for PACFL, principal angles — are
+// small and precision-sensitive, so they run in double. The two types are
+// deliberately distinct: Matrix is never on the training hot path.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "utils/error.hpp"
+
+namespace fedclust {
+
+/// Row-major dense double matrix with value semantics.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer data (rows of equal length).
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    FEDCLUST_DCHECK(i < rows_ && j < cols_, "matrix index out of range");
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    FEDCLUST_DCHECK(i < rows_ && j < cols_, "matrix index out of range");
+    return data_[i * cols_ + j];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Returns column j as a vector.
+  std::vector<double> col(std::size_t j) const;
+  /// Returns row i as a vector.
+  std::vector<double> row(std::size_t i) const;
+
+  Matrix transposed() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  std::string to_string(int precision = 3) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A · B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = Aᵀ · B.
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+
+}  // namespace fedclust

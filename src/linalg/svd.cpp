@@ -1,0 +1,174 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fedclust {
+namespace {
+
+/// Column dot product of an m×n matrix.
+double col_dot(const Matrix& a, std::size_t ci, std::size_t cj) {
+  double s = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) s += a(r, ci) * a(r, cj);
+  return s;
+}
+
+}  // namespace
+
+SvdResult svd(const Matrix& a, int max_sweeps, double tol) {
+  FEDCLUST_REQUIRE(!a.empty(), "svd of empty matrix");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  // One-sided Jacobi works on the columns of U; start with U = A,
+  // V = I, and rotate column pairs until all are mutually orthogonal.
+  Matrix u = a;
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = col_dot(u, p, q);
+        const double app = col_dot(u, p, p);
+        const double aqq = col_dot(u, q, q);
+        const double denom = std::sqrt(app * aqq);
+        if (denom <= 0.0 || std::abs(apq) <= tol * denom) continue;
+        off = std::max(off, std::abs(apq) / denom);
+
+        // Jacobi rotation that zeroes the (p,q) inner product.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t r = 0; r < m; ++r) {
+          const double up = u(r, p);
+          const double uq = u(r, q);
+          u(r, p) = c * up - s * uq;
+          u(r, q) = s * up + c * uq;
+        }
+        for (std::size_t r = 0; r < n; ++r) {
+          const double vp = v(r, p);
+          const double vq = v(r, q);
+          v(r, p) = c * vp - s * vq;
+          v(r, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (off <= tol) break;
+  }
+
+  // Column norms are the singular values; normalize U's columns.
+  const std::size_t r = std::min(m, n);
+  std::vector<double> sigma(n);
+  for (std::size_t j = 0; j < n; ++j) sigma[j] = std::sqrt(col_dot(u, j, j));
+
+  // Sort descending by singular value.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return sigma[i] > sigma[j]; });
+
+  SvdResult out;
+  out.u = Matrix(m, r);
+  out.v = Matrix(n, r);
+  out.singular_values.resize(r);
+  for (std::size_t jj = 0; jj < r; ++jj) {
+    const std::size_t j = order[jj];
+    const double s = sigma[j];
+    out.singular_values[jj] = s;
+    const double inv = s > 0.0 ? 1.0 / s : 0.0;
+    for (std::size_t i = 0; i < m; ++i) out.u(i, jj) = u(i, j) * inv;
+    for (std::size_t i = 0; i < n; ++i) out.v(i, jj) = v(i, j);
+  }
+  return out;
+}
+
+Matrix truncated_left_singular_vectors(const Matrix& a, std::size_t p) {
+  FEDCLUST_REQUIRE(p > 0 && p <= std::min(a.rows(), a.cols()),
+                   "invalid truncation rank " << p);
+  const SvdResult full = svd(a);
+  Matrix u(a.rows(), p);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < p; ++j) u(i, j) = full.u(i, j);
+  }
+  return u;
+}
+
+Matrix truncated_left_singular_vectors_gram(const Matrix& a, std::size_t p) {
+  FEDCLUST_REQUIRE(p > 0 && p <= std::min(a.rows(), a.cols()),
+                   "invalid truncation rank " << p);
+  // G = AᵀA is n×n symmetric PSD; its SVD gives G = V diag(s²) Vᵀ with the
+  // right singular vectors of A, and U_j = A·v_j / s_j.
+  const Matrix gram = matmul_tn(a, a);
+  const SvdResult eig = svd(gram);
+
+  Matrix u(a.rows(), p);
+  for (std::size_t j = 0; j < p; ++j) {
+    const double sigma = std::sqrt(std::max(eig.singular_values[j], 0.0));
+    if (sigma <= 1e-12) continue;  // rank-deficient: leave a zero column
+    const double inv = 1.0 / sigma;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        s += a(i, k) * eig.v(k, j);
+      }
+      u(i, j) = s * inv;
+    }
+  }
+  return u;
+}
+
+std::size_t orthonormalize_columns(Matrix& a, double tol) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  std::size_t kept = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    // Subtract projections onto previously kept columns (MGS).
+    for (std::size_t k = 0; k < kept; ++k) {
+      double proj = 0.0;
+      for (std::size_t i = 0; i < m; ++i) proj += a(i, k) * a(i, j);
+      for (std::size_t i = 0; i < m; ++i) a(i, j) -= proj * a(i, k);
+    }
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm += a(i, j) * a(i, j);
+    norm = std::sqrt(norm);
+    if (norm <= tol) {
+      for (std::size_t i = 0; i < m; ++i) a(i, j) = 0.0;
+      continue;
+    }
+    const double inv = 1.0 / norm;
+    for (std::size_t i = 0; i < m; ++i) a(i, j) *= inv;
+    if (j != kept) {
+      for (std::size_t i = 0; i < m; ++i) {
+        std::swap(a(i, j), a(i, kept));
+      }
+    }
+    ++kept;
+  }
+  return kept;
+}
+
+std::vector<double> principal_angles(const Matrix& u1, const Matrix& u2) {
+  FEDCLUST_REQUIRE(u1.rows() == u2.rows(),
+                   "principal_angles: bases live in different spaces");
+  const Matrix inner = matmul_tn(u1, u2);  // p×q
+  const SvdResult s = svd(inner);
+  std::vector<double> angles;
+  angles.reserve(s.singular_values.size());
+  for (double sv : s.singular_values) {
+    angles.push_back(std::acos(std::clamp(sv, 0.0, 1.0)));
+  }
+  std::sort(angles.begin(), angles.end());
+  return angles;
+}
+
+double smallest_principal_angle(const Matrix& u1, const Matrix& u2) {
+  const auto angles = principal_angles(u1, u2);
+  FEDCLUST_CHECK(!angles.empty(), "no principal angles computed");
+  return angles.front();
+}
+
+}  // namespace fedclust

@@ -1,0 +1,51 @@
+// Singular value decomposition and subspace utilities.
+//
+// PACFL (one of the Table-I baselines) identifies client similarity from
+// the principal angles between the column spaces of per-class data
+// matrices; that needs a truncated SVD and a principal-angle routine.
+// The matrices involved are tall-thin (feature_dim × samples_per_class)
+// with at most a few hundred columns, so a one-sided Jacobi SVD is simple,
+// accurate and fast enough.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace fedclust {
+
+/// Result of a thin SVD A = U · diag(s) · Vᵀ, with U (m×r), s (r),
+/// V (n×r), where r = min(m, n). Singular values are sorted descending.
+struct SvdResult {
+  Matrix u;
+  std::vector<double> singular_values;
+  Matrix v;
+};
+
+/// Thin SVD via one-sided Jacobi rotations on the columns of A.
+/// Converges to machine precision for the modest sizes used here.
+SvdResult svd(const Matrix& a, int max_sweeps = 60, double tol = 1e-12);
+
+/// First `p` left singular vectors of A as an m×p matrix (p ≤ min(m, n)).
+Matrix truncated_left_singular_vectors(const Matrix& a, std::size_t p);
+
+/// Same result computed through the n×n Gram matrix AᵀA — much faster for
+/// tall-thin A (rows ≫ cols), the PACFL per-class data matrices
+/// (pixels × samples). Columns whose singular value is numerically zero
+/// come back as zero vectors.
+Matrix truncated_left_singular_vectors_gram(const Matrix& a, std::size_t p);
+
+/// Orthonormalizes the columns of A in place via modified Gram–Schmidt;
+/// returns the number of linearly independent columns kept (dependent
+/// columns are replaced by zero vectors and moved to the end).
+std::size_t orthonormalize_columns(Matrix& a, double tol = 1e-12);
+
+/// Principal angles (radians, ascending) between the column spaces of two
+/// orthonormal bases U1 (d×p) and U2 (d×q): arccos of the singular values
+/// of U1ᵀ·U2, clamped to [0, 1].
+std::vector<double> principal_angles(const Matrix& u1, const Matrix& u2);
+
+/// Smallest principal angle between two orthonormal bases (radians).
+double smallest_principal_angle(const Matrix& u1, const Matrix& u2);
+
+}  // namespace fedclust

@@ -1,0 +1,75 @@
+// Layer abstraction for the from-scratch neural network library.
+//
+// The library is deliberately small: sequential models, explicit
+// layer-by-layer backward passes, float32 parameters. That is all the
+// federated-learning algorithms need — they treat a model as "a thing
+// that trains locally and exposes named weight tensors".
+//
+// Contract: forward() caches whatever the subsequent backward() needs,
+// so calls must be paired (forward, then backward on the same batch).
+// Parameter gradients are ACCUMULATED by backward(); callers zero them
+// via Model::zero_grad() between optimizer steps.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fedclust {
+
+class Rng;
+
+namespace nn {
+
+/// A learnable tensor with its gradient.
+struct Param {
+  std::string name;  ///< e.g. "conv1.weight"
+  Tensor value;
+  Tensor grad;
+
+  Param(std::string n, Shape shape)
+      : name(std::move(n)), value(shape), grad(std::move(shape)) {}
+};
+
+/// Base class for all layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Short type tag, e.g. "conv2d", "linear", "relu".
+  virtual const char* type() const = 0;
+
+  /// Layer instance name used to qualify parameter names ("conv1").
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Computes the layer output; `train` enables train-only behaviour
+  /// (dropout masking).
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  /// Propagates the loss gradient; accumulates into parameter grads and
+  /// returns the gradient w.r.t. the layer input.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// (Re-)initializes parameters from `rng`. Default: nothing.
+  virtual void init_params(Rng& rng) { (void)rng; }
+
+  /// Deep copy, preserving parameter values but not cached activations.
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+ protected:
+  Layer() = default;
+  Layer(const Layer&) = default;
+  Layer& operator=(const Layer&) = default;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace nn
+}  // namespace fedclust

@@ -1,0 +1,189 @@
+// Concrete layers: Conv2d, Linear, ReLU, Tanh, MaxPool2d, AvgPool2d,
+// Flatten, Dropout.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "tensor/ops.hpp"
+#include "utils/rng.hpp"
+
+namespace fedclust::nn {
+
+/// 2-D convolution (square kernel, configurable stride/padding).
+/// Weight layout (out_channels, in_channels, k, k); Kaiming-uniform init.
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t padding = 0, std::size_t stride = 1);
+
+  const char* type() const override { return "conv2d"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  void init_params(Rng& rng) override;
+  std::unique_ptr<Layer> clone() const override;
+
+  const ops::Conv2dSpec& spec() const { return spec_; }
+
+ private:
+  ops::Conv2dSpec spec_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;
+};
+
+/// Fully connected layer: y = x·Wᵀ + b with W (out × in).
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features);
+
+  const char* type() const override { return "linear"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  void init_params(Rng& rng) override;
+  std::unique_ptr<Layer> clone() const override;
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;
+};
+
+/// Elementwise max(x, 0).
+class ReLU final : public Layer {
+ public:
+  const char* type() const override { return "relu"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Elementwise tanh (the classic LeNet activation).
+class Tanh final : public Layer {
+ public:
+  const char* type() const override { return "tanh"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Non-overlapping max pooling (window == stride).
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t window) : window_(window) {}
+
+  const char* type() const override { return "max_pool2d"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  std::size_t window_;
+  Shape cached_input_shape_;
+  std::vector<std::size_t> argmax_;
+};
+
+/// Non-overlapping average pooling (window == stride).
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(std::size_t window) : window_(window) {}
+
+  const char* type() const override { return "avg_pool2d"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  std::size_t window_;
+  Shape cached_input_shape_;
+};
+
+/// Collapses (N, C, H, W) to (N, C·H·W).
+class Flatten final : public Layer {
+ public:
+  const char* type() const override { return "flatten"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Shape cached_input_shape_;
+};
+
+/// Per-channel batch normalization for NCHW inputs (Ioffe & Szegedy,
+/// 2015). Train mode normalizes with batch statistics and updates the
+/// running mean/var; eval mode uses the running statistics.
+///
+/// FL note: gamma/beta are learnable and travel with the model like any
+/// parameter; the running statistics do too (they are exposed through
+/// params() as non-gradient tensors would not be — instead they live in
+/// extra parameter slots whose gradients stay zero), which matches how
+/// FedAvg-style systems average BN statistics across clients.
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::size_t channels, double momentum = 0.1,
+                       double epsilon = 1e-5);
+
+  const char* type() const override { return "batch_norm2d"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  /// gamma, beta, running_mean, running_var — the latter two have
+  /// permanently zero gradients but are included so they are aggregated
+  /// and shipped with the model.
+  std::vector<Param*> params() override {
+    return {&gamma_, &beta_, &running_mean_, &running_var_};
+  }
+  void init_params(Rng& rng) override;
+  std::unique_ptr<Layer> clone() const override;
+
+  std::size_t channels() const { return channels_; }
+
+ private:
+  std::size_t channels_;
+  double momentum_;
+  double epsilon_;
+  Param gamma_;
+  Param beta_;
+  Param running_mean_;
+  Param running_var_;
+  // Backward caches (train-mode forward only).
+  Tensor x_hat_;
+  std::vector<float> inv_std_;
+};
+
+/// Inverted dropout: train-time mask scaled by 1/(1-p); identity at eval.
+/// The mask stream is drawn from an internal Rng reseedable via
+/// `reseed()` so client-local training stays deterministic.
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(double p, std::uint64_t seed = 0x5eed);
+
+  const char* type() const override { return "dropout"; }
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override;
+
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+  double rate() const { return p_; }
+
+ private:
+  double p_;
+  Rng rng_;
+  Tensor mask_;
+};
+
+}  // namespace fedclust::nn

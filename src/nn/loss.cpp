@@ -1,0 +1,79 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace fedclust::nn {
+namespace {
+
+void check_batch(const Tensor& logits, std::span<const std::int32_t> labels) {
+  FEDCLUST_REQUIRE(logits.rank() == 2, "logits must be (batch, classes)");
+  FEDCLUST_REQUIRE(labels.size() == logits.dim(0),
+                   "labels size " << labels.size() << " != batch "
+                                  << logits.dim(0));
+  for (const std::int32_t y : labels) {
+    (void)y;
+    FEDCLUST_DCHECK(y >= 0 && static_cast<std::size_t>(y) < logits.dim(1),
+                    "label out of range");
+  }
+}
+
+}  // namespace
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::int32_t> labels) {
+  check_batch(logits, labels);
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+
+  LossResult out;
+  ops::softmax_rows(logits, out.grad_logits);
+
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    float* row = out.grad_logits.data() + i * classes;
+    const auto y = static_cast<std::size_t>(labels[i]);
+    // -log p_y, with p clamped away from zero for numeric safety.
+    loss -= std::log(std::max(row[y], 1e-12f));
+    // d(mean CE)/d(logit) = (softmax - onehot) / batch.
+    row[y] -= 1.0f;
+    for (std::size_t j = 0; j < classes; ++j) row[j] *= inv_batch;
+  }
+  out.loss = static_cast<float>(loss / static_cast<double>(batch));
+  return out;
+}
+
+float softmax_cross_entropy_loss(const Tensor& logits,
+                                 std::span<const std::int32_t> labels) {
+  check_batch(logits, labels);
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  std::vector<float> lse;
+  ops::logsumexp_rows(logits, lse);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto y = static_cast<std::size_t>(labels[i]);
+    loss += lse[i] - logits[i * classes + y];
+  }
+  return static_cast<float>(loss / static_cast<double>(batch));
+}
+
+double accuracy(const Tensor& logits, std::span<const std::int32_t> labels) {
+  check_batch(logits, labels);
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const float* row = logits.data() + i * classes;
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < classes; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == static_cast<std::size_t>(labels[i])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(batch);
+}
+
+}  // namespace fedclust::nn

@@ -1,0 +1,31 @@
+// Loss functions and classification metrics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fedclust::nn {
+
+/// Result of a loss evaluation over one batch.
+struct LossResult {
+  float loss = 0.0f;     ///< mean loss over the batch
+  Tensor grad_logits;    ///< d(mean loss)/d(logits), same shape as logits
+};
+
+/// Softmax cross-entropy over integer class labels.
+/// logits: (batch × classes); labels: batch entries in [0, classes).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::int32_t> labels);
+
+/// Mean loss only (no gradient) — used for evaluation and by IFCA's
+/// cluster-identity estimation.
+float softmax_cross_entropy_loss(const Tensor& logits,
+                                 std::span<const std::int32_t> labels);
+
+/// Fraction of rows whose argmax matches the label.
+double accuracy(const Tensor& logits, std::span<const std::int32_t> labels);
+
+}  // namespace fedclust::nn

@@ -1,0 +1,47 @@
+// Reference model builders used throughout the experiments.
+//
+// The paper evaluates LeNet-5 (Table I) and motivates the method with a
+// VGG-style network (Fig. 1). `vgg_mini` is the laptop-scale stand-in for
+// VGG-16 documented in DESIGN.md §3; `mlp` is a small model used by fast
+// unit/integration tests.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/model.hpp"
+
+namespace fedclust::nn {
+
+/// Input geometry of an image classification task.
+struct ImageSpec {
+  std::size_t channels = 1;
+  std::size_t height = 28;
+  std::size_t width = 28;
+  std::size_t classes = 10;
+};
+
+/// LeNet-5: conv(6,5×5) → pool2 → conv(16,5×5) → pool2 → fc120 → fc84 →
+/// fc(classes), ReLU activations. Accepts 28×28 (padding 2 on conv1) and
+/// 32×32 inputs.
+Model lenet5(const ImageSpec& spec);
+
+/// Small VGG-style net: [conv(16,3)×2 → pool] [conv(32,3) → pool]
+/// [conv(64,3) → pool] → fc128 → fc(classes). Four conv layers plus two
+/// FC layers give the per-layer distance study (Fig. 1) enough depth.
+Model vgg_mini(const ImageSpec& spec);
+
+/// LeNet-5 with batch normalization after each convolution — the
+/// batch-norm variant FL work uses to study how running statistics
+/// behave under non-IID averaging.
+Model lenet5_bn(const ImageSpec& spec);
+
+/// Two-layer MLP (flatten → fc(hidden) → ReLU → fc(classes)); fast model
+/// for tests and quick demos.
+Model mlp(const ImageSpec& spec, std::size_t hidden = 64);
+
+/// Name of the final (classifier) linear layer's weight parameter for
+/// models built by this header — the partial weights FedClust uploads.
+/// E.g. "linear3.weight" for lenet5.
+std::string final_layer_weight_name(const Model& model);
+
+}  // namespace fedclust::nn

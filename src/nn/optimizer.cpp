@@ -1,0 +1,111 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace fedclust::nn {
+
+Sgd::Sgd(Model& model, SgdConfig config) : model_(model), config_(config) {
+  FEDCLUST_REQUIRE(config_.lr > 0.0, "learning rate must be positive");
+  FEDCLUST_REQUIRE(config_.momentum >= 0.0 && config_.momentum < 1.0,
+                   "momentum must be in [0, 1)");
+  FEDCLUST_REQUIRE(config_.weight_decay >= 0.0,
+                   "weight decay must be non-negative");
+  FEDCLUST_REQUIRE(config_.prox_mu >= 0.0, "prox_mu must be non-negative");
+  for (const Param* p : static_cast<const Model&>(model_).params()) {
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::capture_prox_reference() {
+  prox_reference_.clear();
+  for (Param* p : model_.params()) prox_reference_.push_back(p->value);
+}
+
+void Sgd::step() {
+  const auto params = model_.params();
+  FEDCLUST_CHECK(params.size() == velocity_.size(),
+                 "model structure changed under the optimizer");
+  const bool use_prox = config_.prox_mu > 0.0 && !prox_reference_.empty();
+  if (use_prox) {
+    FEDCLUST_CHECK(prox_reference_.size() == params.size(),
+                   "prox reference does not match model");
+  }
+
+  const float lr = static_cast<float>(config_.lr);
+  const float mom = static_cast<float>(config_.momentum);
+  const float wd = static_cast<float>(config_.weight_decay);
+  const float mu = static_cast<float>(config_.prox_mu);
+
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Param& p = *params[pi];
+    // Batch-norm running statistics ride along as parameters so they are
+    // aggregated/shipped with the model, but they are NOT optimized —
+    // weight decay or the prox term must never touch them.
+    if (p.name.rfind("running_", 0) == 0) continue;
+    Tensor& vel = velocity_[pi];
+    const std::size_t n = p.value.numel();
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* v = vel.data();
+    const float* ref = use_prox ? prox_reference_[pi].data() : nullptr;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      float grad = g[i];
+      if (wd != 0.0f) grad += wd * w[i];
+      if (ref != nullptr) grad += mu * (w[i] - ref[i]);
+      if (mom != 0.0f) {
+        v[i] = mom * v[i] + grad;
+        grad = v[i];
+      }
+      w[i] -= lr * grad;
+    }
+  }
+}
+
+Adam::Adam(Model& model, AdamConfig config) : model_(model), config_(config) {
+  FEDCLUST_REQUIRE(config_.lr > 0.0, "learning rate must be positive");
+  FEDCLUST_REQUIRE(config_.beta1 >= 0.0 && config_.beta1 < 1.0,
+                   "beta1 must be in [0, 1)");
+  FEDCLUST_REQUIRE(config_.beta2 >= 0.0 && config_.beta2 < 1.0,
+                   "beta2 must be in [0, 1)");
+  FEDCLUST_REQUIRE(config_.epsilon > 0.0, "epsilon must be positive");
+  for (const Param* p : static_cast<const Model&>(model_).params()) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  const auto params = model_.params();
+  FEDCLUST_CHECK(params.size() == m_.size(),
+                 "model structure changed under the optimizer");
+  ++t_;
+  const double b1 = config_.beta1;
+  const double b2 = config_.beta2;
+  // Bias-corrected step size folds the corrections into one scalar.
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  const double alpha = config_.lr * std::sqrt(bias2) / bias1;
+  const float wd = static_cast<float>(config_.weight_decay);
+
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Param& p = *params[pi];
+    if (p.name.rfind("running_", 0) == 0) continue;  // BN statistics
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    const std::size_t n = p.value.numel();
+    for (std::size_t i = 0; i < n; ++i) {
+      float grad = g[i];
+      if (wd != 0.0f) grad += wd * w[i];
+      m[i] = static_cast<float>(b1 * m[i] + (1.0 - b1) * grad);
+      v[i] = static_cast<float>(b2 * v[i] + (1.0 - b2) * grad * grad);
+      w[i] -= static_cast<float>(alpha * m[i] /
+                                 (std::sqrt(static_cast<double>(v[i])) +
+                                  config_.epsilon));
+    }
+  }
+}
+
+}  // namespace fedclust::nn

@@ -1,0 +1,87 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace fedclust::nn {
+namespace {
+
+constexpr char kMagic[4] = {'F', 'C', 'W', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  FEDCLUST_CHECK(in.good(), "unexpected end of checkpoint file");
+}
+
+}  // namespace
+
+void save_weights(const Model& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  FEDCLUST_CHECK(out.good(), "cannot open " << path << " for writing");
+
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  const auto slices = model.slices();
+  write_pod(out, static_cast<std::uint64_t>(slices.size()));
+  for (const ParamSlice& s : slices) {
+    write_pod(out, static_cast<std::uint32_t>(s.name.size()));
+    out.write(s.name.data(), static_cast<std::streamsize>(s.name.size()));
+    write_pod(out, static_cast<std::uint64_t>(s.size));
+  }
+  const std::vector<float> weights = model.flat_weights();
+  out.write(reinterpret_cast<const char*>(weights.data()),
+            static_cast<std::streamsize>(weights.size() * sizeof(float)));
+  FEDCLUST_CHECK(out.good(), "write to " << path << " failed");
+}
+
+void load_weights(Model& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FEDCLUST_CHECK(in.good(), "cannot open " << path << " for reading");
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  FEDCLUST_CHECK(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+                 path << " is not a fedclust checkpoint");
+  std::uint32_t version = 0;
+  read_pod(in, version);
+  FEDCLUST_CHECK(version == kVersion,
+                 "unsupported checkpoint version " << version);
+
+  const auto expected = model.slices();
+  std::uint64_t num_slices = 0;
+  read_pod(in, num_slices);
+  FEDCLUST_CHECK(num_slices == expected.size(),
+                 "checkpoint has " << num_slices << " parameters, model has "
+                                   << expected.size());
+  for (const ParamSlice& s : expected) {
+    std::uint32_t name_len = 0;
+    read_pod(in, name_len);
+    FEDCLUST_CHECK(name_len < 4096, "implausible name length in checkpoint");
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    FEDCLUST_CHECK(in.good(), "unexpected end of checkpoint file");
+    std::uint64_t numel = 0;
+    read_pod(in, numel);
+    FEDCLUST_CHECK(name == s.name && numel == s.size,
+                   "checkpoint parameter '" << name << "' (" << numel
+                                            << ") does not match model '"
+                                            << s.name << "' (" << s.size
+                                            << ")");
+  }
+
+  std::vector<float> weights(model.num_weights());
+  in.read(reinterpret_cast<char*>(weights.data()),
+          static_cast<std::streamsize>(weights.size() * sizeof(float)));
+  FEDCLUST_CHECK(in.good(), "checkpoint is truncated");
+  model.set_flat_weights(weights);
+}
+
+}  // namespace fedclust::nn

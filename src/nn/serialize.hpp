@@ -1,0 +1,24 @@
+// Binary model checkpointing.
+//
+// Format (little-endian):
+//   magic "FCWT" | u32 version | u64 num_slices
+//   per slice: u32 name_len | name bytes | u64 numel
+//   then all float32 values back to back (flat_weights order).
+// Loading validates the layout against the target model, so a checkpoint
+// can only be restored into an identically structured network.
+#pragma once
+
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace fedclust::nn {
+
+/// Writes the model's parameter layout + values to `path`.
+void save_weights(const Model& model, const std::string& path);
+
+/// Restores values saved by save_weights; throws if the file is missing,
+/// corrupt, or describes a different architecture.
+void load_weights(Model& model, const std::string& path);
+
+}  // namespace fedclust::nn

@@ -1,0 +1,50 @@
+#include "nn/slicing.hpp"
+
+#include "nn/models.hpp"
+
+namespace fedclust::nn {
+
+std::vector<nn::ParamSlice> resolve_partial_slices(const nn::Model& model,
+                                                   const std::string& spec) {
+  const auto all = model.slices();
+  FEDCLUST_REQUIRE(!all.empty(), "model has no parameters");
+
+  if (spec == "all") return all;
+
+  if (spec.empty() || spec == "final" || spec == "final+bias") {
+    const std::string weight_name = nn::final_layer_weight_name(model);
+    std::vector<nn::ParamSlice> out{model.slice_for(weight_name)};
+    if (spec == "final+bias") {
+      // The bias lives next to the weight: same layer prefix.
+      const std::string bias_name =
+          weight_name.substr(0, weight_name.rfind('.')) + ".bias";
+      out.push_back(model.slice_for(bias_name));
+    }
+    return out;
+  }
+
+  return {model.slice_for(spec)};
+}
+
+std::size_t slices_numel(const std::vector<nn::ParamSlice>& slices) {
+  std::size_t n = 0;
+  for (const nn::ParamSlice& s : slices) n += s.size;
+  return n;
+}
+
+std::vector<float> extract_slices(const std::vector<float>& flat_weights,
+                                  const std::vector<nn::ParamSlice>& slices) {
+  std::vector<float> out;
+  out.reserve(slices_numel(slices));
+  for (const nn::ParamSlice& s : slices) {
+    FEDCLUST_REQUIRE(s.offset + s.size <= flat_weights.size(),
+                     "slice '" << s.name << "' exceeds weight vector");
+    out.insert(out.end(),
+               flat_weights.begin() + static_cast<std::ptrdiff_t>(s.offset),
+               flat_weights.begin() +
+                   static_cast<std::ptrdiff_t>(s.offset + s.size));
+  }
+  return out;
+}
+
+}  // namespace fedclust::nn

@@ -1,0 +1,37 @@
+// Partial-weight selection — the "strategically selected" model slice
+// FedClust uploads instead of the full model.
+//
+// §II of the paper shows (Fig. 1) that the FINAL layer's weights mirror
+// the client's label distribution, while early conv layers don't. These
+// helpers name a subset of a model's parameters and extract that subset
+// from a flat weight vector, so the clustering code can work with any
+// slice choice (the layer-choice ablation sweeps them all).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace fedclust::nn {
+
+/// Resolves a selection spec against a model's parameter layout:
+///  * ""  or "final"       -> the last layer's weight matrix (the default
+///                            FedClust upload);
+///  * "final+bias"         -> last layer's weight and bias;
+///  * "all"                -> every parameter (degenerates to full-model
+///                            clustering, the CFL/IFCA-style cost);
+///  * any qualified name   -> exactly that parameter (e.g. "conv1.weight").
+/// Throws on names that don't exist.
+std::vector<nn::ParamSlice> resolve_partial_slices(const nn::Model& model,
+                                                   const std::string& spec);
+
+/// Total element count of a slice selection.
+std::size_t slices_numel(const std::vector<nn::ParamSlice>& slices);
+
+/// Copies the selected slices out of a flat weight vector, concatenated
+/// in slice order.
+std::vector<float> extract_slices(const std::vector<float>& flat_weights,
+                                  const std::vector<nn::ParamSlice>& slices);
+
+}  // namespace fedclust::nn

@@ -1,0 +1,96 @@
+// Non-IID data partitioners.
+//
+// A partition maps every sample of a global pool to one of `num_clients`
+// clients. The experiments use:
+//  * Dirichlet(beta) label skew — the Table-I setting "Non-IID Dir(0.1)",
+//    following Li et al., "Federated learning on non-IID data silos"
+//    (ICDE 2022): for each class, the per-client share vector is drawn
+//    from Dir(beta) and samples are dealt accordingly;
+//  * pathological shards (McMahan et al.) — each client holds at most
+//    `shards_per_client` label shards;
+//  * explicit label groups — the Fig. 1 motivation setup, where clients
+//    are pre-assigned to groups owning disjoint label subsets;
+//  * IID — uniform random split (the beta -> infinity limit).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "utils/rng.hpp"
+
+namespace fedclust::partition {
+
+/// Result of partitioning: per-client sample indices into the pool, plus
+/// (when the scheme defines one) the ground-truth group of each client.
+struct Partition {
+  std::vector<std::vector<std::size_t>> client_indices;
+  /// Ground-truth cluster labels if the scheme implies them (explicit
+  /// groups); empty otherwise.
+  std::vector<std::size_t> true_groups;
+
+  std::size_t num_clients() const { return client_indices.size(); }
+};
+
+/// Dirichlet(beta) label-skew partition. Smaller beta = more skew.
+/// Every client is guaranteed at least `min_samples` samples (re-draws
+/// until satisfied, like the reference implementation of Li et al.).
+Partition dirichlet_partition(const data::Dataset& pool,
+                              std::size_t num_clients, double beta, Rng& rng,
+                              std::size_t min_samples = 10);
+
+/// Pathological shard partition: sort by label, cut into
+/// num_clients*shards_per_client shards, deal shards randomly.
+Partition shard_partition(const data::Dataset& pool, std::size_t num_clients,
+                          std::size_t shards_per_client, Rng& rng);
+
+/// IID uniform partition.
+Partition iid_partition(const data::Dataset& pool, std::size_t num_clients,
+                        Rng& rng);
+
+/// Quantity-skew partition (Li et al. ICDE'22 "quantity distribution
+/// skew"): label distributions stay IID, but per-client sample COUNTS
+/// are drawn from Dir(beta) over the pool, so small beta gives a few
+/// data-rich clients and many data-poor ones. Every client receives at
+/// least `min_samples`.
+Partition quantity_skew_partition(const data::Dataset& pool,
+                                  std::size_t num_clients, double beta,
+                                  Rng& rng, std::size_t min_samples = 10);
+
+/// Explicit group partition: clients are split round-robin into
+/// `group_labels.size()` groups; group g only receives samples whose
+/// label appears in group_labels[g]. Within a group, that group's samples
+/// are dealt IID (or with Dirichlet skew when beta > 0 is given).
+/// Sets true_groups.
+Partition grouped_label_partition(
+    const data::Dataset& pool, std::size_t num_clients,
+    const std::vector<std::vector<std::int32_t>>& group_labels, Rng& rng,
+    double within_group_beta = 0.0);
+
+/// Feature-distribution skew (Li et al. ICDE'22 "noise-based feature
+/// skew"): the pool is split IID, then client i's PIXELS are perturbed
+/// with Gaussian noise of level sigma * i / (num_clients - 1) — labels
+/// stay balanced while feature distributions drift apart. Because this
+/// transforms the data, it returns materialized per-client datasets
+/// directly instead of an index partition.
+std::vector<data::Dataset> feature_skew_split(const data::Dataset& pool,
+                                              std::size_t num_clients,
+                                              double sigma, Rng& rng);
+
+/// Materializes per-client Datasets from a partition.
+std::vector<data::Dataset> materialize(const data::Dataset& pool,
+                                       const Partition& partition);
+
+// -- statistics ------------------------------------------------------------
+
+/// Per-client label histograms (num_clients × classes).
+std::vector<std::vector<std::size_t>> label_histograms(
+    const data::Dataset& pool, const Partition& partition);
+
+/// Average pairwise total-variation distance between client label
+/// distributions — a scalar "how non-IID is this partition" measure
+/// (0 = identical marginals, -> 1 = disjoint).
+double heterogeneity_index(const data::Dataset& pool,
+                           const Partition& partition);
+
+}  // namespace fedclust::partition

@@ -1,0 +1,427 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedclust::ops {
+namespace {
+
+void check_matrix(const Tensor& t, const char* name) {
+  FEDCLUST_REQUIRE(t.rank() == 2, name << " must be rank-2, got "
+                                       << shape_to_string(t.shape()));
+}
+
+}  // namespace
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
+  check_matrix(a, "A");
+  check_matrix(b, "B");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  FEDCLUST_REQUIRE(b.dim(0) == k, "matmul inner dims " << k << " vs "
+                                                       << b.dim(0));
+  if (c.shape() != Shape{m, n}) c = Tensor({m, n});
+  c.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj loop order: the inner loop streams B and C rows contiguously.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c) {
+  check_matrix(a, "A");
+  check_matrix(b, "B");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  FEDCLUST_REQUIRE(b.dim(0) == k, "matmul_tn inner dims " << k << " vs "
+                                                          << b.dim(0));
+  if (c.shape() != Shape{m, n}) c = Tensor({m, n});
+  c.zero();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aik = arow[i];
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c) {
+  check_matrix(a, "A");
+  check_matrix(b, "B");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  FEDCLUST_REQUIRE(b.dim(1) == k, "matmul_nt inner dims " << k << " vs "
+                                                          << b.dim(1));
+  if (c.shape() != Shape{m, n}) c = Tensor({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // Dot-product form: both A's row i and B's row j are contiguous.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double s = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        s += static_cast<double>(arow[kk]) * brow[kk];
+      }
+      pc[i * n + j] = static_cast<float>(s);
+    }
+  }
+}
+
+void conv2d_forward(const Tensor& input, const Tensor& weight,
+                    const Tensor& bias, const Conv2dSpec& spec,
+                    Tensor& output) {
+  FEDCLUST_REQUIRE(input.rank() == 4, "conv input must be NCHW");
+  const std::size_t n = input.dim(0), cin = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  FEDCLUST_REQUIRE(cin == spec.in_channels, "conv input channel mismatch");
+  FEDCLUST_REQUIRE(
+      weight.shape() ==
+          Shape({spec.out_channels, spec.in_channels, spec.kernel, spec.kernel}),
+      "conv weight shape mismatch");
+  FEDCLUST_REQUIRE(bias.shape() == Shape{spec.out_channels},
+                   "conv bias shape mismatch");
+  const std::size_t ho = spec.out_size(h), wo = spec.out_size(w);
+  const std::size_t k = spec.kernel, pad = spec.padding, stride = spec.stride;
+  if (output.shape() != Shape{n, spec.out_channels, ho, wo}) {
+    output = Tensor({n, spec.out_channels, ho, wo});
+  }
+
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+      const float b = bias[oc];
+      for (std::size_t oy = 0; oy < ho; ++oy) {
+        for (std::size_t ox = 0; ox < wo; ++ox) {
+          double acc = b;
+          for (std::size_t ic = 0; ic < cin; ++ic) {
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              const float* irow =
+                  input.data() +
+                  ((img * cin + ic) * h + static_cast<std::size_t>(iy)) * w;
+              const float* wrow =
+                  weight.data() + ((oc * cin + ic) * k + ky) * k;
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                    static_cast<std::ptrdiff_t>(pad);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                acc += static_cast<double>(irow[ix]) * wrow[kx];
+              }
+            }
+          }
+          output.at(img, oc, oy, ox) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+}
+
+void conv2d_backward_input(const Tensor& grad_output, const Tensor& weight,
+                           const Conv2dSpec& spec, Tensor& grad_input) {
+  FEDCLUST_REQUIRE(grad_output.rank() == 4 && grad_input.rank() == 4,
+                   "conv backward tensors must be NCHW");
+  const std::size_t n = grad_input.dim(0), cin = grad_input.dim(1),
+                    h = grad_input.dim(2), w = grad_input.dim(3);
+  const std::size_t ho = grad_output.dim(2), wo = grad_output.dim(3);
+  const std::size_t k = spec.kernel, pad = spec.padding, stride = spec.stride;
+  grad_input.zero();
+
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+      for (std::size_t oy = 0; oy < ho; ++oy) {
+        for (std::size_t ox = 0; ox < wo; ++ox) {
+          const float g = grad_output.at(img, oc, oy, ox);
+          if (g == 0.0f) continue;
+          for (std::size_t ic = 0; ic < cin; ++ic) {
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              float* grow =
+                  grad_input.data() +
+                  ((img * cin + ic) * h + static_cast<std::size_t>(iy)) * w;
+              const float* wrow =
+                  weight.data() + ((oc * cin + ic) * k + ky) * k;
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                    static_cast<std::ptrdiff_t>(pad);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                grow[ix] += g * wrow[kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv2d_backward_params(const Tensor& input, const Tensor& grad_output,
+                            const Conv2dSpec& spec, Tensor& grad_weight,
+                            Tensor& grad_bias) {
+  const std::size_t n = input.dim(0), cin = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  const std::size_t ho = grad_output.dim(2), wo = grad_output.dim(3);
+  const std::size_t k = spec.kernel, pad = spec.padding, stride = spec.stride;
+  FEDCLUST_REQUIRE(
+      grad_weight.shape() ==
+          Shape({spec.out_channels, spec.in_channels, spec.kernel, spec.kernel}),
+      "grad_weight shape mismatch");
+  FEDCLUST_REQUIRE(grad_bias.shape() == Shape{spec.out_channels},
+                   "grad_bias shape mismatch");
+
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+      double bias_acc = 0.0;
+      for (std::size_t oy = 0; oy < ho; ++oy) {
+        for (std::size_t ox = 0; ox < wo; ++ox) {
+          const float g = grad_output.at(img, oc, oy, ox);
+          bias_acc += g;
+          if (g == 0.0f) continue;
+          for (std::size_t ic = 0; ic < cin; ++ic) {
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              const float* irow =
+                  input.data() +
+                  ((img * cin + ic) * h + static_cast<std::size_t>(iy)) * w;
+              float* wgrow =
+                  grad_weight.data() + ((oc * cin + ic) * k + ky) * k;
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                    static_cast<std::ptrdiff_t>(pad);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                wgrow[kx] += g * irow[ix];
+              }
+            }
+          }
+        }
+      }
+      grad_bias[oc] += static_cast<float>(bias_acc);
+    }
+  }
+}
+
+void im2col(const Tensor& input, const Conv2dSpec& spec, Tensor& columns) {
+  const std::size_t n = input.dim(0), cin = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  const std::size_t ho = spec.out_size(h), wo = spec.out_size(w);
+  const std::size_t k = spec.kernel, pad = spec.padding, stride = spec.stride;
+  const std::size_t rows = n * ho * wo;
+  const std::size_t cols = cin * k * k;
+  if (columns.shape() != Shape{rows, cols}) columns = Tensor({rows, cols});
+
+  float* out = columns.data();
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oy = 0; oy < ho; ++oy) {
+      for (std::size_t ox = 0; ox < wo; ++ox) {
+        float* row = out + ((img * ho + oy) * wo + ox) * cols;
+        std::size_t idx = 0;
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+          for (std::size_t ky = 0; ky < k; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                static_cast<std::ptrdiff_t>(pad);
+            for (std::size_t kx = 0; kx < k; ++kx, ++idx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h) || ix < 0 ||
+                  ix >= static_cast<std::ptrdiff_t>(w)) {
+                row[idx] = 0.0f;
+              } else {
+                row[idx] = input.at(img, ic, static_cast<std::size_t>(iy),
+                                    static_cast<std::size_t>(ix));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv2d_forward_im2col(const Tensor& input, const Tensor& weight,
+                           const Tensor& bias, const Conv2dSpec& spec,
+                           Tensor& output, Tensor& scratch_columns) {
+  const std::size_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::size_t ho = spec.out_size(h), wo = spec.out_size(w);
+  im2col(input, spec, scratch_columns);
+
+  // columns (n*ho*wo × cin*k*k) · weightᵀ (cout × cin*k*k) = (n*ho*wo × cout)
+  const Tensor weight2d = weight.reshaped(
+      {spec.out_channels, spec.in_channels * spec.kernel * spec.kernel});
+  Tensor result;
+  matmul_nt(scratch_columns, weight2d, result);
+
+  if (output.shape() != Shape{n, spec.out_channels, ho, wo}) {
+    output = Tensor({n, spec.out_channels, ho, wo});
+  }
+  // Transpose (pixel-major × cout) into NCHW and add bias.
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oy = 0; oy < ho; ++oy) {
+      for (std::size_t ox = 0; ox < wo; ++ox) {
+        const std::size_t row = (img * ho + oy) * wo + ox;
+        for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+          output.at(img, oc, oy, ox) =
+              result.at(row, oc) + bias[oc];
+        }
+      }
+    }
+  }
+}
+
+void max_pool_forward(const Tensor& input, std::size_t window, Tensor& output,
+                      std::vector<std::size_t>& argmax) {
+  FEDCLUST_REQUIRE(input.rank() == 4, "pool input must be NCHW");
+  FEDCLUST_REQUIRE(window > 0, "pool window must be positive");
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  FEDCLUST_REQUIRE(h % window == 0 && w % window == 0,
+                   "pool window " << window << " must divide input "
+                                  << h << "x" << w);
+  const std::size_t ho = h / window, wo = w / window;
+  if (output.shape() != Shape{n, c, ho, wo}) output = Tensor({n, c, ho, wo});
+  argmax.assign(output.numel(), 0);
+
+  std::size_t out_idx = 0;
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t oy = 0; oy < ho; ++oy) {
+        for (std::size_t ox = 0; ox < wo; ++ox, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ky = 0; ky < window; ++ky) {
+            for (std::size_t kx = 0; kx < window; ++kx) {
+              const std::size_t iy = oy * window + ky;
+              const std::size_t ix = ox * window + kx;
+              const std::size_t flat = ((img * c + ch) * h + iy) * w + ix;
+              const float v = input[flat];
+              if (v > best) {
+                best = v;
+                best_idx = flat;
+              }
+            }
+          }
+          output[out_idx] = best;
+          argmax[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+}
+
+void max_pool_backward(const Tensor& grad_output,
+                       const std::vector<std::size_t>& argmax,
+                       Tensor& grad_input) {
+  FEDCLUST_REQUIRE(argmax.size() == grad_output.numel(),
+                   "argmax does not match grad_output");
+  grad_input.zero();
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    grad_input[argmax[i]] += grad_output[i];
+  }
+}
+
+void avg_pool_forward(const Tensor& input, std::size_t window,
+                      Tensor& output) {
+  FEDCLUST_REQUIRE(input.rank() == 4, "pool input must be NCHW");
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  FEDCLUST_REQUIRE(h % window == 0 && w % window == 0,
+                   "pool window must divide input");
+  const std::size_t ho = h / window, wo = w / window;
+  if (output.shape() != Shape{n, c, ho, wo}) output = Tensor({n, c, ho, wo});
+  const float inv = 1.0f / static_cast<float>(window * window);
+
+  std::size_t out_idx = 0;
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t oy = 0; oy < ho; ++oy) {
+        for (std::size_t ox = 0; ox < wo; ++ox, ++out_idx) {
+          double acc = 0.0;
+          for (std::size_t ky = 0; ky < window; ++ky) {
+            for (std::size_t kx = 0; kx < window; ++kx) {
+              acc += input.at(img, ch, oy * window + ky, ox * window + kx);
+            }
+          }
+          output[out_idx] = static_cast<float>(acc) * inv;
+        }
+      }
+    }
+  }
+}
+
+void avg_pool_backward(const Tensor& grad_output, std::size_t window,
+                       Tensor& grad_input) {
+  const std::size_t n = grad_input.dim(0), c = grad_input.dim(1),
+                    h = grad_input.dim(2), w = grad_input.dim(3);
+  const std::size_t ho = h / window, wo = w / window;
+  FEDCLUST_REQUIRE(grad_output.shape() == Shape({n, c, ho, wo}),
+                   "avg_pool_backward shape mismatch");
+  const float inv = 1.0f / static_cast<float>(window * window);
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t iy = 0; iy < h; ++iy) {
+        for (std::size_t ix = 0; ix < w; ++ix) {
+          grad_input.at(img, ch, iy, ix) =
+              grad_output.at(img, ch, iy / window, ix / window) * inv;
+        }
+      }
+    }
+  }
+}
+
+void softmax_rows(const Tensor& logits, Tensor& probs) {
+  FEDCLUST_REQUIRE(logits.rank() == 2, "softmax_rows needs a matrix");
+  const std::size_t rows = logits.dim(0), cols = logits.dim(1);
+  if (probs.shape() != logits.shape()) probs = Tensor(logits.shape());
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* in = logits.data() + i * cols;
+    float* out = probs.data() + i * cols;
+    const float mx = *std::max_element(in, in + cols);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      out[j] = std::exp(in[j] - mx);
+      sum += out[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::size_t j = 0; j < cols; ++j) out[j] *= inv;
+  }
+}
+
+void logsumexp_rows(const Tensor& logits, std::vector<float>& out) {
+  FEDCLUST_REQUIRE(logits.rank() == 2, "logsumexp_rows needs a matrix");
+  const std::size_t rows = logits.dim(0), cols = logits.dim(1);
+  out.assign(rows, 0.0f);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* in = logits.data() + i * cols;
+    const float mx = *std::max_element(in, in + cols);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) sum += std::exp(in[j] - mx);
+    out[i] = mx + static_cast<float>(std::log(sum));
+  }
+}
+
+}  // namespace fedclust::ops

@@ -1,0 +1,99 @@
+// Math kernels over Tensor: GEMM, convolution, pooling, softmax.
+//
+// These are the hot loops of the whole simulation — every client trains a
+// LeNet-5 through them each round. They are written as plain free
+// functions over pre-allocated outputs so layers can reuse buffers across
+// batches, and the direct vs im2col convolution variants are kept side by
+// side for the micro-kernel benchmark (bench/micro_kernels).
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace fedclust::ops {
+
+// -- GEMM -----------------------------------------------------------------
+
+/// C = A(m×k) · B(k×n). Shapes are validated; C is overwritten.
+void matmul(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = Aᵀ(k×m) · B(k×n) without materializing Aᵀ.
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A(m×k) · Bᵀ(n×k) without materializing Bᵀ.
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c);
+
+// -- Convolution ------------------------------------------------------------
+
+/// Geometry of a 2-D convolution (stride 1, symmetric zero padding).
+struct Conv2dSpec {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 0;   ///< square kernel size
+  std::size_t padding = 0;  ///< symmetric zero padding
+  std::size_t stride = 1;
+
+  /// Output spatial size for an input of `in` pixels along one axis.
+  std::size_t out_size(std::size_t in) const {
+    FEDCLUST_REQUIRE(in + 2 * padding >= kernel,
+                     "conv kernel larger than padded input");
+    return (in + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+/// Direct convolution: input (N, Cin, H, W), weight (Cout, Cin, K, K),
+/// bias (Cout). Output (N, Cout, Hout, Wout) is overwritten.
+void conv2d_forward(const Tensor& input, const Tensor& weight,
+                    const Tensor& bias, const Conv2dSpec& spec,
+                    Tensor& output);
+
+/// Gradient w.r.t. input. grad_input is overwritten (same shape as input).
+void conv2d_backward_input(const Tensor& grad_output, const Tensor& weight,
+                           const Conv2dSpec& spec, Tensor& grad_input);
+
+/// Gradients w.r.t. weight and bias, ACCUMULATED into grad_weight /
+/// grad_bias (callers zero them at batch start).
+void conv2d_backward_params(const Tensor& input, const Tensor& grad_output,
+                            const Conv2dSpec& spec, Tensor& grad_weight,
+                            Tensor& grad_bias);
+
+/// im2col expansion: input (N, Cin, H, W) -> columns
+/// (N * Hout * Wout, Cin * K * K). Used by the GEMM-based convolution
+/// variant and benchmarked against the direct kernel.
+void im2col(const Tensor& input, const Conv2dSpec& spec, Tensor& columns);
+
+/// GEMM-based convolution producing the same result as conv2d_forward.
+void conv2d_forward_im2col(const Tensor& input, const Tensor& weight,
+                           const Tensor& bias, const Conv2dSpec& spec,
+                           Tensor& output, Tensor& scratch_columns);
+
+// -- Pooling ---------------------------------------------------------------
+
+/// Max pooling with square window == stride (non-overlapping).
+/// `argmax` records the flat input index of each output's winner and is
+/// consumed by max_pool_backward.
+void max_pool_forward(const Tensor& input, std::size_t window, Tensor& output,
+                      std::vector<std::size_t>& argmax);
+
+/// Scatters grad_output back through the recorded argmax indices;
+/// grad_input is overwritten.
+void max_pool_backward(const Tensor& grad_output,
+                       const std::vector<std::size_t>& argmax,
+                       Tensor& grad_input);
+
+/// Average pooling with square window == stride (non-overlapping).
+void avg_pool_forward(const Tensor& input, std::size_t window, Tensor& output);
+
+void avg_pool_backward(const Tensor& grad_output, std::size_t window,
+                       Tensor& grad_input);
+
+// -- Softmax / misc ----------------------------------------------------------
+
+/// Row-wise softmax of a (rows × cols) tensor, numerically stabilized.
+void softmax_rows(const Tensor& logits, Tensor& probs);
+
+/// Row-wise log-sum-exp of a (rows × cols) tensor, one value per row.
+void logsumexp_rows(const Tensor& logits, std::vector<float>& out);
+
+}  // namespace fedclust::ops

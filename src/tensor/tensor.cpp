@@ -1,0 +1,223 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "utils/rng.hpp"
+
+namespace fedclust {
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream oss;
+  oss << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    oss << (i ? ", " : "") << shape[i];
+  }
+  oss << ']';
+  return oss.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {
+  FEDCLUST_REQUIRE(shape_.size() <= 4,
+                   "tensors up to rank 4 supported, got rank " << shape_.size());
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {
+  FEDCLUST_REQUIRE(shape_.size() <= 4,
+                   "tensors up to rank 4 supported, got rank " << shape_.size());
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  FEDCLUST_REQUIRE(data_.size() == shape_numel(shape_),
+                   "data size " << data_.size() << " does not match shape "
+                                << shape_to_string(shape_));
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t d) const {
+  FEDCLUST_REQUIRE(d < shape_.size(),
+                   "dim " << d << " out of range for rank " << shape_.size());
+  return shape_[d];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor out = *this;
+  out.reshape(std::move(new_shape));
+  return out;
+}
+
+void Tensor::reshape(Shape new_shape) {
+  FEDCLUST_REQUIRE(shape_numel(new_shape) == data_.size(),
+                   "reshape " << shape_to_string(shape_) << " -> "
+                              << shape_to_string(new_shape)
+                              << " changes element count");
+  shape_ = std::move(new_shape);
+}
+
+float& Tensor::at(std::size_t i, std::size_t j) {
+  FEDCLUST_DCHECK(rank() == 2, "at(i,j) needs a rank-2 tensor");
+  FEDCLUST_DCHECK(i < shape_[0] && j < shape_[1], "2-D index out of range");
+  return data_[i * shape_[1] + j];
+}
+
+float Tensor::at(std::size_t i, std::size_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float& Tensor::at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  FEDCLUST_DCHECK(rank() == 4, "at(n,c,h,w) needs a rank-4 tensor");
+  FEDCLUST_DCHECK(
+      n < shape_[0] && c < shape_[1] && h < shape_[2] && w < shape_[3],
+      "4-D index out of range");
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at(std::size_t n, std::size_t c, std::size_t h,
+                 std::size_t w) const {
+  return const_cast<Tensor*>(this)->at(n, c, h, w);
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  FEDCLUST_REQUIRE(same_shape(other), "shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  FEDCLUST_REQUIRE(same_shape(other), "shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+void Tensor::axpy(float alpha, const Tensor& other) {
+  FEDCLUST_REQUIRE(same_shape(other), "shape mismatch in axpy");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Tensor::hadamard(const Tensor& other) {
+  FEDCLUST_REQUIRE(same_shape(other), "shape mismatch in hadamard");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+float Tensor::sum() const {
+  // Accumulate in double: client updates can have 10^5+ elements and
+  // float accumulation drifts enough to perturb aggregated models.
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+float Tensor::mean() const {
+  FEDCLUST_REQUIRE(!data_.empty(), "mean of empty tensor");
+  return static_cast<float>(sum() / static_cast<double>(data_.size()));
+}
+
+float Tensor::min() const {
+  FEDCLUST_REQUIRE(!data_.empty(), "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  FEDCLUST_REQUIRE(!data_.empty(), "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::size_t Tensor::argmax() const {
+  FEDCLUST_REQUIRE(!data_.empty(), "argmax of empty tensor");
+  return static_cast<std::size_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+float Tensor::norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(s));
+}
+
+Tensor operator+(Tensor lhs, const Tensor& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Tensor operator-(Tensor lhs, const Tensor& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Tensor operator*(Tensor lhs, float scalar) {
+  lhs *= scalar;
+  return lhs;
+}
+
+Tensor operator*(float scalar, Tensor rhs) {
+  rhs *= scalar;
+  return rhs;
+}
+
+float dot(const Tensor& a, const Tensor& b) {
+  FEDCLUST_REQUIRE(a.numel() == b.numel(), "dot needs equal numel");
+  double s = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    s += static_cast<double>(pa[i]) * pb[i];
+  }
+  return static_cast<float>(s);
+}
+
+float euclidean_distance(const Tensor& a, const Tensor& b) {
+  FEDCLUST_REQUIRE(a.numel() == b.numel(),
+                   "euclidean_distance needs equal numel");
+  double s = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(pa[i]) - pb[i];
+    s += d * d;
+  }
+  return static_cast<float>(std::sqrt(s));
+}
+
+float cosine_similarity(const Tensor& a, const Tensor& b) {
+  const float na = a.norm();
+  const float nb = b.norm();
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  return dot(a, b) / (na * nb);
+}
+
+}  // namespace fedclust

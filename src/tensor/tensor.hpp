@@ -1,0 +1,141 @@
+// Dense row-major float32 tensor.
+//
+// This is the numeric substrate for the from-scratch neural-network
+// library: a contiguous buffer plus a shape, with cheap element access
+// and a small set of structural operations. Heavy math kernels (matmul,
+// conv2d, pooling) live in tensor/ops.hpp so they can be tested and
+// benchmarked independently of the container.
+//
+// Design choices:
+//  * float32 only — matches what FL systems ship over the wire, and the
+//    communication accounting in src/fl meters parameter vectors at
+//    float32 width.
+//  * value semantics — copying a Tensor copies the buffer. Model cloning
+//    in the FL engine relies on this being a deep copy.
+//  * shapes up to rank 4 (N, C, H, W) cover every layer in this repo.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "utils/error.hpp"
+
+namespace fedclust {
+
+class Rng;
+
+/// Shape of a tensor; rank 0 (scalar) through rank 4.
+using Shape = std::vector<std::size_t>;
+
+/// Returns the number of elements a shape describes (1 for rank 0).
+std::size_t shape_numel(const Shape& shape);
+
+/// Human-readable "[2, 3, 4]".
+std::string shape_to_string(const Shape& shape);
+
+/// Dense row-major float tensor with value semantics.
+class Tensor {
+ public:
+  /// Empty tensor: rank 0 with a single zero element is NOT created;
+  /// default state has no elements and empty shape.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape filled with `fill`.
+  Tensor(Shape shape, float fill);
+
+  /// Adopts the provided data; data.size() must equal shape_numel(shape).
+  Tensor(Shape shape, std::vector<float> data);
+
+  // -- factories ----------------------------------------------------------
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  /// I.i.d. N(mean, stddev) entries drawn from `rng`.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  /// I.i.d. U[lo, hi) entries drawn from `rng`.
+  static Tensor rand_uniform(Shape shape, Rng& rng, float lo, float hi);
+
+  // -- structure ----------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  /// Size of dimension `d`; throws if d >= rank.
+  std::size_t dim(std::size_t d) const;
+
+  /// Returns a copy with a new shape; numel must match.
+  Tensor reshaped(Shape new_shape) const;
+  /// Reshapes in place; numel must match.
+  void reshape(Shape new_shape);
+
+  // -- element access -----------------------------------------------------
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::size_t i) {
+    FEDCLUST_DCHECK(i < data_.size(), "flat index out of range");
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    FEDCLUST_DCHECK(i < data_.size(), "flat index out of range");
+    return data_[i];
+  }
+
+  /// 2-D access (rank-2 tensors).
+  float& at(std::size_t i, std::size_t j);
+  float at(std::size_t i, std::size_t j) const;
+  /// 4-D access (rank-4 tensors, NCHW).
+  float& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  float at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+
+  // -- in-place arithmetic --------------------------------------------------
+  void fill(float v);
+  void zero() { fill(0.0f); }
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar);
+  /// this += alpha * other (shapes must match).
+  void axpy(float alpha, const Tensor& other);
+  /// Elementwise multiply in place (shapes must match).
+  void hadamard(const Tensor& other);
+
+  // -- reductions -----------------------------------------------------------
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  /// Index of the maximum element (first on ties). Requires numel > 0.
+  std::size_t argmax() const;
+  /// Euclidean norm of the flattened tensor.
+  float norm() const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// -- non-member arithmetic ----------------------------------------------
+Tensor operator+(Tensor lhs, const Tensor& rhs);
+Tensor operator-(Tensor lhs, const Tensor& rhs);
+Tensor operator*(Tensor lhs, float scalar);
+Tensor operator*(float scalar, Tensor rhs);
+
+/// Dot product of two flattened tensors of equal numel.
+float dot(const Tensor& a, const Tensor& b);
+/// Euclidean distance between two flattened tensors of equal numel.
+float euclidean_distance(const Tensor& a, const Tensor& b);
+/// Cosine similarity of flattened tensors; 0 if either has zero norm.
+float cosine_similarity(const Tensor& a, const Tensor& b);
+
+}  // namespace fedclust

@@ -1,0 +1,66 @@
+// Tiny command-line flag parser for the bench/example binaries.
+//
+// Flags look like `--rounds 30` or `--rounds=30`; `--help` prints the
+// registered flags. Unknown flags are an error so typos don't silently
+// run the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fedclust {
+
+/// Declarative flag registry + parser.
+///
+///   CliParser cli("table1_accuracy", "Reproduces Table I");
+///   cli.add_int("rounds", 30, "communication rounds");
+///   cli.add_flag("quick", "use the reduced-size configuration");
+///   cli.parse(argc, argv);           // exits(0) on --help
+///   int rounds = cli.get_int("rounds");
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  /// Boolean flag, false by default; present on the command line = true.
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Throws fedclust::Error on unknown flags or bad values;
+  /// prints usage and calls std::exit(0) when --help is present.
+  void parse(int argc, const char* const* argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag };
+  struct Spec {
+    Kind kind;
+    std::string help;
+    std::string default_text;
+  };
+
+  const Spec& spec_or_throw(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::int64_t> ints_;
+  std::map<std::string, double> doubles_;
+  std::map<std::string, std::string> strings_;
+  std::map<std::string, bool> flags_;
+};
+
+}  // namespace fedclust

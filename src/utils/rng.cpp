@@ -1,0 +1,163 @@
+#include "utils/rng.hpp"
+
+#include <cmath>
+
+#include "utils/error.hpp"
+
+namespace fedclust {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::split(std::uint64_t tag) const {
+  // Mix the parent's seed with the tag through SplitMix64 twice so that
+  // (seed, tag) and (seed, tag+1) give unrelated child seeds.
+  std::uint64_t x = seed_ ^ (0xd1b54a32d192ed03ull * (tag + 1));
+  (void)splitmix64(x);
+  return Rng(splitmix64(x));
+}
+
+double Rng::uniform() {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  FEDCLUST_REQUIRE(n > 0, "uniform_int needs n > 0");
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  while (u1 == 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::gamma(double alpha) {
+  FEDCLUST_REQUIRE(alpha > 0.0, "gamma needs alpha > 0, got " << alpha);
+  if (alpha < 1.0) {
+    // Boost to alpha+1 and scale back (Marsaglia–Tsang, §4).
+    const double u = uniform();
+    return gamma(alpha + 1.0) * std::pow(u, 1.0 / alpha);
+  }
+  const double d = alpha - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+std::vector<double> Rng::dirichlet(double alpha, std::size_t k) {
+  return dirichlet(std::vector<double>(k, alpha));
+}
+
+std::vector<double> Rng::dirichlet(const std::vector<double>& alpha) {
+  FEDCLUST_REQUIRE(!alpha.empty(), "dirichlet needs at least one category");
+  std::vector<double> out(alpha.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    out[i] = gamma(alpha[i]);
+    sum += out[i];
+  }
+  if (sum <= 0.0) {
+    // All gammas underflowed (tiny alpha); fall back to a one-hot draw,
+    // which is the correct limit of Dirichlet as alpha -> 0.
+    std::fill(out.begin(), out.end(), 0.0);
+    out[uniform_int(out.size())] = 1.0;
+    return out;
+  }
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  FEDCLUST_REQUIRE(!weights.empty(), "categorical needs at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    FEDCLUST_REQUIRE(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  FEDCLUST_REQUIRE(total > 0.0, "categorical weights must not all be zero");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  FEDCLUST_REQUIRE(k <= n, "cannot sample " << k << " from " << n);
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  // Partial Fisher–Yates: only the first k positions need shuffling.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + uniform_int(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace fedclust

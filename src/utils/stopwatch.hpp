@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for harness-level timing.
+#pragma once
+
+#include <chrono>
+
+namespace fedclust {
+
+/// Starts running on construction; `seconds()` reads elapsed time without
+/// stopping, `restart()` resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fedclust

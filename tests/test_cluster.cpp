@@ -1,0 +1,285 @@
+// Tests for distance matrices and agglomerative hierarchical clustering.
+#include "cluster/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/distance.hpp"
+#include "cluster/kmeans.hpp"
+#include "cluster/metrics.hpp"
+#include "utils/rng.hpp"
+
+namespace fedclust::cluster {
+namespace {
+
+/// Two well-separated blobs of points in 2-D, `per` points each.
+std::vector<std::vector<float>> two_blobs(std::size_t per, std::uint64_t seed,
+                                          float gap = 10.0f) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> pts;
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (std::size_t i = 0; i < per; ++i) {
+      pts.push_back({static_cast<float>(b) * gap +
+                         static_cast<float>(rng.normal(0.0, 0.3)),
+                     static_cast<float>(rng.normal(0.0, 0.3))});
+    }
+  }
+  return pts;
+}
+
+// -- distance builders --------------------------------------------------------
+
+TEST(Distance, EuclideanKnownValues) {
+  const std::vector<std::vector<float>> v{{0, 0}, {3, 4}, {0, 0}};
+  const Matrix d = pairwise_euclidean(v);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+  EXPECT_NEAR(d(0, 1), 5.0, 1e-6);
+  EXPECT_NEAR(d(1, 0), 5.0, 1e-6);
+  EXPECT_NEAR(d(0, 2), 0.0, 1e-12);
+}
+
+TEST(Distance, CosineSimilarityKnownValues) {
+  const std::vector<std::vector<float>> v{{1, 0}, {0, 1}, {-1, 0}, {2, 0}};
+  const Matrix s = pairwise_cosine_similarity(v);
+  EXPECT_NEAR(s(0, 1), 0.0, 1e-6);
+  EXPECT_NEAR(s(0, 2), -1.0, 1e-6);
+  EXPECT_NEAR(s(0, 3), 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(s(2, 2), 1.0);
+}
+
+TEST(Distance, CosineDistanceRange) {
+  const std::vector<std::vector<float>> v{{1, 0}, {-1, 0}, {0, 1}};
+  const Matrix d = pairwise_cosine_distance(v);
+  EXPECT_NEAR(d(0, 1), 2.0, 1e-6);  // opposite
+  EXPECT_NEAR(d(0, 2), 1.0, 1e-6);  // orthogonal
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+}
+
+TEST(Distance, RejectsRaggedInput) {
+  EXPECT_THROW(pairwise_euclidean({{1, 2}, {1}}), Error);
+  EXPECT_THROW(pairwise_euclidean({}), Error);
+}
+
+// -- dendrogram ---------------------------------------------------------------
+
+TEST(Hc, TwoBlobsSeparateAtK2) {
+  const auto pts = two_blobs(5, 1);
+  const Matrix d = pairwise_euclidean(pts);
+  for (const Linkage linkage : {Linkage::kSingle, Linkage::kComplete,
+                                Linkage::kAverage, Linkage::kWard}) {
+    const Dendrogram dendro = agglomerative_cluster(d, linkage);
+    EXPECT_EQ(dendro.merges.size(), 9u);
+    const auto labels = dendro.cut_k(2);
+    // First 5 in one cluster, last 5 in the other.
+    for (std::size_t i = 1; i < 5; ++i) EXPECT_EQ(labels[i], labels[0]);
+    for (std::size_t i = 6; i < 10; ++i) EXPECT_EQ(labels[i], labels[5]);
+    EXPECT_NE(labels[0], labels[5]);
+  }
+}
+
+TEST(Hc, CutKExtremes) {
+  const auto pts = two_blobs(3, 2);
+  const Dendrogram dendro =
+      agglomerative_cluster(pairwise_euclidean(pts), Linkage::kAverage);
+  const auto one = dendro.cut_k(1);
+  for (std::size_t l : one) EXPECT_EQ(l, 0u);
+  const auto all = dendro.cut_k(6);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(all[i], i);
+  EXPECT_THROW(dendro.cut_k(0), Error);
+  EXPECT_THROW(dendro.cut_k(7), Error);
+}
+
+TEST(Hc, ThresholdCutMatchesGap) {
+  const auto pts = two_blobs(4, 3);
+  const Dendrogram dendro =
+      agglomerative_cluster(pairwise_euclidean(pts), Linkage::kAverage);
+  // Within-blob merges happen below ~2; the cross-blob merge near 10.
+  const auto labels = dendro.cut_threshold(5.0);
+  EXPECT_EQ(num_clusters(labels), 2u);
+  EXPECT_EQ(dendro.clusters_at(5.0), 2u);
+  EXPECT_EQ(dendro.clusters_at(100.0), 1u);
+  EXPECT_EQ(dendro.clusters_at(0.0), 8u);
+}
+
+TEST(Hc, MergeDistancesMonotone) {
+  Rng rng(4);
+  std::vector<std::vector<float>> pts;
+  for (int i = 0; i < 12; ++i) {
+    pts.push_back({static_cast<float>(rng.normal()),
+                   static_cast<float>(rng.normal()),
+                   static_cast<float>(rng.normal())});
+  }
+  for (const Linkage linkage :
+       {Linkage::kComplete, Linkage::kAverage, Linkage::kWard}) {
+    const Dendrogram d =
+        agglomerative_cluster(pairwise_euclidean(pts), linkage);
+    for (std::size_t m = 1; m < d.merges.size(); ++m) {
+      EXPECT_GE(d.merges[m].distance, d.merges[m - 1].distance - 1e-9)
+          << to_string(linkage) << " merge " << m;
+    }
+  }
+}
+
+TEST(Hc, MergeSizesAccumulate) {
+  const auto pts = two_blobs(4, 5);
+  const Dendrogram d =
+      agglomerative_cluster(pairwise_euclidean(pts), Linkage::kAverage);
+  EXPECT_EQ(d.merges.back().size, 8u);  // final merge holds everyone
+}
+
+TEST(Hc, SingleLeafDegenerateCase) {
+  Matrix d(1, 1);
+  const Dendrogram dendro = agglomerative_cluster(d, Linkage::kAverage);
+  EXPECT_TRUE(dendro.merges.empty());
+  EXPECT_EQ(dendro.cut_k(1), (std::vector<std::size_t>{0}));
+}
+
+TEST(Hc, RejectsNonSquareMatrix) {
+  Matrix d(2, 3);
+  EXPECT_THROW(agglomerative_cluster(d, Linkage::kAverage), Error);
+}
+
+TEST(Hc, SingleVsCompleteOnChain) {
+  // A chain of points 0-1-2-3 with spacing 1: single linkage merges the
+  // whole chain at distance 1, complete linkage needs larger distances.
+  std::vector<std::vector<float>> pts{{0}, {1}, {2}, {3}};
+  const Matrix d = pairwise_euclidean(pts);
+  const Dendrogram s = agglomerative_cluster(d, Linkage::kSingle);
+  const Dendrogram c = agglomerative_cluster(d, Linkage::kComplete);
+  EXPECT_NEAR(s.merges.back().distance, 1.0, 1e-9);
+  EXPECT_GT(c.merges.back().distance, 2.0);
+}
+
+TEST(Hc, LinkageNamesRoundTrip) {
+  for (const Linkage l : {Linkage::kSingle, Linkage::kComplete,
+                          Linkage::kAverage, Linkage::kWard}) {
+    EXPECT_EQ(linkage_from_string(to_string(l)), l);
+  }
+  EXPECT_THROW(linkage_from_string("centroid"), Error);
+}
+
+// -- k-means -------------------------------------------------------------------
+
+TEST(KMeans, SeparatesTwoBlobs) {
+  const auto pts = two_blobs(6, 90);
+  Rng rng(91);
+  const KMeansResult r = kmeans(pts, 2, rng);
+  EXPECT_TRUE(r.converged);
+  // First 6 in one cluster, last 6 in the other.
+  for (std::size_t i = 1; i < 6; ++i) EXPECT_EQ(r.labels[i], r.labels[0]);
+  for (std::size_t i = 7; i < 12; ++i) EXPECT_EQ(r.labels[i], r.labels[6]);
+  EXPECT_NE(r.labels[0], r.labels[6]);
+}
+
+TEST(KMeans, KEqualsOneGivesGrandCentroid) {
+  const auto pts = two_blobs(4, 92);
+  Rng rng(93);
+  const KMeansResult r = kmeans(pts, 1, rng);
+  ASSERT_EQ(r.centers.size(), 1u);
+  double mean_x = 0.0;
+  for (const auto& p : pts) mean_x += p[0];
+  mean_x /= static_cast<double>(pts.size());
+  EXPECT_NEAR(r.centers[0][0], mean_x, 1e-6);
+}
+
+TEST(KMeans, KEqualsNGivesZeroInertia) {
+  const auto pts = two_blobs(3, 94);
+  Rng rng(95);
+  const KMeansResult r = kmeans(pts, pts.size(), rng);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeans, InertiaDecreasesWithK) {
+  const auto pts = two_blobs(8, 96);
+  Rng r1(97), r2(97);
+  const double i2 = kmeans(pts, 2, r1).inertia;
+  const double i4 = kmeans(pts, 4, r2).inertia;
+  EXPECT_LE(i4, i2 + 1e-9);
+}
+
+TEST(KMeans, DeterministicGivenRng) {
+  const auto pts = two_blobs(5, 98);
+  Rng a(99), b(99);
+  EXPECT_EQ(kmeans(pts, 2, a).labels, kmeans(pts, 2, b).labels);
+}
+
+TEST(KMeans, ValidatesArguments) {
+  Rng rng(1);
+  EXPECT_THROW(kmeans({}, 1, rng), Error);
+  const std::vector<std::vector<float>> pts{{1.0f}, {2.0f}};
+  EXPECT_THROW(kmeans(pts, 0, rng), Error);
+  EXPECT_THROW(kmeans(pts, 3, rng), Error);
+}
+
+TEST(KMeans, AgreesWithHcOnCrispStructure) {
+  const auto pts = two_blobs(6, 100);
+  Rng rng(101);
+  const KMeansResult km = kmeans(pts, 2, rng);
+  const auto dendro = agglomerative_cluster(pairwise_euclidean(pts),
+                                            Linkage::kAverage);
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(km.labels, dendro.cut_k(2)), 1.0);
+}
+
+// -- threshold suggestion -----------------------------------------------------
+
+TEST(SuggestThreshold, FindsTheBlobGap) {
+  const auto pts = two_blobs(5, 6);
+  const Dendrogram d =
+      agglomerative_cluster(pairwise_euclidean(pts), Linkage::kAverage);
+  const double t = suggest_threshold(d);
+  EXPECT_EQ(d.cut_threshold(t).size(), 10u);
+  EXPECT_EQ(num_clusters(d.cut_threshold(t)), 2u);
+}
+
+TEST(SuggestThreshold, ThreeBlobsGiveThreeClusters) {
+  Rng rng(7);
+  std::vector<std::vector<float>> pts;
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (int i = 0; i < 4; ++i) {
+      pts.push_back({static_cast<float>(b) * 20.0f +
+                         static_cast<float>(rng.normal(0.0, 0.2)),
+                     static_cast<float>(rng.normal(0.0, 0.2))});
+    }
+  }
+  const Dendrogram d =
+      agglomerative_cluster(pairwise_euclidean(pts), Linkage::kAverage);
+  const double t = suggest_threshold(d);
+  EXPECT_EQ(num_clusters(d.cut_threshold(t)), 3u);
+}
+
+TEST(SuggestThreshold, HomogeneousDataYieldsOneCluster) {
+  // A single Gaussian blob has no natural gap -> expect the fallback.
+  Rng rng(8);
+  std::vector<std::vector<float>> pts;
+  for (int i = 0; i < 12; ++i) {
+    pts.push_back({static_cast<float>(rng.normal()),
+                   static_cast<float>(rng.normal())});
+  }
+  const Dendrogram d =
+      agglomerative_cluster(pairwise_euclidean(pts), Linkage::kAverage);
+  const double t = suggest_threshold(d, /*min_gap_ratio=*/4.0);
+  EXPECT_EQ(num_clusters(d.cut_threshold(t)), 1u);
+}
+
+TEST(SuggestThreshold, TwoLeavesStayTogether) {
+  std::vector<std::vector<float>> pts{{0}, {1}};
+  const Dendrogram d =
+      agglomerative_cluster(pairwise_euclidean(pts), Linkage::kAverage);
+  const double t = suggest_threshold(d);
+  EXPECT_EQ(num_clusters(d.cut_threshold(t)), 1u);
+}
+
+// -- helpers -------------------------------------------------------------------
+
+TEST(MembersByCluster, GroupsIndices) {
+  const std::vector<std::size_t> labels{0, 1, 0, 2, 1};
+  const auto members = members_by_cluster(labels);
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(members[1], (std::vector<std::size_t>{1, 4}));
+  EXPECT_EQ(members[2], (std::vector<std::size_t>{3}));
+}
+
+}  // namespace
+}  // namespace fedclust::cluster

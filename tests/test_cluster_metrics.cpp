@@ -1,0 +1,156 @@
+// Tests for ARI, NMI, purity, silhouette and block contrast.
+#include "cluster/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/distance.hpp"
+#include "utils/rng.hpp"
+
+namespace fedclust::cluster {
+namespace {
+
+TEST(Ari, PerfectAgreementIsOne) {
+  const std::vector<std::size_t> a{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, a), 1.0);
+}
+
+TEST(Ari, LabelPermutationInvariant) {
+  const std::vector<std::size_t> a{0, 0, 1, 1, 2, 2};
+  const std::vector<std::size_t> b{2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), 1.0);
+}
+
+TEST(Ari, RandomAssignmentNearZero) {
+  Rng rng(1);
+  std::vector<std::size_t> truth(200), pred(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    truth[i] = rng.uniform_int(4);
+    pred[i] = rng.uniform_int(4);
+  }
+  EXPECT_NEAR(adjusted_rand_index(truth, pred), 0.0, 0.1);
+}
+
+TEST(Ari, PartialAgreementBetweenZeroAndOne) {
+  const std::vector<std::size_t> a{0, 0, 0, 1, 1, 1};
+  const std::vector<std::size_t> b{0, 0, 1, 1, 1, 1};
+  const double ari = adjusted_rand_index(a, b);
+  EXPECT_GT(ari, 0.0);
+  EXPECT_LT(ari, 1.0);
+}
+
+TEST(Ari, RejectsMismatchedSizes) {
+  EXPECT_THROW(adjusted_rand_index({0, 1}, {0}), Error);
+}
+
+TEST(Nmi, PerfectAgreementIsOne) {
+  const std::vector<std::size_t> a{0, 1, 0, 1, 2};
+  EXPECT_NEAR(normalized_mutual_information(a, a), 1.0, 1e-12);
+}
+
+TEST(Nmi, IndependentPartitionsNearZero) {
+  // Truth splits by half, prediction alternates: MI = 0 exactly.
+  const std::vector<std::size_t> truth{0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<std::size_t> pred{0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_NEAR(normalized_mutual_information(truth, pred), 0.0, 1e-9);
+}
+
+TEST(Nmi, BothTrivialPartitionsAreOne) {
+  const std::vector<std::size_t> a{0, 0, 0};
+  EXPECT_DOUBLE_EQ(normalized_mutual_information(a, a), 1.0);
+}
+
+TEST(Purity, MajorityLabelFraction) {
+  const std::vector<std::size_t> pred{0, 0, 0, 1, 1, 1};
+  const std::vector<std::size_t> truth{0, 0, 1, 1, 1, 1};
+  // Cluster 0 majority=class0 (2/3), cluster 1 majority=class1 (3/3).
+  EXPECT_NEAR(purity(pred, truth), 5.0 / 6.0, 1e-12);
+}
+
+TEST(Purity, OneClusterEqualsLargestClassShare) {
+  const std::vector<std::size_t> pred{0, 0, 0, 0};
+  const std::vector<std::size_t> truth{0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(purity(pred, truth), 0.75);
+}
+
+TEST(Silhouette, WellSeparatedBlobsNearOne) {
+  std::vector<std::vector<float>> pts;
+  Rng rng(2);
+  std::vector<std::size_t> labels;
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (int i = 0; i < 5; ++i) {
+      pts.push_back({static_cast<float>(b) * 50.0f +
+                     static_cast<float>(rng.normal(0.0, 0.1))});
+      labels.push_back(b);
+    }
+  }
+  const Matrix d = pairwise_euclidean(pts);
+  EXPECT_GT(silhouette(d, labels), 0.9);
+}
+
+TEST(Silhouette, WrongLabelsScoreLow) {
+  std::vector<std::vector<float>> pts;
+  Rng rng(3);
+  std::vector<std::size_t> good, bad;
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (int i = 0; i < 6; ++i) {
+      pts.push_back({static_cast<float>(b) * 50.0f +
+                     static_cast<float>(rng.normal(0.0, 0.1))});
+      good.push_back(b);
+      bad.push_back(static_cast<std::size_t>(i % 2));  // ignores geometry
+    }
+  }
+  const Matrix d = pairwise_euclidean(pts);
+  EXPECT_GT(silhouette(d, good), silhouette(d, bad) + 0.5);
+}
+
+TEST(Silhouette, TrivialPartitionsScoreZero) {
+  std::vector<std::vector<float>> pts{{0}, {1}, {2}};
+  const Matrix d = pairwise_euclidean(pts);
+  EXPECT_DOUBLE_EQ(silhouette(d, {0, 0, 0}), 0.0);      // one cluster
+  EXPECT_DOUBLE_EQ(silhouette(d, {0, 1, 2}), 0.0);      // all singletons
+}
+
+TEST(BlockContrast, SharpBlocksScoreHigh) {
+  // Within distance ~0, between ~10.
+  Matrix d(4, 4);
+  const std::vector<std::size_t> groups{0, 0, 1, 1};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      d(i, j) = groups[i] == groups[j] ? 1.0 : 10.0;
+    }
+  }
+  EXPECT_NEAR(block_contrast(d, groups), 10.0, 1e-12);
+}
+
+TEST(BlockContrast, NoStructureNearOne) {
+  Matrix d(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i != j) d(i, j) = 5.0;
+    }
+  }
+  EXPECT_NEAR(block_contrast(d, {0, 0, 1, 1}), 1.0, 1e-12);
+}
+
+TEST(BlockContrast, InfiniteWhenWithinIsZero) {
+  Matrix d(4, 4);
+  const std::vector<std::size_t> groups{0, 0, 1, 1};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (groups[i] != groups[j]) d(i, j) = 3.0;
+    }
+  }
+  EXPECT_TRUE(std::isinf(block_contrast(d, groups)));
+}
+
+TEST(BlockContrast, RequiresBothPairKinds) {
+  Matrix d(2, 2);
+  EXPECT_THROW(block_contrast(d, {0, 0}), Error);  // no between pairs
+  EXPECT_THROW(block_contrast(d, {0, 1}), Error);  // no within pairs
+}
+
+}  // namespace
+}  // namespace fedclust::cluster

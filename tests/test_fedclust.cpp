@@ -1,0 +1,298 @@
+// Tests for the FedClust core: partial-weight selection, one-shot
+// clustering, the full algorithm, and newcomer assignment.
+#include "core/fedclust.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/fedavg.hpp"
+#include "cluster/metrics.hpp"
+#include "nn/models.hpp"
+#include "test_helpers.hpp"
+
+namespace fedclust::core {
+namespace {
+
+using testing::make_dirichlet_federation;
+using testing::make_grouped_federation;
+using testing::tiny_image_spec;
+
+fl::FederationConfig fast_config() {
+  fl::FederationConfig cfg;
+  cfg.local.epochs = 2;
+  cfg.local.batch_size = 16;
+  cfg.local.sgd.lr = 0.05;
+  cfg.threads = 2;
+  return cfg;
+}
+
+// -- partial weights ------------------------------------------------------------
+
+TEST(PartialWeights, DefaultIsFinalLayerWeight) {
+  const nn::Model m = nn::mlp({1, 8, 8, 4}, 16);
+  const auto slices = resolve_partial_slices(m, "");
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].name, "linear2.weight");
+  EXPECT_EQ(slices[0].size, 16u * 4u);
+  EXPECT_EQ(resolve_partial_slices(m, "final")[0].name, "linear2.weight");
+}
+
+TEST(PartialWeights, FinalPlusBias) {
+  const nn::Model m = nn::mlp({1, 8, 8, 4}, 16);
+  const auto slices = resolve_partial_slices(m, "final+bias");
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[1].name, "linear2.bias");
+  EXPECT_EQ(slices_numel(slices), 16u * 4u + 4u);
+}
+
+TEST(PartialWeights, AllSelectsEverything) {
+  const nn::Model m = nn::mlp({1, 8, 8, 4}, 16);
+  const auto slices = resolve_partial_slices(m, "all");
+  EXPECT_EQ(slices_numel(slices), m.num_weights());
+}
+
+TEST(PartialWeights, NamedParameterAndErrors) {
+  const nn::Model m = nn::lenet5({1, 28, 28, 10});
+  const auto slices = resolve_partial_slices(m, "conv2d1.weight");
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].offset, 0u);
+  EXPECT_THROW(resolve_partial_slices(m, "nope.weight"), Error);
+}
+
+TEST(PartialWeights, ExtractMatchesSliceContent) {
+  nn::Model m = nn::mlp({1, 8, 8, 4}, 8);
+  Rng rng(1);
+  m.init_params(rng);
+  const std::vector<float> flat = m.flat_weights();
+  const auto slices = resolve_partial_slices(m, "final");
+  const std::vector<float> part = extract_slices(flat, slices);
+  ASSERT_EQ(part.size(), slices[0].size);
+  for (std::size_t i = 0; i < part.size(); ++i) {
+    EXPECT_FLOAT_EQ(part[i], flat[slices[0].offset + i]);
+  }
+}
+
+TEST(PartialWeights, ExtractValidatesBounds) {
+  std::vector<nn::ParamSlice> slices{{"x", 10, 5}};
+  const std::vector<float> flat(12, 0.0f);
+  EXPECT_THROW(extract_slices(flat, slices), Error);
+}
+
+// -- one-shot clustering ---------------------------------------------------------
+
+TEST(FormClusters, RecoversGroundTruthGroups) {
+  auto [fed, groups] = make_grouped_federation(6, 480, 41, fast_config());
+  FedClust algo({.warmup_epochs = 3});
+  const ClusteringOutcome out = algo.form_clusters(fed);
+
+  ASSERT_EQ(out.labels.size(), 6u);
+  EXPECT_GE(cluster::adjusted_rand_index(out.labels, groups), 0.9);
+  // The proximity matrix itself shows the block structure of Fig. 1.
+  EXPECT_GT(cluster::block_contrast(out.proximity, groups), 1.1);
+}
+
+TEST(FormClusters, UploadIsPartialOnly) {
+  auto [fed, groups] = make_grouped_federation(4, 320, 42, fast_config());
+  FedClust algo({});
+  const ClusteringOutcome out = algo.form_clusters(fed);
+  const auto slices =
+      resolve_partial_slices(fed.template_model(), "final");
+  EXPECT_EQ(out.upload_bytes,
+            fl::CommMeter::float_bytes(slices_numel(slices)) * 4);
+  EXPECT_EQ(out.download_bytes,
+            fl::CommMeter::float_bytes(fed.model_size()) * 4);
+  EXPECT_LT(out.upload_bytes, out.download_bytes);
+}
+
+TEST(FormClusters, ExplicitThresholdHonored) {
+  auto [fed, groups] = make_grouped_federation(4, 320, 43, fast_config());
+  // A huge threshold forces one cluster.
+  FedClust one({.threshold = 1e9});
+  EXPECT_EQ(cluster::num_clusters(one.form_clusters(fed).labels), 1u);
+  // A tiny threshold keeps every client separate.
+  FedClust all({.threshold = 1e-9});
+  EXPECT_EQ(cluster::num_clusters(all.form_clusters(fed).labels), 4u);
+}
+
+TEST(FormClusters, IidDataYieldsFewClustersUnderGapPolicy) {
+  // Under IID-ish data there is no block structure; the largest-gap
+  // policy should not shatter the population.
+  fl::Federation fed = make_dirichlet_federation(6, 100.0, 480, 44,
+                                                 fast_config());
+  FedClust algo({.cut_policy = CutPolicy::kLargestGap, .min_gap_ratio = 3.0});
+  const ClusteringOutcome out = algo.form_clusters(fed);
+  EXPECT_LE(cluster::num_clusters(out.labels), 2u);
+}
+
+TEST(FormClusters, RelativeThresholdGranularityTracksRelFactor) {
+  // The default policy cuts at rel_factor x mean pairwise distance:
+  // larger factors must produce coarser clusterings.
+  auto [fed, groups] = make_grouped_federation(6, 480, 44, fast_config());
+  std::size_t prev = 0;
+  for (const double factor : {0.3, 0.9, 1.6}) {
+    FedClust algo({.cut_policy = CutPolicy::kRelativeThreshold,
+                   .rel_factor = factor});
+    const std::size_t k =
+        cluster::num_clusters(algo.form_clusters(fed).labels);
+    if (prev != 0) EXPECT_LE(k, prev);
+    prev = k;
+  }
+  EXPECT_LE(prev, 2u);  // far above the mean distance -> 1-2 clusters
+}
+
+TEST(FormClusters, SilhouettePolicyFindsCrispGroups) {
+  auto [fed, groups] = make_grouped_federation(6, 480, 45, fast_config());
+  FedClust algo({.warmup_epochs = 3,
+                 .cut_policy = CutPolicy::kSilhouette});
+  const ClusteringOutcome out = algo.form_clusters(fed);
+  EXPECT_GE(cluster::adjusted_rand_index(out.labels, groups), 0.9);
+}
+
+// -- full run -----------------------------------------------------------------
+
+TEST(FedClustRun, BeatsFedAvgOnClusterableData) {
+  auto cfg = fast_config();
+  auto [fed1, g1] = make_grouped_federation(6, 480, 45, cfg);
+  auto [fed2, g2] = make_grouped_federation(6, 480, 45, cfg);
+
+  const fl::RunResult fc = FedClust({.warmup_epochs = 3}).run(fed1, 5);
+  const fl::RunResult fa = algorithms::FedAvg().run(fed2, 5);
+  EXPECT_GT(fc.final_accuracy.mean, fa.final_accuracy.mean);
+  EXPECT_EQ(fc.algorithm, "FedClust");
+}
+
+TEST(FedClustRun, OneShotCommProfile) {
+  auto [fed, groups] = make_grouped_federation(4, 320, 46, fast_config());
+  FedClust algo({});
+  const fl::RunResult r = algo.run(fed, 4);
+  const std::uint64_t model_bytes =
+      fl::CommMeter::float_bytes(fed.model_size());
+  // Round 0 upload is partial (< model); rounds 1..3 are full FedAvg.
+  const auto& up = fed.comm().round_upload();
+  ASSERT_EQ(up.size(), 4u);
+  EXPECT_LT(up[0], model_bytes * 4);
+  EXPECT_EQ(up[1], model_bytes * 4);
+  // Clustering happened in exactly one round: round 1+ have stable
+  // cluster count.
+  for (const auto& round : r.rounds) {
+    EXPECT_EQ(round.num_clusters, r.rounds.front().num_clusters);
+  }
+}
+
+TEST(FedClustRun, RequiresTwoRounds) {
+  auto [fed, groups] = make_grouped_federation(4, 320, 47, fast_config());
+  FedClust algo({});
+  EXPECT_THROW(algo.run(fed, 1), Error);
+}
+
+TEST(FedClustRun, StoresClusteringForNewcomers) {
+  auto [fed, groups] = make_grouped_federation(4, 320, 48, fast_config());
+  FedClust algo({});
+  EXPECT_FALSE(algo.last_clustering().has_value());
+  algo.run(fed, 3);
+  ASSERT_TRUE(algo.last_clustering().has_value());
+  EXPECT_EQ(algo.last_clustering()->labels.size(), 4u);
+}
+
+TEST(FedClustRun, WarmStartSeedsClusterClassifier) {
+  auto cfg = fast_config();
+  auto [fed, groups] = make_grouped_federation(4, 320, 53, cfg);
+  FedClust algo({.warmup_epochs = 2, .warm_start_classifier = true});
+  const fl::RunResult r = algo.run(fed, 2);
+  ASSERT_TRUE(algo.last_clustering().has_value());
+  // Warm start costs nothing on the wire: round-0 upload is still the
+  // partial slice only.
+  const auto slices = resolve_partial_slices(fed.template_model(), "final");
+  EXPECT_EQ(fed.comm().round_upload()[0],
+            fl::CommMeter::float_bytes(slices_numel(slices)) * 4);
+  EXPECT_GE(r.final_accuracy.mean, 0.0);
+}
+
+TEST(FedClustRun, WarmStartChangesTrajectory) {
+  auto cfg = fast_config();
+  auto [fed_cold, g1] = make_grouped_federation(4, 320, 54, cfg);
+  auto [fed_warm, g2] = make_grouped_federation(4, 320, 54, cfg);
+  const double cold = FedClust({.warmup_epochs = 2})
+                          .run(fed_cold, 2)
+                          .final_accuracy.mean;
+  const double warm =
+      FedClust({.warmup_epochs = 2, .warm_start_classifier = true})
+          .run(fed_warm, 2)
+          .final_accuracy.mean;
+  EXPECT_NE(cold, warm);  // the seeded classifier must actually be used
+}
+
+TEST(FedClustRun, PartialParticipationStillTrainsEveryCluster) {
+  auto cfg = fast_config();
+  cfg.participation = 0.5;
+  auto [fed, groups] = make_grouped_federation(6, 480, 58, cfg);
+  FedClust algo({.warmup_epochs = 2});
+  const fl::RunResult r = algo.run(fed, 5);
+  // Formation still covers everyone (paper: all available clients),
+  // so round-0 upload counts all 6 clients.
+  const auto slices = resolve_partial_slices(fed.template_model(), "final");
+  EXPECT_EQ(fed.comm().round_upload()[0],
+            fl::CommMeter::float_bytes(slices_numel(slices)) * 6);
+  // Later rounds only carry the sampled half.
+  const std::uint64_t model_bytes =
+      fl::CommMeter::float_bytes(fed.model_size());
+  EXPECT_EQ(fed.comm().round_upload()[1], model_bytes * 3);
+  EXPECT_GT(r.final_accuracy.mean, 0.3);
+}
+
+TEST(FedClustRun, FixedThresholdOverridesPolicy) {
+  auto [fed, groups] = make_grouped_federation(4, 320, 59, fast_config());
+  // Even with a policy configured, threshold > 0 wins (documented
+  // precedence).
+  FedClust algo({.cut_policy = CutPolicy::kSilhouette, .threshold = 1e9});
+  const ClusteringOutcome out = algo.form_clusters(fed);
+  EXPECT_EQ(cluster::num_clusters(out.labels), 1u);
+  EXPECT_DOUBLE_EQ(out.threshold, 1e9);
+}
+
+// -- newcomers -----------------------------------------------------------------
+
+TEST(Newcomer, AssignedToMatchingGroup) {
+  auto [fed, groups] = make_grouped_federation(6, 480, 49, fast_config());
+  FedClust algo({.warmup_epochs = 3});
+  const fl::RunResult r = algo.run(fed, 3);
+  ASSERT_TRUE(algo.last_clustering().has_value());
+  const ClusteringOutcome& outcome = *algo.last_clustering();
+
+  // Build newcomers drawn from each group's label set.
+  const data::SyntheticGenerator gen(tiny_image_spec(), 49);
+  Rng rng(50);
+  for (std::size_t g = 0; g < 2; ++g) {
+    std::vector<std::size_t> counts(4, 0);
+    counts[2 * g] = 40;
+    counts[2 * g + 1] = 40;
+    const data::Dataset newcomer_data =
+        gen.generate_per_class(counts, rng);
+
+    const std::size_t assigned = algo.assign_newcomer(
+        fed.template_model(), newcomer_data, fed.config().local,
+        Rng(51 + g), outcome);
+
+    // The assigned cluster must be the one holding group-g veterans.
+    // Find the majority cluster of ground-truth group g.
+    std::vector<std::size_t> votes(cluster::num_clusters(outcome.labels), 0);
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (groups[i] == g) ++votes[outcome.labels[i]];
+    }
+    const std::size_t expected = static_cast<std::size_t>(
+        std::max_element(votes.begin(), votes.end()) - votes.begin());
+    EXPECT_EQ(assigned, expected) << "newcomer of group " << g;
+  }
+}
+
+TEST(Newcomer, RejectsEmptyOutcome) {
+  auto [fed, groups] = make_grouped_federation(4, 320, 52, fast_config());
+  FedClust algo({});
+  ClusteringOutcome empty;
+  const data::Dataset some = testing::tiny_pool(40, 53);
+  EXPECT_THROW(algo.assign_newcomer(fed.template_model(), some,
+                                    fed.config().local, Rng(1), empty),
+               Error);
+}
+
+}  // namespace
+}  // namespace fedclust::core

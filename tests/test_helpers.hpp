@@ -1,0 +1,93 @@
+// Shared fixtures for the FL engine / algorithm tests: a small, fast
+// federation over tiny synthetic images so whole algorithms run in
+// milliseconds.
+#pragma once
+
+#include "data/synthetic.hpp"
+#include "fl/federation.hpp"
+#include "nn/models.hpp"
+#include "partition/partition.hpp"
+
+namespace fedclust::testing {
+
+inline data::SyntheticSpec tiny_image_spec() {
+  data::SyntheticSpec spec;
+  spec.image = {1, 8, 8, 4};  // 4 classes of 8x8 grayscale
+  spec.class_correlation = 0.0;
+  spec.max_shift = 1;
+  spec.distractor = 0.2;
+  spec.noise = 0.2;
+  spec.waves = 4;
+  return spec;
+}
+
+/// Pool of `n` tiny images with 4 classes.
+inline data::Dataset tiny_pool(std::size_t n, std::uint64_t seed) {
+  const data::SyntheticGenerator gen(tiny_image_spec(), seed);
+  Rng rng = Rng(seed).split(1);
+  return gen.generate(n, rng);
+}
+
+/// Splits a partition into per-client train/test ClientData.
+inline std::vector<fl::ClientData> make_clients(
+    const data::Dataset& pool, const partition::Partition& part,
+    std::uint64_t seed, double test_fraction = 0.25) {
+  std::vector<fl::ClientData> clients;
+  Rng rng = Rng(seed).split(2);
+  for (const auto& ds : partition::materialize(pool, part)) {
+    auto [train, test] = ds.stratified_split(test_fraction, rng);
+    if (test.empty()) {  // tiny clients: fall back to testing on train
+      test = train;
+    }
+    clients.push_back({std::move(train), std::move(test)});
+  }
+  return clients;
+}
+
+/// A two-group federation (classes {0,1} vs {2,3}) over `num_clients`
+/// clients — the canonical clusterable scenario.
+struct GroupedFederation {
+  fl::Federation federation;
+  std::vector<std::size_t> true_groups;
+};
+
+inline GroupedFederation make_grouped_federation(
+    std::size_t num_clients = 6, std::size_t pool_size = 480,
+    std::uint64_t seed = 42, fl::FederationConfig config = {}) {
+  const data::Dataset pool = tiny_pool(pool_size, seed);
+  Rng prng = Rng(seed).split(3);
+  const partition::Partition part = partition::grouped_label_partition(
+      pool, num_clients, {{0, 1}, {2, 3}}, prng);
+
+  nn::Model model = nn::mlp({1, 8, 8, 4}, 16);
+  Rng init = Rng(seed).split(4);
+  model.init_params(init);
+
+  config.seed = seed;
+  if (config.threads == 0) config.threads = 2;
+  return {fl::Federation(std::move(model), make_clients(pool, part, seed),
+                         config),
+          part.true_groups};
+}
+
+/// A Dirichlet(beta) federation with no ground-truth groups.
+inline fl::Federation make_dirichlet_federation(
+    std::size_t num_clients = 6, double beta = 0.3,
+    std::size_t pool_size = 480, std::uint64_t seed = 7,
+    fl::FederationConfig config = {}) {
+  const data::Dataset pool = tiny_pool(pool_size, seed);
+  Rng prng = Rng(seed).split(3);
+  const partition::Partition part =
+      partition::dirichlet_partition(pool, num_clients, beta, prng, 8);
+
+  nn::Model model = nn::mlp({1, 8, 8, 4}, 16);
+  Rng init = Rng(seed).split(4);
+  model.init_params(init);
+
+  config.seed = seed;
+  if (config.threads == 0) config.threads = 2;
+  return fl::Federation(std::move(model), make_clients(pool, part, seed),
+                        config);
+}
+
+}  // namespace fedclust::testing

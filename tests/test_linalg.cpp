@@ -1,0 +1,227 @@
+// Tests for the double-precision matrix, SVD, and principal angles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+#include "utils/rng.hpp"
+
+namespace fedclust {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+TEST(Matrix, BasicAccessAndIdentity) {
+  Matrix m = Matrix::identity(3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+TEST(Matrix, FromRowsValidates) {
+  const Matrix m = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), Error);
+  EXPECT_THROW(Matrix::from_rows({}), Error);
+}
+
+TEST(Matrix, TransposeAndRowCol) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(m.row(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(m.col(2), (std::vector<double>{3, 6}));
+}
+
+TEST(Matrix, MatmulKnownResult) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulTnAgreesWithExplicitTranspose) {
+  const Matrix a = random_matrix(4, 3, 1);
+  const Matrix b = random_matrix(4, 5, 2);
+  const Matrix c1 = matmul_tn(a, b);
+  const Matrix c2 = matmul(a.transposed(), b);
+  for (std::size_t i = 0; i < c1.rows(); ++i) {
+    for (std::size_t j = 0; j < c1.cols(); ++j) {
+      EXPECT_NEAR(c1(i, j), c2(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix m = Matrix::from_rows({{3, 0}, {0, 4}});
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+// -- SVD ---------------------------------------------------------------------
+
+TEST(Svd, DiagonalMatrix) {
+  const Matrix a = Matrix::from_rows({{3, 0}, {0, 2}});
+  const SvdResult r = svd(a);
+  ASSERT_EQ(r.singular_values.size(), 2u);
+  EXPECT_NEAR(r.singular_values[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.singular_values[1], 2.0, 1e-10);
+}
+
+TEST(Svd, ReconstructsInput) {
+  const Matrix a = random_matrix(6, 4, 3);
+  const SvdResult r = svd(a);
+  // A ?= U diag(s) Vᵀ
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      double v = 0.0;
+      for (std::size_t k = 0; k < r.singular_values.size(); ++k) {
+        v += r.u(i, k) * r.singular_values[k] * r.v(j, k);
+      }
+      ASSERT_NEAR(v, a(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(Svd, SingularValuesSortedDescending) {
+  const Matrix a = random_matrix(8, 5, 4);
+  const SvdResult r = svd(a);
+  for (std::size_t i = 1; i < r.singular_values.size(); ++i) {
+    EXPECT_GE(r.singular_values[i - 1], r.singular_values[i]);
+  }
+}
+
+TEST(Svd, LeftSingularVectorsOrthonormal) {
+  const Matrix a = random_matrix(10, 4, 5);
+  const SvdResult r = svd(a);
+  const Matrix gram = matmul_tn(r.u, r.u);
+  for (std::size_t i = 0; i < gram.rows(); ++i) {
+    for (std::size_t j = 0; j < gram.cols(); ++j) {
+      EXPECT_NEAR(gram(i, j), i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Svd, MatchesFrobeniusNorm) {
+  const Matrix a = random_matrix(7, 7, 6);
+  const SvdResult r = svd(a);
+  double sq = 0.0;
+  for (double s : r.singular_values) sq += s * s;
+  EXPECT_NEAR(std::sqrt(sq), a.frobenius_norm(), 1e-8);
+}
+
+TEST(Svd, RankDeficientInput) {
+  // Two identical columns -> second singular value 0.
+  const Matrix a = Matrix::from_rows({{1, 1}, {2, 2}, {3, 3}});
+  const SvdResult r = svd(a);
+  EXPECT_NEAR(r.singular_values[1], 0.0, 1e-9);
+}
+
+TEST(Svd, TruncatedAgreesWithFull) {
+  const Matrix a = random_matrix(12, 6, 7);
+  const SvdResult full = svd(a);
+  const Matrix u2 = truncated_left_singular_vectors(a, 2);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    // Columns can differ by sign.
+    EXPECT_NEAR(std::abs(u2(i, 0)), std::abs(full.u(i, 0)), 1e-8);
+  }
+}
+
+TEST(Svd, GramVariantSpansSameSubspace) {
+  const Matrix a = random_matrix(40, 8, 8);
+  const Matrix u_direct = truncated_left_singular_vectors(a, 3);
+  const Matrix u_gram = truncated_left_singular_vectors_gram(a, 3);
+  // Same subspace -> all principal angles ~ 0.
+  const auto angles = principal_angles(u_direct, u_gram);
+  for (double ang : angles) {
+    EXPECT_NEAR(ang, 0.0, 1e-5);
+  }
+}
+
+TEST(Svd, GramVariantColumnsOrthonormal) {
+  const Matrix a = random_matrix(30, 6, 9);
+  const Matrix u = truncated_left_singular_vectors_gram(a, 4);
+  const Matrix gram = matmul_tn(u, u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(gram(i, j), i == j ? 1.0 : 0.0, 1e-6);
+    }
+  }
+}
+
+// -- orthonormalization -----------------------------------------------------
+
+TEST(Orthonormalize, FullRankInput) {
+  Matrix a = random_matrix(6, 3, 10);
+  const std::size_t rank = orthonormalize_columns(a);
+  EXPECT_EQ(rank, 3u);
+  const Matrix gram = matmul_tn(a, a);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(gram(i, j), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Orthonormalize, DetectsDependentColumns) {
+  Matrix a(4, 3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = 2.0 * static_cast<double>(i + 1);  // dependent on col 0
+    a(i, 2) = (i == 0) ? 1.0 : 0.0;
+  }
+  const std::size_t rank = orthonormalize_columns(a);
+  EXPECT_EQ(rank, 2u);
+}
+
+// -- principal angles ------------------------------------------------------
+
+TEST(PrincipalAngles, IdenticalSubspacesAreZero) {
+  Matrix u = random_matrix(10, 3, 11);
+  orthonormalize_columns(u);
+  const auto angles = principal_angles(u, u);
+  // acos amplifies rounding near 1, so the tolerance is looser than the
+  // underlying machine precision.
+  for (double a : angles) EXPECT_NEAR(a, 0.0, 1e-6);
+}
+
+TEST(PrincipalAngles, OrthogonalSubspacesAreRightAngles) {
+  Matrix u1(4, 2), u2(4, 2);
+  u1(0, 0) = 1.0;
+  u1(1, 1) = 1.0;
+  u2(2, 0) = 1.0;
+  u2(3, 1) = 1.0;
+  const auto angles = principal_angles(u1, u2);
+  for (double a : angles) EXPECT_NEAR(a, M_PI / 2.0, 1e-10);
+}
+
+TEST(PrincipalAngles, PartialOverlap) {
+  // Share one direction, differ in the other.
+  Matrix u1(4, 2), u2(4, 2);
+  u1(0, 0) = 1.0;
+  u1(1, 1) = 1.0;
+  u2(0, 0) = 1.0;  // shared e0
+  u2(2, 1) = 1.0;
+  const auto angles = principal_angles(u1, u2);
+  ASSERT_EQ(angles.size(), 2u);
+  EXPECT_NEAR(angles.front(), 0.0, 1e-10);
+  EXPECT_NEAR(angles.back(), M_PI / 2.0, 1e-10);
+  EXPECT_NEAR(smallest_principal_angle(u1, u2), 0.0, 1e-10);
+}
+
+TEST(PrincipalAngles, DimensionMismatchThrows) {
+  Matrix u1(4, 2), u2(5, 2);
+  EXPECT_THROW(principal_angles(u1, u2), Error);
+}
+
+}  // namespace
+}  // namespace fedclust

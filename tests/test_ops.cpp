@@ -1,0 +1,330 @@
+// Tests for the math kernels, including finite-difference gradient checks
+// of the convolution backward passes.
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "utils/rng.hpp"
+
+namespace fedclust {
+namespace {
+
+using ops::Conv2dSpec;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed, float scale = 1.0f) {
+  Rng rng(seed);
+  return Tensor::randn(std::move(shape), rng, 0.0f, scale);
+}
+
+// -- GEMM -------------------------------------------------------------------
+
+TEST(Matmul, SmallKnownResult) {
+  const Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  Tensor c;
+  ops::matmul(a, b, c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Matmul, IdentityIsNoop) {
+  const Tensor a = random_tensor({4, 4}, 1);
+  Tensor eye({4, 4});
+  for (std::size_t i = 0; i < 4; ++i) eye.at(i, i) = 1.0f;
+  Tensor c;
+  ops::matmul(a, eye, c);
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(c[i], a[i], 1e-5f);
+  }
+}
+
+TEST(Matmul, DimensionMismatchThrows) {
+  Tensor a({2, 3}), b({2, 3}), c;
+  EXPECT_THROW(ops::matmul(a, b, c), Error);
+}
+
+TEST(Matmul, TransposedVariantsAgree) {
+  const Tensor a = random_tensor({5, 7}, 2);
+  const Tensor b = random_tensor({7, 4}, 3);
+  Tensor c_ref;
+  ops::matmul(a, b, c_ref);
+
+  // A stored transposed: matmul_tn(Aᵀ, B) should equal A·B.
+  Tensor at({7, 5});
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) at.at(j, i) = a.at(i, j);
+  }
+  Tensor c_tn;
+  ops::matmul_tn(at, b, c_tn);
+  ASSERT_EQ(c_tn.shape(), c_ref.shape());
+  for (std::size_t i = 0; i < c_ref.numel(); ++i) {
+    EXPECT_NEAR(c_tn[i], c_ref[i], 1e-4f);
+  }
+
+  // B stored transposed: matmul_nt(A, Bᵀ) should equal A·B.
+  Tensor bt({4, 7});
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  Tensor c_nt;
+  ops::matmul_nt(a, bt, c_nt);
+  for (std::size_t i = 0; i < c_ref.numel(); ++i) {
+    EXPECT_NEAR(c_nt[i], c_ref[i], 1e-4f);
+  }
+}
+
+// -- convolution --------------------------------------------------------------
+
+TEST(Conv2d, OutSizeFormula) {
+  Conv2dSpec s{1, 1, 5, 0, 1};
+  EXPECT_EQ(s.out_size(32), 28u);
+  s.padding = 2;
+  EXPECT_EQ(s.out_size(28), 28u);
+  s.stride = 2;
+  EXPECT_EQ(s.out_size(28), 14u);
+  s.padding = 0;
+  s.kernel = 33;
+  EXPECT_THROW(s.out_size(32), Error);
+}
+
+TEST(Conv2d, HandComputed1x1Input) {
+  // 1 image, 1 channel, 3x3 input, 2x2 kernel, no padding.
+  const Tensor input({1, 1, 3, 3},
+                     std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Tensor weight({1, 1, 2, 2}, std::vector<float>{1, 0, 0, 1});
+  const Tensor bias({1}, std::vector<float>{0.5f});
+  const Conv2dSpec spec{1, 1, 2, 0, 1};
+  Tensor out;
+  ops::conv2d_forward(input, weight, bias, spec, out);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 1 + 5 + 0.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 1), 2 + 6 + 0.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1, 0), 4 + 8 + 0.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), 5 + 9 + 0.5f);
+}
+
+TEST(Conv2d, PaddingZeroExtends) {
+  const Tensor input({1, 1, 1, 1}, std::vector<float>{2.0f});
+  const Tensor weight({1, 1, 3, 3}, std::vector<float>(9, 1.0f));
+  const Tensor bias({1});
+  const Conv2dSpec spec{1, 1, 3, 1, 1};
+  Tensor out;
+  ops::conv2d_forward(input, weight, bias, spec, out);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(out[0], 2.0f);  // only the center tap hits real data
+}
+
+TEST(Conv2d, DirectMatchesIm2col) {
+  const Conv2dSpec spec{3, 4, 3, 1, 1};
+  const Tensor input = random_tensor({2, 3, 8, 8}, 10);
+  const Tensor weight = random_tensor({4, 3, 3, 3}, 11, 0.5f);
+  const Tensor bias = random_tensor({4}, 12, 0.1f);
+
+  Tensor direct, gemm, scratch;
+  ops::conv2d_forward(input, weight, bias, spec, direct);
+  ops::conv2d_forward_im2col(input, weight, bias, spec, gemm, scratch);
+  ASSERT_EQ(direct.shape(), gemm.shape());
+  for (std::size_t i = 0; i < direct.numel(); ++i) {
+    ASSERT_NEAR(direct[i], gemm[i], 1e-4f) << "at " << i;
+  }
+}
+
+TEST(Conv2d, StridedForwardShape) {
+  const Conv2dSpec spec{1, 2, 3, 1, 2};
+  const Tensor input = random_tensor({1, 1, 8, 8}, 13);
+  const Tensor weight = random_tensor({2, 1, 3, 3}, 14);
+  const Tensor bias({2});
+  Tensor out;
+  ops::conv2d_forward(input, weight, bias, spec, out);
+  EXPECT_EQ(out.shape(), (Shape{1, 2, 4, 4}));
+}
+
+// Finite-difference check of the convolution backward passes: perturb an
+// element, watch the scalar loss L = Σ g ⊙ conv(x) move, compare with the
+// analytic gradient.
+TEST(Conv2d, BackwardInputMatchesFiniteDifference) {
+  const Conv2dSpec spec{2, 3, 3, 1, 1};
+  Tensor input = random_tensor({1, 2, 5, 5}, 20);
+  const Tensor weight = random_tensor({3, 2, 3, 3}, 21, 0.5f);
+  const Tensor bias = random_tensor({3}, 22, 0.1f);
+  const Tensor g = random_tensor({1, 3, 5, 5}, 23);  // dL/dout
+
+  Tensor out;
+  ops::conv2d_forward(input, weight, bias, spec, out);
+  Tensor grad_input(input.shape());
+  ops::conv2d_backward_input(g, weight, spec, grad_input);
+
+  const float eps = 1e-2f;
+  for (std::size_t probe : {0u, 7u, 24u, 33u, 49u}) {
+    const float orig = input[probe];
+    input[probe] = orig + eps;
+    Tensor out_p;
+    ops::conv2d_forward(input, weight, bias, spec, out_p);
+    input[probe] = orig - eps;
+    Tensor out_m;
+    ops::conv2d_forward(input, weight, bias, spec, out_m);
+    input[probe] = orig;
+
+    double lp = 0.0, lm = 0.0;
+    for (std::size_t i = 0; i < g.numel(); ++i) {
+      lp += static_cast<double>(g[i]) * out_p[i];
+      lm += static_cast<double>(g[i]) * out_m[i];
+    }
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(grad_input[probe], numeric, 5e-2)
+        << "input gradient mismatch at " << probe;
+  }
+}
+
+TEST(Conv2d, BackwardParamsMatchesFiniteDifference) {
+  const Conv2dSpec spec{2, 2, 3, 0, 1};
+  const Tensor input = random_tensor({2, 2, 6, 6}, 30);
+  Tensor weight = random_tensor({2, 2, 3, 3}, 31, 0.5f);
+  Tensor bias = random_tensor({2}, 32, 0.1f);
+  const Tensor g = random_tensor({2, 2, 4, 4}, 33);
+
+  Tensor grad_w(weight.shape());
+  Tensor grad_b(bias.shape());
+  ops::conv2d_backward_params(input, g, spec, grad_w, grad_b);
+
+  auto loss_at = [&]() {
+    Tensor out;
+    ops::conv2d_forward(input, weight, bias, spec, out);
+    double l = 0.0;
+    for (std::size_t i = 0; i < g.numel(); ++i) {
+      l += static_cast<double>(g[i]) * out[i];
+    }
+    return l;
+  };
+
+  const float eps = 1e-2f;
+  for (std::size_t probe : {0u, 5u, 17u, 35u}) {
+    const float orig = weight[probe];
+    weight[probe] = orig + eps;
+    const double lp = loss_at();
+    weight[probe] = orig - eps;
+    const double lm = loss_at();
+    weight[probe] = orig;
+    EXPECT_NEAR(grad_w[probe], (lp - lm) / (2.0 * eps), 5e-2);
+  }
+  for (std::size_t probe : {0u, 1u}) {
+    const float orig = bias[probe];
+    bias[probe] = orig + eps;
+    const double lp = loss_at();
+    bias[probe] = orig - eps;
+    const double lm = loss_at();
+    bias[probe] = orig;
+    EXPECT_NEAR(grad_b[probe], (lp - lm) / (2.0 * eps), 5e-2);
+  }
+}
+
+TEST(Conv2d, BackwardParamsAccumulates) {
+  const Conv2dSpec spec{1, 1, 2, 0, 1};
+  const Tensor input = random_tensor({1, 1, 3, 3}, 40);
+  const Tensor g = random_tensor({1, 1, 2, 2}, 41);
+  Tensor grad_w({1, 1, 2, 2});
+  Tensor grad_b({1});
+  ops::conv2d_backward_params(input, g, spec, grad_w, grad_b);
+  const float first = grad_w[0];
+  ops::conv2d_backward_params(input, g, spec, grad_w, grad_b);
+  EXPECT_NEAR(grad_w[0], 2.0f * first, 1e-5f);
+}
+
+// -- pooling ----------------------------------------------------------------
+
+TEST(MaxPool, ForwardPicksMaxAndRecordsArgmax) {
+  const Tensor input({1, 1, 2, 4},
+                     std::vector<float>{1, 5, 2, 3, 4, 0, 9, 8});
+  Tensor out;
+  std::vector<std::size_t> argmax;
+  ops::max_pool_forward(input, 2, out, argmax);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+  EXPECT_FLOAT_EQ(out[1], 9.0f);
+  EXPECT_EQ(argmax[0], 1u);
+  EXPECT_EQ(argmax[1], 6u);
+}
+
+TEST(MaxPool, BackwardScattersToArgmax) {
+  const Tensor input({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor out;
+  std::vector<std::size_t> argmax;
+  ops::max_pool_forward(input, 2, out, argmax);
+  const Tensor g({1, 1, 1, 1}, std::vector<float>{10.0f});
+  Tensor grad_in(input.shape());
+  ops::max_pool_backward(g, argmax, grad_in);
+  EXPECT_FLOAT_EQ(grad_in[3], 10.0f);
+  EXPECT_FLOAT_EQ(grad_in[0], 0.0f);
+}
+
+TEST(MaxPool, WindowMustDivide) {
+  const Tensor input({1, 1, 5, 5});
+  Tensor out;
+  std::vector<std::size_t> argmax;
+  EXPECT_THROW(ops::max_pool_forward(input, 2, out, argmax), Error);
+}
+
+TEST(AvgPool, ForwardAveragesWindow) {
+  const Tensor input({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor out;
+  ops::avg_pool_forward(input, 2, out);
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+}
+
+TEST(AvgPool, BackwardSpreadsUniformly) {
+  const Tensor g({1, 1, 1, 1}, std::vector<float>{8.0f});
+  Tensor grad_in({1, 1, 2, 2});
+  ops::avg_pool_backward(g, 2, grad_in);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(grad_in[i], 2.0f);
+}
+
+// -- softmax ------------------------------------------------------------------
+
+TEST(Softmax, RowsSumToOne) {
+  const Tensor logits = random_tensor({5, 10}, 50, 3.0f);
+  Tensor probs;
+  ops::softmax_rows(logits, probs);
+  for (std::size_t r = 0; r < 5; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < 10; ++c) {
+      ASSERT_GT(probs.at(r, c), 0.0f);
+      s += probs.at(r, c);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  const Tensor logits({1, 3}, std::vector<float>{1000.0f, 1000.0f, 0.0f});
+  Tensor probs;
+  ops::softmax_rows(logits, probs);
+  EXPECT_NEAR(probs[0], 0.5f, 1e-5f);
+  EXPECT_NEAR(probs[1], 0.5f, 1e-5f);
+  EXPECT_NEAR(probs[2], 0.0f, 1e-5f);
+}
+
+TEST(Softmax, ShiftInvariance) {
+  const Tensor a({1, 4}, std::vector<float>{1, 2, 3, 4});
+  const Tensor b({1, 4}, std::vector<float>{101, 102, 103, 104});
+  Tensor pa, pb;
+  ops::softmax_rows(a, pa);
+  ops::softmax_rows(b, pb);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(pa[i], pb[i], 1e-6f);
+}
+
+TEST(LogSumExp, MatchesDirectComputation) {
+  const Tensor logits({2, 3}, std::vector<float>{0, 0, 0, 1, 2, 3});
+  std::vector<float> lse;
+  ops::logsumexp_rows(logits, lse);
+  EXPECT_NEAR(lse[0], std::log(3.0f), 1e-5f);
+  const float direct =
+      std::log(std::exp(1.0f) + std::exp(2.0f) + std::exp(3.0f));
+  EXPECT_NEAR(lse[1], direct, 1e-5f);
+}
+
+}  // namespace
+}  // namespace fedclust

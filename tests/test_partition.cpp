@@ -1,0 +1,307 @@
+// Tests for the non-IID partitioners and the heterogeneity statistics.
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "data/synthetic.hpp"
+
+namespace fedclust::partition {
+namespace {
+
+data::Dataset balanced_pool(std::size_t per_class = 50) {
+  const data::ImageSpec spec{1, 4, 4, 10};
+  data::Dataset ds(spec);
+  for (std::size_t c = 0; c < spec.classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      Tensor img({1, 4, 4});
+      img.fill(static_cast<float>(c));
+      ds.add(img, static_cast<std::int32_t>(c));
+    }
+  }
+  return ds;
+}
+
+/// Every pool sample is assigned exactly once across clients.
+void expect_exact_cover(const data::Dataset& pool, const Partition& part) {
+  std::vector<int> hits(pool.size(), 0);
+  for (const auto& client : part.client_indices) {
+    for (std::size_t i : client) {
+      ASSERT_LT(i, pool.size());
+      ++hits[i];
+    }
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1) << "sample " << i;
+  }
+}
+
+TEST(DirichletPartition, CoversPoolExactly) {
+  const data::Dataset pool = balanced_pool();
+  Rng rng(1);
+  const Partition part = dirichlet_partition(pool, 10, 0.5, rng);
+  EXPECT_EQ(part.num_clients(), 10u);
+  expect_exact_cover(pool, part);
+}
+
+TEST(DirichletPartition, RespectsMinSamples) {
+  const data::Dataset pool = balanced_pool();
+  Rng rng(2);
+  const Partition part = dirichlet_partition(pool, 10, 0.1, rng, 15);
+  for (const auto& client : part.client_indices) {
+    EXPECT_GE(client.size(), 15u);
+  }
+}
+
+TEST(DirichletPartition, SmallBetaIsMoreSkewedThanLargeBeta) {
+  const data::Dataset pool = balanced_pool();
+  Rng rng1(3), rng2(3);
+  const Partition skewed = dirichlet_partition(pool, 10, 0.05, rng1);
+  const Partition flat = dirichlet_partition(pool, 10, 100.0, rng2);
+  EXPECT_GT(heterogeneity_index(pool, skewed),
+            heterogeneity_index(pool, flat) + 0.2);
+}
+
+TEST(DirichletPartition, LargeBetaApproachesIid) {
+  const data::Dataset pool = balanced_pool();
+  Rng rng(4);
+  const Partition part = dirichlet_partition(pool, 5, 1000.0, rng);
+  EXPECT_LT(heterogeneity_index(pool, part), 0.15);
+}
+
+TEST(DirichletPartition, ValidatesArguments) {
+  const data::Dataset pool = balanced_pool(2);
+  Rng rng(5);
+  EXPECT_THROW(dirichlet_partition(pool, 0, 0.1, rng), Error);
+  EXPECT_THROW(dirichlet_partition(pool, 10, 0.0, rng), Error);
+  EXPECT_THROW(dirichlet_partition(pool, 10, 0.1, rng, 1000), Error);
+}
+
+TEST(DirichletPartition, DeterministicGivenRngState) {
+  const data::Dataset pool = balanced_pool();
+  Rng a(6), b(6);
+  const Partition pa = dirichlet_partition(pool, 8, 0.1, a);
+  const Partition pb = dirichlet_partition(pool, 8, 0.1, b);
+  EXPECT_EQ(pa.client_indices, pb.client_indices);
+}
+
+TEST(ShardPartition, EachClientGetsLimitedLabels) {
+  const data::Dataset pool = balanced_pool();
+  Rng rng(7);
+  const Partition part = shard_partition(pool, 10, 2, rng);
+  expect_exact_cover(pool, part);
+  // With 2 shards per client over label-sorted data, each client sees at
+  // most ~3 distinct labels (shards may straddle one boundary each).
+  for (const auto& client : part.client_indices) {
+    std::set<std::int32_t> labels;
+    for (std::size_t i : client) labels.insert(pool.label(i));
+    EXPECT_LE(labels.size(), 4u);
+  }
+}
+
+TEST(ShardPartition, HighlyNonIid) {
+  const data::Dataset pool = balanced_pool();
+  Rng rng(8);
+  const Partition part = shard_partition(pool, 10, 2, rng);
+  EXPECT_GT(heterogeneity_index(pool, part), 0.5);
+}
+
+TEST(IidPartition, BalancedSizesAndLowSkew) {
+  const data::Dataset pool = balanced_pool();
+  Rng rng(9);
+  const Partition part = iid_partition(pool, 10, rng);
+  expect_exact_cover(pool, part);
+  for (const auto& client : part.client_indices) {
+    EXPECT_EQ(client.size(), 50u);
+  }
+  // 50 samples per client over 10 classes leaves ~0.25 of small-sample
+  // TV noise even for a perfectly IID split.
+  EXPECT_LT(heterogeneity_index(pool, part), 0.35);
+}
+
+TEST(QuantitySkew, CoversPoolWithSkewedSizes) {
+  const data::Dataset pool = balanced_pool();  // 500 samples
+  Rng rng(20);
+  const Partition part = quantity_skew_partition(pool, 10, 0.3, rng, 10);
+  expect_exact_cover(pool, part);
+  std::size_t smallest = pool.size();
+  std::size_t largest = 0;
+  for (const auto& client : part.client_indices) {
+    EXPECT_GE(client.size(), 10u);
+    smallest = std::min(smallest, client.size());
+    largest = std::max(largest, client.size());
+  }
+  // Low beta -> strongly unequal sizes.
+  EXPECT_GT(largest, 3 * smallest);
+}
+
+TEST(QuantitySkew, LabelsStayRoughlyIid) {
+  const data::Dataset pool = balanced_pool();
+  Rng rng(21);
+  const Partition part = quantity_skew_partition(pool, 5, 0.5, rng, 20);
+  // Quantity skew must not introduce label skew beyond sampling noise.
+  EXPECT_LT(heterogeneity_index(pool, part), 0.4);
+}
+
+TEST(QuantitySkew, LargeBetaApproachesEqualSizes) {
+  const data::Dataset pool = balanced_pool();
+  Rng rng(22);
+  const Partition part = quantity_skew_partition(pool, 5, 1000.0, rng, 10);
+  for (const auto& client : part.client_indices) {
+    EXPECT_NEAR(static_cast<double>(client.size()), 100.0, 15.0);
+  }
+}
+
+TEST(QuantitySkew, ValidatesArguments) {
+  const data::Dataset pool = balanced_pool(2);
+  Rng rng(23);
+  EXPECT_THROW(quantity_skew_partition(pool, 0, 0.5, rng), Error);
+  EXPECT_THROW(quantity_skew_partition(pool, 5, 0.0, rng), Error);
+  EXPECT_THROW(quantity_skew_partition(pool, 5, 0.5, rng, 1000), Error);
+}
+
+TEST(GroupedPartition, DisjointLabelSets) {
+  const data::Dataset pool = balanced_pool();
+  Rng rng(10);
+  const std::vector<std::vector<std::int32_t>> groups{{0, 1, 2, 3, 4},
+                                                      {5, 6, 7, 8, 9}};
+  const Partition part = grouped_label_partition(pool, 10, groups, rng);
+  expect_exact_cover(pool, part);
+  ASSERT_EQ(part.true_groups.size(), 10u);
+
+  for (std::size_t c = 0; c < 10; ++c) {
+    const std::size_t g = part.true_groups[c];
+    for (std::size_t i : part.client_indices[c]) {
+      const std::int32_t label = pool.label(i);
+      const bool in_group =
+          std::find(groups[g].begin(), groups[g].end(), label) !=
+          groups[g].end();
+      ASSERT_TRUE(in_group) << "client " << c << " got foreign label "
+                            << label;
+    }
+  }
+}
+
+TEST(GroupedPartition, RoundRobinGroupAssignment) {
+  const data::Dataset pool = balanced_pool();
+  Rng rng(11);
+  const std::vector<std::vector<std::int32_t>> groups{{0, 1}, {2, 3}, {4, 5}};
+  const Partition part = grouped_label_partition(pool, 9, groups, rng);
+  EXPECT_EQ(part.true_groups,
+            (std::vector<std::size_t>{0, 1, 2, 0, 1, 2, 0, 1, 2}));
+}
+
+TEST(GroupedPartition, WithinGroupDirichletAddsSkew) {
+  const data::Dataset pool = balanced_pool();
+  Rng r1(12), r2(12);
+  const std::vector<std::vector<std::int32_t>> groups{{0, 1, 2, 3, 4},
+                                                      {5, 6, 7, 8, 9}};
+  const Partition flat = grouped_label_partition(pool, 10, groups, r1, 0.0);
+  const Partition skew = grouped_label_partition(pool, 10, groups, r2, 0.2);
+  EXPECT_GT(heterogeneity_index(pool, skew),
+            heterogeneity_index(pool, flat));
+}
+
+TEST(GroupedPartition, ValidatesArguments) {
+  const data::Dataset pool = balanced_pool();
+  Rng rng(13);
+  EXPECT_THROW(grouped_label_partition(pool, 1, {{0}, {1}}, rng), Error);
+  EXPECT_THROW(grouped_label_partition(pool, 4, {}, rng), Error);
+  EXPECT_THROW(grouped_label_partition(pool, 4, {{0}, {99}}, rng), Error);
+}
+
+TEST(FeatureSkew, NoiseGrowsWithClientIndex) {
+  const data::Dataset pool = balanced_pool(20);  // 200 samples
+  Rng rng(30);
+  const auto datasets = feature_skew_split(pool, 4, 2.0, rng);
+  ASSERT_EQ(datasets.size(), 4u);
+  // Client 0 gets clean data; later clients get noisier pixels. The pool
+  // images are constant per class, so per-image pixel variance is a
+  // direct readout of the injected noise.
+  auto mean_pixel_variance = [](const data::Dataset& ds) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      const Tensor img = ds.image(i);
+      const float mean = img.mean();
+      double var = 0.0;
+      for (std::size_t d = 0; d < img.numel(); ++d) {
+        var += (img[d] - mean) * (img[d] - mean);
+      }
+      total += var / static_cast<double>(img.numel());
+    }
+    return total / static_cast<double>(ds.size());
+  };
+  const double v0 = mean_pixel_variance(datasets[0]);
+  const double v3 = mean_pixel_variance(datasets[3]);
+  EXPECT_LT(v0, 1e-9);  // clean constant images
+  EXPECT_GT(v3, 1.0);   // sigma = 2 noise
+}
+
+TEST(FeatureSkew, LabelsStayBalanced) {
+  const data::Dataset pool = balanced_pool(20);
+  Rng rng(31);
+  const auto datasets = feature_skew_split(pool, 4, 1.0, rng);
+  std::size_t total = 0;
+  for (const auto& ds : datasets) {
+    total += ds.size();
+    const auto hist = ds.label_histogram();
+    for (std::size_t c : hist) EXPECT_GT(c, 0u);  // every class present
+  }
+  EXPECT_EQ(total, pool.size());
+}
+
+TEST(FeatureSkew, ValidatesArguments) {
+  const data::Dataset pool = balanced_pool(4);
+  Rng rng(32);
+  EXPECT_THROW(feature_skew_split(pool, 0, 1.0, rng), Error);
+  EXPECT_THROW(feature_skew_split(pool, 2, -1.0, rng), Error);
+}
+
+TEST(Materialize, BuildsPerClientDatasets) {
+  const data::Dataset pool = balanced_pool(5);
+  Rng rng(14);
+  const Partition part = iid_partition(pool, 5, rng);
+  const auto datasets = materialize(pool, part);
+  ASSERT_EQ(datasets.size(), 5u);
+  std::size_t total = 0;
+  for (const auto& ds : datasets) total += ds.size();
+  EXPECT_EQ(total, pool.size());
+}
+
+TEST(LabelHistograms, SumsMatchPartition) {
+  const data::Dataset pool = balanced_pool(5);
+  Rng rng(15);
+  const Partition part = dirichlet_partition(pool, 5, 0.5, rng, 1);
+  const auto hists = label_histograms(pool, part);
+  ASSERT_EQ(hists.size(), 5u);
+  for (std::size_t c = 0; c < 5; ++c) {
+    const std::size_t total = std::accumulate(
+        hists[c].begin(), hists[c].end(), std::size_t{0});
+    EXPECT_EQ(total, part.client_indices[c].size());
+  }
+}
+
+TEST(HeterogeneityIndex, ExtremesBehave) {
+  const data::Dataset pool = balanced_pool(4);
+  // Hand-build a perfectly disjoint partition: client 0 gets classes 0-4,
+  // client 1 gets 5-9.
+  Partition part;
+  part.client_indices.assign(2, {});
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    part.client_indices[pool.label(i) < 5 ? 0 : 1].push_back(i);
+  }
+  EXPECT_NEAR(heterogeneity_index(pool, part), 1.0, 1e-9);
+
+  // Identical marginals -> 0.
+  Partition same;
+  same.client_indices.assign(2, {});
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    same.client_indices[i % 2].push_back(i);
+  }
+  EXPECT_NEAR(heterogeneity_index(pool, same), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fedclust::partition

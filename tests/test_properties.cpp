@@ -1,0 +1,262 @@
+// Property-based tests: algebraic invariants that must hold for whole
+// families of inputs, swept with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "cluster/distance.hpp"
+#include "cluster/hierarchical.hpp"
+#include "cluster/metrics.hpp"
+#include "fl/federation.hpp"
+#include "nn/loss.hpp"
+#include "nn/models.hpp"
+#include "tensor/ops.hpp"
+#include "utils/rng.hpp"
+
+namespace fedclust {
+namespace {
+
+// -- aggregation invariants ---------------------------------------------------
+
+class AggregationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AggregationProperty, AverageOfIdenticalUpdatesIsIdentity) {
+  Rng rng(GetParam());
+  std::vector<float> w(64);
+  for (auto& v : w) v = static_cast<float>(rng.normal());
+  std::vector<fl::ClientUpdate> updates;
+  for (std::size_t i = 0; i < 5; ++i) {
+    updates.push_back({i, w, 1 + rng.uniform_int(100), 0.0f});
+  }
+  const auto avg = fl::weighted_average(updates);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    ASSERT_NEAR(avg[i], w[i], 1e-5f);
+  }
+}
+
+TEST_P(AggregationProperty, AverageIsPermutationInvariant) {
+  Rng rng(GetParam());
+  std::vector<fl::ClientUpdate> updates;
+  for (std::size_t i = 0; i < 6; ++i) {
+    std::vector<float> w(32);
+    for (auto& v : w) v = static_cast<float>(rng.normal());
+    updates.push_back({i, std::move(w), 1 + rng.uniform_int(50), 0.0f});
+  }
+  auto shuffled = updates;
+  rng.shuffle(shuffled);
+  const auto a = fl::weighted_average(updates);
+  const auto b = fl::weighted_average(shuffled);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], 1e-5f);
+  }
+}
+
+TEST_P(AggregationProperty, AverageIsWithinComponentwiseBounds) {
+  Rng rng(GetParam());
+  std::vector<fl::ClientUpdate> updates;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::vector<float> w(16);
+    for (auto& v : w) v = static_cast<float>(rng.normal());
+    updates.push_back({i, std::move(w), 1 + rng.uniform_int(20), 0.0f});
+  }
+  const auto avg = fl::weighted_average(updates);
+  for (std::size_t d = 0; d < avg.size(); ++d) {
+    float lo = updates[0].weights[d], hi = lo;
+    for (const auto& u : updates) {
+      lo = std::min(lo, u.weights[d]);
+      hi = std::max(hi, u.weights[d]);
+    }
+    ASSERT_GE(avg[d], lo - 1e-5f);
+    ASSERT_LE(avg[d], hi + 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregationProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// -- distance matrix invariants ------------------------------------------------
+
+class DistanceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DistanceProperty, EuclideanIsAMetric) {
+  Rng rng(GetParam());
+  std::vector<std::vector<float>> pts(8, std::vector<float>(5));
+  for (auto& p : pts) {
+    for (auto& v : p) v = static_cast<float>(rng.normal());
+  }
+  const Matrix d = cluster::pairwise_euclidean(pts);
+  for (std::size_t i = 0; i < 8; ++i) {
+    ASSERT_DOUBLE_EQ(d(i, i), 0.0);
+    for (std::size_t j = 0; j < 8; ++j) {
+      ASSERT_NEAR(d(i, j), d(j, i), 1e-12);  // symmetry
+      ASSERT_GE(d(i, j), 0.0);
+      for (std::size_t k = 0; k < 8; ++k) {  // triangle inequality
+        ASSERT_LE(d(i, j), d(i, k) + d(k, j) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(DistanceProperty, CosineDistanceScaleInvariant) {
+  Rng rng(GetParam());
+  std::vector<std::vector<float>> pts(5, std::vector<float>(7));
+  for (auto& p : pts) {
+    for (auto& v : p) v = static_cast<float>(rng.normal());
+  }
+  auto scaled = pts;
+  for (auto& p : scaled) {
+    const float s = static_cast<float>(rng.uniform(0.5, 4.0));
+    for (auto& v : p) v *= s;
+  }
+  const Matrix a = cluster::pairwise_cosine_distance(pts);
+  const Matrix b = cluster::pairwise_cosine_distance(scaled);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      ASSERT_NEAR(a(i, j), b(i, j), 1e-5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistanceProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+// -- clustering invariants -------------------------------------------------------
+
+class HcProperty : public ::testing::TestWithParam<cluster::Linkage> {};
+
+TEST_P(HcProperty, CutKProducesExactlyKClusters) {
+  Rng rng(77);
+  std::vector<std::vector<float>> pts(12, std::vector<float>(3));
+  for (auto& p : pts) {
+    for (auto& v : p) v = static_cast<float>(rng.normal());
+  }
+  const auto dendro = cluster::agglomerative_cluster(
+      cluster::pairwise_euclidean(pts), GetParam());
+  for (std::size_t k = 1; k <= 12; ++k) {
+    const auto labels = dendro.cut_k(k);
+    ASSERT_EQ(cluster::num_clusters(labels), k)
+        << cluster::to_string(GetParam()) << " k=" << k;
+  }
+}
+
+TEST_P(HcProperty, ThresholdMonotonicity) {
+  // Raising the threshold can only merge clusters, never split them.
+  Rng rng(78);
+  std::vector<std::vector<float>> pts(10, std::vector<float>(2));
+  for (auto& p : pts) {
+    for (auto& v : p) v = static_cast<float>(rng.normal());
+  }
+  const auto dendro = cluster::agglomerative_cluster(
+      cluster::pairwise_euclidean(pts), GetParam());
+  std::size_t prev = 10;
+  for (double t = 0.0; t < 5.0; t += 0.25) {
+    const std::size_t k = cluster::num_clusters(dendro.cut_threshold(t));
+    ASSERT_LE(k, prev);
+    prev = k;
+  }
+}
+
+TEST_P(HcProperty, LabelsInvariantUnderPointRelabeling) {
+  // Clustering depends only on the distance matrix: permuting the input
+  // points permutes the labels accordingly (same partition, ARI = 1).
+  Rng rng(79);
+  std::vector<std::vector<float>> pts(9, std::vector<float>(4));
+  for (auto& p : pts) {
+    for (auto& v : p) v = static_cast<float>(rng.normal());
+  }
+  std::vector<std::size_t> perm(9);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  std::vector<std::vector<float>> permuted(9);
+  for (std::size_t i = 0; i < 9; ++i) permuted[i] = pts[perm[i]];
+
+  const auto da = cluster::agglomerative_cluster(
+      cluster::pairwise_euclidean(pts), GetParam());
+  const auto db = cluster::agglomerative_cluster(
+      cluster::pairwise_euclidean(permuted), GetParam());
+  const auto la = da.cut_k(3);
+  auto lb = db.cut_k(3);
+  // Map permuted labels back to original point order.
+  std::vector<std::size_t> lb_unpermuted(9);
+  for (std::size_t i = 0; i < 9; ++i) lb_unpermuted[perm[i]] = lb[i];
+  ASSERT_DOUBLE_EQ(cluster::adjusted_rand_index(la, lb_unpermuted), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Linkages, HcProperty,
+    ::testing::Values(cluster::Linkage::kSingle, cluster::Linkage::kComplete,
+                      cluster::Linkage::kAverage, cluster::Linkage::kWard),
+    [](const auto& info) { return cluster::to_string(info.param); });
+
+// -- metric invariants ----------------------------------------------------------
+
+class MetricProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricProperty, AriAndNmiAreSymmetric) {
+  Rng rng(GetParam());
+  std::vector<std::size_t> a(30), b(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    a[i] = rng.uniform_int(4);
+    b[i] = rng.uniform_int(3);
+  }
+  ASSERT_NEAR(cluster::adjusted_rand_index(a, b),
+              cluster::adjusted_rand_index(b, a), 1e-12);
+  ASSERT_NEAR(cluster::normalized_mutual_information(a, b),
+              cluster::normalized_mutual_information(b, a), 1e-12);
+}
+
+TEST_P(MetricProperty, PurityAtLeastLargestClassShare) {
+  Rng rng(GetParam());
+  std::vector<std::size_t> pred(40), truth(40);
+  std::vector<std::size_t> class_counts(3, 0);
+  for (std::size_t i = 0; i < 40; ++i) {
+    pred[i] = rng.uniform_int(5);
+    truth[i] = rng.uniform_int(3);
+    ++class_counts[truth[i]];
+  }
+  const double largest_share =
+      static_cast<double>(
+          *std::max_element(class_counts.begin(), class_counts.end())) /
+      40.0;
+  ASSERT_GE(cluster::purity(pred, truth), largest_share - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricProperty,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+// -- softmax/loss invariants ------------------------------------------------------
+
+class LossProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LossProperty, CrossEntropyGradientSumsToZeroPerRow) {
+  Rng rng(GetParam());
+  const Tensor logits = Tensor::randn({7, 9}, rng, 0.0f, 3.0f);
+  std::vector<std::int32_t> labels(7);
+  for (auto& y : labels) {
+    y = static_cast<std::int32_t>(rng.uniform_int(9));
+  }
+  const nn::LossResult r = nn::softmax_cross_entropy(logits, labels);
+  for (std::size_t i = 0; i < 7; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < 9; ++j) s += r.grad_logits.at(i, j);
+    ASSERT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST_P(LossProperty, LossIsNonNegativeAndShiftInvariant) {
+  Rng rng(GetParam());
+  Tensor logits = Tensor::randn({5, 6}, rng, 0.0f, 2.0f);
+  std::vector<std::int32_t> labels{0, 1, 2, 3, 4};
+  const float base = nn::softmax_cross_entropy_loss(logits, labels);
+  ASSERT_GE(base, 0.0f);
+  for (auto& v : logits.flat()) v += 37.5f;
+  const float shifted = nn::softmax_cross_entropy_loss(logits, labels);
+  ASSERT_NEAR(base, shifted, 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossProperty,
+                         ::testing::Values(7, 17, 27, 37));
+
+}  // namespace
+}  // namespace fedclust

@@ -1,0 +1,248 @@
+// Unit and property tests for the deterministic splittable RNG.
+#include "utils/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "utils/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace fedclust {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsIndependentOfConsumption) {
+  Rng parent(42);
+  Rng child_before = parent.split(7);
+  for (int i = 0; i < 50; ++i) (void)parent();
+  Rng child_after = parent.split(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(child_before(), child_after());
+  }
+}
+
+TEST(Rng, SplitTagsProduceDistinctStreams) {
+  Rng parent(42);
+  Rng a = parent.split(0);
+  Rng b = parent.split(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double mn = 1.0, mx = 0.0, sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+  EXPECT_LT(mn, 0.01);
+  EXPECT_GT(mx, 0.99);
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_int(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values appear in 1000 draws
+}
+
+TEST(Rng, UniformIntOneIsAlwaysZero) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(rng.uniform_int(1), 0u);
+  }
+}
+
+TEST(Rng, UniformIntRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(0), Error);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  constexpr int kN = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(13);
+  constexpr int kN = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / kN, 3.0, 0.02);
+}
+
+// Gamma(alpha) has mean alpha — check across shape regimes including
+// the alpha < 1 boosting path.
+class GammaMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaMeanTest, MeanMatchesAlpha) {
+  const double alpha = GetParam();
+  Rng rng(17);
+  constexpr int kN = 40000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.gamma(alpha);
+    ASSERT_GE(g, 0.0);
+    sum += g;
+  }
+  EXPECT_NEAR(sum / kN, alpha, 0.05 * std::max(1.0, alpha));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GammaMeanTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 8.0));
+
+TEST(Rng, GammaRejectsNonPositiveAlpha) {
+  Rng rng(1);
+  EXPECT_THROW(rng.gamma(0.0), Error);
+  EXPECT_THROW(rng.gamma(-1.0), Error);
+}
+
+class DirichletTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirichletTest, SumsToOneAndNonNegative) {
+  const double alpha = GetParam();
+  Rng rng(19);
+  for (int rep = 0; rep < 200; ++rep) {
+    const auto p = rng.dirichlet(alpha, 10);
+    ASSERT_EQ(p.size(), 10u);
+    double sum = 0.0;
+    for (double v : p) {
+      ASSERT_GE(v, 0.0);
+      sum += v;
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DirichletTest,
+                         ::testing::Values(0.01, 0.1, 1.0, 10.0));
+
+TEST(Rng, DirichletSmallAlphaIsSkewed) {
+  // With alpha = 0.05 most mass should sit on one category.
+  Rng rng(23);
+  double max_sum = 0.0;
+  constexpr int kReps = 300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto p = rng.dirichlet(0.05, 10);
+    max_sum += *std::max_element(p.begin(), p.end());
+  }
+  EXPECT_GT(max_sum / kReps, 0.7);
+}
+
+TEST(Rng, DirichletLargeAlphaIsFlat) {
+  Rng rng(29);
+  double max_sum = 0.0;
+  constexpr int kReps = 300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto p = rng.dirichlet(100.0, 10);
+    max_sum += *std::max_element(p.begin(), p.end());
+  }
+  EXPECT_LT(max_sum / kReps, 0.15);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(31);
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(1);
+  EXPECT_THROW(rng.categorical({}), Error);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), Error);
+  EXPECT_THROW(rng.categorical({1.0, -1.0}), Error);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(41);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto s = rng.sample_without_replacement(20, 8);
+    ASSERT_EQ(s.size(), 8u);
+    std::set<std::size_t> unique(s.begin(), s.end());
+    ASSERT_EQ(unique.size(), 8u);
+    for (std::size_t v : s) ASSERT_LT(v, 20u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+  Rng rng(43);
+  auto s = rng.sample_without_replacement(5, 5);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(s, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), Error);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(47);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace fedclust

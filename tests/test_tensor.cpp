@@ -1,0 +1,179 @@
+// Tests for the Tensor container and its arithmetic.
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "utils/rng.hpp"
+
+namespace fedclust {
+namespace {
+
+TEST(Shape, NumelAndToString) {
+  EXPECT_EQ(shape_numel({}), 1u);
+  EXPECT_EQ(shape_numel({4}), 4u);
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0u);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructorAndFactories) {
+  EXPECT_EQ(Tensor::ones({3})[2], 1.0f);
+  EXPECT_EQ(Tensor::full({2, 2}, 2.5f)[3], 2.5f);
+  EXPECT_EQ(Tensor::zeros({5}).sum(), 0.0f);
+}
+
+TEST(Tensor, FromDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), Error);
+}
+
+TEST(Tensor, RejectsRankAbove4) {
+  EXPECT_THROW(Tensor({1, 1, 1, 1, 1}), Error);
+}
+
+TEST(Tensor, At2dMatchesRowMajor) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at(0, 0), 0.0f);
+  EXPECT_EQ(t.at(0, 2), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  t.at(1, 2) = 9.0f;
+  EXPECT_EQ(t[5], 9.0f);
+}
+
+TEST(Tensor, At4dMatchesNchw) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 5.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), Error);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{10, 20, 30});
+  const Tensor sum = a + b;
+  EXPECT_EQ(sum[1], 22.0f);
+  const Tensor diff = b - a;
+  EXPECT_EQ(diff[2], 27.0f);
+  const Tensor scaled = a * 2.0f;
+  EXPECT_EQ(scaled[0], 2.0f);
+  const Tensor scaled2 = 0.5f * b;
+  EXPECT_EQ(scaled2[0], 5.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(a += b, Error);
+  EXPECT_THROW(a -= b, Error);
+  EXPECT_THROW(a.axpy(1.0f, b), Error);
+  EXPECT_THROW(a.hadamard(b), Error);
+}
+
+TEST(Tensor, AxpyAndHadamard) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{1, 1, 1});
+  a.axpy(2.0f, b);
+  EXPECT_EQ(a[0], 3.0f);
+  a.hadamard(b);
+  EXPECT_EQ(a[0], 3.0f);
+  Tensor c({3}, std::vector<float>{0, 2, 0});
+  a.hadamard(c);
+  EXPECT_EQ(a[0], 0.0f);
+  EXPECT_EQ(a[1], 8.0f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, std::vector<float>{-1, 3, 2, 0});
+  EXPECT_FLOAT_EQ(t.sum(), 4.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 1.0f);
+  EXPECT_FLOAT_EQ(t.min(), -1.0f);
+  EXPECT_FLOAT_EQ(t.max(), 3.0f);
+  EXPECT_EQ(t.argmax(), 1u);
+  EXPECT_FLOAT_EQ(t.norm(), std::sqrt(14.0f));
+}
+
+TEST(Tensor, ReductionsOnEmptyThrow) {
+  Tensor t;
+  EXPECT_THROW(t.mean(), Error);
+  EXPECT_THROW(t.min(), Error);
+  EXPECT_THROW(t.max(), Error);
+  EXPECT_THROW(t.argmax(), Error);
+}
+
+TEST(Tensor, ArgmaxFirstOnTies) {
+  Tensor t({3}, std::vector<float>{5, 5, 5});
+  EXPECT_EQ(t.argmax(), 0u);
+}
+
+TEST(Tensor, SumUsesDoubleAccumulation) {
+  // 10^7 small values would visibly drift with float accumulation.
+  Tensor t({1000, 1000});
+  t.fill(0.1f);
+  EXPECT_NEAR(t.sum(), 1e5, 1.0);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(5);
+  const Tensor t = Tensor::randn({100, 100}, rng, 1.0f, 2.0f);
+  EXPECT_NEAR(t.mean(), 1.0f, 0.1f);
+  double var = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    var += (t[i] - t.mean()) * (t[i] - t.mean());
+  }
+  var /= static_cast<double>(t.numel());
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Tensor, RandUniformBounds) {
+  Rng rng(6);
+  const Tensor t = Tensor::rand_uniform({1000}, rng, -2.0f, 3.0f);
+  EXPECT_GE(t.min(), -2.0f);
+  EXPECT_LT(t.max(), 3.0f);
+  EXPECT_NEAR(t.mean(), 0.5f, 0.2f);
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a({2}, std::vector<float>{1, 2});
+  Tensor b = a;
+  b[0] = 99.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(TensorDistance, DotAndEuclideanAndCosine) {
+  Tensor a({3}, std::vector<float>{1, 0, 0});
+  Tensor b({3}, std::vector<float>{0, 1, 0});
+  EXPECT_FLOAT_EQ(dot(a, b), 0.0f);
+  EXPECT_FLOAT_EQ(euclidean_distance(a, b), std::sqrt(2.0f));
+  EXPECT_FLOAT_EQ(cosine_similarity(a, b), 0.0f);
+  EXPECT_FLOAT_EQ(cosine_similarity(a, a), 1.0f);
+
+  Tensor zero({3});
+  EXPECT_FLOAT_EQ(cosine_similarity(a, zero), 0.0f);
+
+  Tensor c({4});
+  EXPECT_THROW(dot(a, c), Error);
+  EXPECT_THROW(euclidean_distance(a, c), Error);
+}
+
+}  // namespace
+}  // namespace fedclust

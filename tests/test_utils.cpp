@@ -1,0 +1,208 @@
+// Tests for thread pool, CLI parser, tables and error macros.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "utils/cli.hpp"
+#include "utils/error.hpp"
+#include "utils/stopwatch.hpp"
+#include "utils/table.hpp"
+#include "utils/thread_pool.hpp"
+
+namespace fedclust {
+namespace {
+
+// -- error macros ---------------------------------------------------------
+
+TEST(Error, CheckThrowsWithContext) {
+  try {
+    FEDCLUST_CHECK(1 == 2, "custom message " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom message 42"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckWithoutMessage) {
+  EXPECT_THROW(FEDCLUST_CHECK(false), Error);
+  EXPECT_NO_THROW(FEDCLUST_CHECK(true));
+}
+
+// -- thread pool ------------------------------------------------------------
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  auto f = pool.submit([] { return 7 * 6; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(0, 100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForMoreItemsThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(0, 1000, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 1000u * 999u / 2);
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw Error("boom"); });
+  EXPECT_THROW(f.get(), Error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [&](std::size_t i) {
+                                   if (i == 3) throw Error("boom");
+                                 }),
+               Error);
+}
+
+TEST(ThreadPool, SingleThreadStillWorks) {
+  ThreadPool pool(1);
+  std::vector<int> out(10, 0);
+  pool.parallel_for(0, 10, [&](std::size_t i) { out[i] = static_cast<int>(i); });
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], i);
+}
+
+// -- CLI parser ------------------------------------------------------------
+
+TEST(Cli, ParsesTypedFlags) {
+  CliParser cli("prog", "test");
+  cli.add_int("rounds", 10, "rounds");
+  cli.add_double("beta", 0.1, "beta");
+  cli.add_string("dataset", "cifar10", "dataset");
+  cli.add_flag("quick", "quick mode");
+
+  const char* argv[] = {"prog", "--rounds", "30", "--beta=0.5", "--quick"};
+  cli.parse(5, argv);
+  EXPECT_EQ(cli.get_int("rounds"), 30);
+  EXPECT_DOUBLE_EQ(cli.get_double("beta"), 0.5);
+  EXPECT_EQ(cli.get_string("dataset"), "cifar10");  // default kept
+  EXPECT_TRUE(cli.get_flag("quick"));
+}
+
+TEST(Cli, DefaultsWhenUnset) {
+  CliParser cli("prog", "test");
+  cli.add_int("n", 5, "n");
+  cli.add_flag("verbose", "v");
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_EQ(cli.get_int("n"), 5);
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(cli.parse(3, argv), Error);
+}
+
+TEST(Cli, RejectsBadValue) {
+  CliParser cli("prog", "test");
+  cli.add_int("n", 1, "n");
+  const char* argv[] = {"prog", "--n", "abc"};
+  EXPECT_THROW(cli.parse(3, argv), Error);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  CliParser cli("prog", "test");
+  cli.add_int("n", 1, "n");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(cli.parse(2, argv), Error);
+}
+
+TEST(Cli, RejectsWrongTypeAccess) {
+  CliParser cli("prog", "test");
+  cli.add_int("n", 1, "n");
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_THROW(cli.get_double("n"), Error);
+  EXPECT_THROW(cli.get_int("missing"), Error);
+}
+
+// -- tables ---------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"Method", "Acc"});
+  t.new_row().add("FedAvg").add(38.25, 2);
+  t.new_row().add("FedClust").add(60.25, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Method"), std::string::npos);
+  EXPECT_NE(s.find("FedClust"), std::string::npos);
+  EXPECT_NE(s.find("60.25"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  TextTable t({"a", "b"});
+  t.new_row().add("x,y").add("say \"hi\"");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, WriteCsvRoundTrip) {
+  TextTable t({"col"});
+  t.new_row().add(7ll);
+  const std::string path = "/tmp/fedclust_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "col");
+  std::getline(in, line);
+  EXPECT_EQ(line, "7");
+  std::filesystem::remove(path);
+}
+
+TEST(Table, RowOverflowThrows) {
+  TextTable t({"only"});
+  t.new_row().add("x");
+  EXPECT_THROW(t.add("y"), Error);
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(Table, FormatMeanStd) {
+  EXPECT_EQ(format_mean_std(60.254, 0.578), "60.25 ± 0.58");
+  EXPECT_EQ(format_mean_std(1.0, 0.5, 1), "1.0 ± 0.5");
+}
+
+// -- stopwatch -----------------------------------------------------------
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  const double t0 = sw.seconds();
+  EXPECT_GE(t0, 0.0);
+  // A tight loop with work should advance the clock monotonically.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(sw.seconds(), t0);
+  sw.restart();
+  EXPECT_LT(sw.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace fedclust
