@@ -1,6 +1,8 @@
 #include "bench_common.hpp"
 
 #include <cmath>
+#include <fstream>
+#include <iomanip>
 
 #include "nn/models.hpp"
 
@@ -57,6 +59,21 @@ std::vector<std::unique_ptr<fl::Algorithm>> make_algorithms(
   algos.push_back(std::make_unique<core::FedClust>(core::FedClustConfig{
       .warmup_epochs = 2, .rel_factor = 0.6}));
   return algos;
+}
+
+void write_kernel_bench_json(const std::string& path,
+                             const std::vector<KernelBenchResult>& results) {
+  std::ofstream out(path);
+  FEDCLUST_REQUIRE(out.good(), "cannot open " << path << " for writing");
+  out << std::fixed << std::setprecision(4) << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const KernelBenchResult& r = results[i];
+    out << "  {\"op\": \"" << r.op << "\", \"variant\": \"" << r.variant
+        << "\", \"shape\": \"" << r.shape << "\", \"ms\": " << r.ms
+        << ", \"gflops\": " << r.gflops << ", \"speedup\": " << r.speedup
+        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
 }
 
 MeanStd mean_std(const std::vector<double>& values) {

@@ -57,4 +57,21 @@ struct MeanStd {
 };
 MeanStd mean_std(const std::vector<double>& values);
 
+// -- kernel micro-bench reporting --------------------------------------------
+
+/// One timed kernel configuration, as emitted into BENCH_kernels.json so
+/// later PRs can track the perf trajectory.
+struct KernelBenchResult {
+  std::string op;       ///< e.g. "conv2d_forward", "matmul"
+  std::string variant;  ///< "naive"/"blocked" or "direct"/"im2col"
+  std::string shape;    ///< human-readable shape tag
+  double ms = 0.0;      ///< best-of-reps wall time per call
+  double gflops = 0.0;  ///< sustained throughput (0 if flop count n/a)
+  double speedup = 1.0; ///< vs the baseline variant of the same (op, shape)
+};
+
+/// Writes results as a machine-readable JSON array.
+void write_kernel_bench_json(const std::string& path,
+                             const std::vector<KernelBenchResult>& results);
+
 }  // namespace fedclust::bench

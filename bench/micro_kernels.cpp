@@ -1,140 +1,182 @@
-// google-benchmark microbenchmarks for the hot kernels underlying the
-// simulation: GEMM, direct vs im2col convolution, pooling, SVD,
-// pairwise distances, and hierarchical clustering scaling.
-#include <benchmark/benchmark.h>
+// Self-timed micro-benchmarks for the hot tensor kernels: blocked vs
+// naive GEMM and direct vs im2col/GEMM convolution at the LeNet-5 and
+// VGG-mini layer shapes. Prints a summary table and writes a
+// machine-readable BENCH_kernels.json (record format in
+// bench_common.hpp) so later changes can be compared against these
+// numbers. Usage: micro_kernels [output.json]
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
-#include "cluster/distance.hpp"
-#include "cluster/hierarchical.hpp"
-#include "linalg/svd.hpp"
-#include "nn/models.hpp"
+#include "bench_common.hpp"
 #include "tensor/ops.hpp"
 #include "utils/rng.hpp"
+#include "utils/stopwatch.hpp"
 
 namespace {
 
 using namespace fedclust;
+using bench::KernelBenchResult;
 
 Tensor random_tensor(Shape shape, std::uint64_t seed) {
   Rng rng(seed);
   return Tensor::randn(std::move(shape), rng);
 }
 
-void BM_MatmulSquare(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const Tensor a = random_tensor({n, n}, 1);
-  const Tensor b = random_tensor({n, n}, 2);
-  Tensor c;
-  for (auto _ : state) {
-    ops::matmul(a, b, c);
-    benchmark::DoNotOptimize(c.data());
+/// Best-of-reps wall time per call, in ms. Each rep times `iters`
+/// back-to-back calls, with iters sized so one rep lasts ~20 ms — small
+/// kernels are amortized over many calls, big ones timed individually.
+double time_ms(const std::function<void()>& fn) {
+  fn();  // warm caches and let scratch reach steady-state capacity
+  Stopwatch probe;
+  fn();
+  const double once = std::max(probe.milliseconds(), 1e-3);
+  const int iters = std::clamp(static_cast<int>(20.0 / once), 1, 200);
+  double best = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    Stopwatch sw;
+    for (int i = 0; i < iters; ++i) fn();
+    best = std::min(best, sw.milliseconds() / iters);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(2 * n * n * n));
+  return best;
 }
-BENCHMARK(BM_MatmulSquare)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_Conv2dDirect(benchmark::State& state) {
-  const auto batch = static_cast<std::size_t>(state.range(0));
-  const ops::Conv2dSpec spec{3, 6, 5, 0, 1};
-  const Tensor input = random_tensor({batch, 3, 32, 32}, 3);
-  const Tensor weight = random_tensor({6, 3, 5, 5}, 4);
-  const Tensor bias = random_tensor({6}, 5);
-  Tensor out;
-  for (auto _ : state) {
-    ops::conv2d_forward(input, weight, bias, spec, out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(batch));
+KernelBenchResult make_result(std::string op, std::string variant,
+                              std::string shape, double ms, double flops,
+                              double baseline_ms) {
+  KernelBenchResult r;
+  r.op = std::move(op);
+  r.variant = std::move(variant);
+  r.shape = std::move(shape);
+  r.ms = ms;
+  r.gflops = flops > 0.0 ? flops / (ms * 1e6) : 0.0;
+  r.speedup = baseline_ms > 0.0 ? baseline_ms / ms : 1.0;
+  return r;
 }
-BENCHMARK(BM_Conv2dDirect)->Arg(1)->Arg(8)->Arg(32);
 
-void BM_Conv2dIm2col(benchmark::State& state) {
-  const auto batch = static_cast<std::size_t>(state.range(0));
-  const ops::Conv2dSpec spec{3, 6, 5, 0, 1};
-  const Tensor input = random_tensor({batch, 3, 32, 32}, 3);
-  const Tensor weight = random_tensor({6, 3, 5, 5}, 4);
-  const Tensor bias = random_tensor({6}, 5);
-  Tensor out, scratch;
-  for (auto _ : state) {
-    ops::conv2d_forward_im2col(input, weight, bias, spec, out, scratch);
-    benchmark::DoNotOptimize(out.data());
+void bench_matmul(std::vector<KernelBenchResult>& out) {
+  struct Case {
+    std::size_t m, k, n;
+    const char* tag;
+  };
+  const Case cases[] = {
+      {128, 128, 128, "128x128x128"},
+      {256, 256, 256, "256x256x256"},
+      {384, 384, 384, "384x384x384"},
+      // VGG-mini conv3 lowered to GEMM: (N*Ho*Wo) x (Cin*K*K) x Cout.
+      {2048, 144, 32, "2048x144x32"},
+  };
+  for (const Case& c : cases) {
+    const Tensor a = random_tensor({c.m, c.k}, 1);
+    const Tensor b = random_tensor({c.k, c.n}, 2);
+    Tensor cn, cb;
+    const double flops = 2.0 * static_cast<double>(c.m * c.k) *
+                         static_cast<double>(c.n);
+    const double naive = time_ms([&] { ops::matmul_naive(a, b, cn); });
+    const double blocked = time_ms([&] { ops::matmul(a, b, cb); });
+    out.push_back(make_result("matmul", "naive", c.tag, naive, flops, naive));
+    out.push_back(
+        make_result("matmul", "blocked", c.tag, blocked, flops, naive));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(batch));
 }
-BENCHMARK(BM_Conv2dIm2col)->Arg(1)->Arg(8)->Arg(32);
 
-void BM_MaxPool(benchmark::State& state) {
-  const Tensor input = random_tensor({32, 6, 28, 28}, 6);
-  Tensor out;
-  std::vector<std::size_t> argmax;
-  for (auto _ : state) {
-    ops::max_pool_forward(input, 2, out, argmax);
-    benchmark::DoNotOptimize(out.data());
-  }
-}
-BENCHMARK(BM_MaxPool);
+struct ConvCase {
+  ops::Conv2dSpec spec;
+  std::size_t batch, h, w;
+  const char* tag;
+};
 
-void BM_Lenet5Forward(benchmark::State& state) {
-  const auto batch = static_cast<std::size_t>(state.range(0));
-  nn::Model model = nn::lenet5({3, 32, 32, 10});
-  Rng rng(7);
-  model.init_params(rng);
-  const Tensor x = random_tensor({batch, 3, 32, 32}, 8);
-  for (auto _ : state) {
-    Tensor y = model.forward(x, false);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(batch));
-}
-BENCHMARK(BM_Lenet5Forward)->Arg(1)->Arg(32);
+void bench_conv(const ConvCase& c, std::vector<KernelBenchResult>& out) {
+  const std::size_t ho = c.spec.out_size(c.h), wo = c.spec.out_size(c.w);
+  const Tensor input =
+      random_tensor({c.batch, c.spec.in_channels, c.h, c.w}, 3);
+  const Tensor weight = random_tensor({c.spec.out_channels, c.spec.in_channels,
+                                       c.spec.kernel, c.spec.kernel},
+                                      4);
+  const Tensor bias = random_tensor({c.spec.out_channels}, 5);
+  const Tensor grad_out =
+      random_tensor({c.batch, c.spec.out_channels, ho, wo}, 6);
+  // MACs * 2, per direction (forward, d/dinput, and d/dparams each do
+  // the same multiply-add count; bias terms are negligible).
+  const double flops = 2.0 * static_cast<double>(c.batch * ho * wo) *
+                       static_cast<double>(c.spec.out_channels *
+                                           c.spec.in_channels) *
+                       static_cast<double>(c.spec.kernel * c.spec.kernel);
 
-void BM_SvdTallThin(benchmark::State& state) {
-  const auto cols = static_cast<std::size_t>(state.range(0));
-  Rng rng(9);
-  Matrix a(1024, cols);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = rng.normal();
-  }
-  for (auto _ : state) {
-    Matrix u = truncated_left_singular_vectors_gram(a, 3);
-    benchmark::DoNotOptimize(u.data());
-  }
-}
-BENCHMARK(BM_SvdTallThin)->Arg(8)->Arg(16)->Arg(32);
+  Tensor output;
+  Tensor grad_input(input.shape());
+  Tensor grad_weight(weight.shape());
+  Tensor grad_bias(bias.shape());
+  Tensor columns, pix, grad_cols;
 
-void BM_PairwiseEuclidean(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(10);
-  std::vector<std::vector<float>> vectors(n, std::vector<float>(850));
-  for (auto& v : vectors) {
-    for (auto& x : v) x = static_cast<float>(rng.normal());
-  }
-  for (auto _ : state) {
-    Matrix d = cluster::pairwise_euclidean(vectors);
-    benchmark::DoNotOptimize(d.data());
-  }
-}
-BENCHMARK(BM_PairwiseEuclidean)->Arg(10)->Arg(50)->Arg(100);
+  const double fwd_direct = time_ms(
+      [&] { ops::conv2d_forward(input, weight, bias, c.spec, output); });
+  const double fwd_im2col = time_ms([&] {
+    ops::conv2d_forward_im2col(input, weight, bias, c.spec, output, columns,
+                               pix);
+  });
 
-void BM_AgglomerativeCluster(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(11);
-  std::vector<std::vector<float>> vectors(n, std::vector<float>(16));
-  for (auto& v : vectors) {
-    for (auto& x : v) x = static_cast<float>(rng.normal());
-  }
-  const Matrix d = cluster::pairwise_euclidean(vectors);
-  for (auto _ : state) {
-    cluster::Dendrogram dendro =
-        cluster::agglomerative_cluster(d, cluster::Linkage::kAverage);
-    benchmark::DoNotOptimize(dendro.merges.data());
+  const double bwd_direct = time_ms([&] {
+    ops::conv2d_backward_input(grad_out, weight, c.spec, grad_input);
+    ops::conv2d_backward_params(input, grad_out, c.spec, grad_weight,
+                                grad_bias);
+  });
+  // `columns` still holds the forward expansion — exactly the reuse
+  // Conv2d::backward performs. grad_cols is a distinct scratch so the
+  // cached columns are not clobbered between reps.
+  const double bwd_im2col = time_ms([&] {
+    ops::conv2d_backward_params_im2col(grad_out, columns, c.spec, grad_weight,
+                                       grad_bias, pix);
+    ops::conv2d_backward_input_im2col(grad_out, weight, c.spec, grad_input,
+                                      pix, grad_cols);
+  });
+
+  out.push_back(make_result("conv2d_forward", "direct", c.tag, fwd_direct,
+                            flops, fwd_direct));
+  out.push_back(make_result("conv2d_forward", "im2col", c.tag, fwd_im2col,
+                            flops, fwd_direct));
+  out.push_back(make_result("conv2d_backward", "direct", c.tag, bwd_direct,
+                            2.0 * flops, bwd_direct));
+  out.push_back(make_result("conv2d_backward", "im2col", c.tag, bwd_im2col,
+                            2.0 * flops, bwd_direct));
+  out.push_back(make_result("conv2d_fwd_bwd", "direct", c.tag,
+                            fwd_direct + bwd_direct, 3.0 * flops,
+                            fwd_direct + bwd_direct));
+  out.push_back(make_result("conv2d_fwd_bwd", "im2col", c.tag,
+                            fwd_im2col + bwd_im2col, 3.0 * flops,
+                            fwd_direct + bwd_direct));
+}
+
+void print_results(const std::vector<KernelBenchResult>& results) {
+  std::printf("%-18s %-8s %-22s %10s %9s %8s\n", "op", "variant", "shape",
+              "ms", "GFLOP/s", "speedup");
+  for (const KernelBenchResult& r : results) {
+    std::printf("%-18s %-8s %-22s %10.4f %9.2f %7.2fx\n", r.op.c_str(),
+                r.variant.c_str(), r.shape.c_str(), r.ms, r.gflops, r.speedup);
   }
 }
-BENCHMARK(BM_AgglomerativeCluster)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
+
+  std::vector<KernelBenchResult> results;
+  bench_matmul(results);
+
+  const ConvCase conv_cases[] = {
+      {{3, 6, 5, 0, 1}, 32, 32, 32, "lenet5-conv1 b32 3x32x32"},
+      {{6, 16, 5, 0, 1}, 32, 14, 14, "lenet5-conv2 b32 6x14x14"},
+      {{16, 16, 3, 1, 1}, 8, 32, 32, "vgg-mini-conv2 b8 16x32x32"},
+      {{16, 32, 3, 1, 1}, 8, 16, 16, "vgg-mini-conv3 b8 16x16x16"},
+      {{32, 64, 3, 1, 1}, 8, 8, 8, "vgg-mini-conv4 b8 32x8x8"},
+  };
+  for (const ConvCase& c : conv_cases) bench_conv(c, results);
+
+  print_results(results);
+  bench::write_kernel_bench_json(json_path, results);
+  std::printf("\nwrote %s (%zu records)\n", json_path.c_str(), results.size());
+  return 0;
+}

@@ -48,7 +48,8 @@ double per_cluster_fedavg_round(
   }
   for (std::size_t c = 0; c < by_cluster.size(); ++c) {
     if (!by_cluster[c].empty()) {
-      cluster_weights[c] = fl::weighted_average(by_cluster[c]);
+      cluster_weights[c] = fl::weighted_average(by_cluster[c],
+                                                federation.aggregation_pool());
     }
   }
   return updates.empty() ? 0.0

@@ -65,7 +65,8 @@ fl::RunResult Ifca::run(fl::Federation& federation, std::size_t rounds) {
     }
     for (std::size_t k = 0; k < models.size(); ++k) {
       if (!by_cluster[k].empty()) {
-        models[k] = fl::weighted_average(by_cluster[k]);
+        models[k] =
+            fl::weighted_average(by_cluster[k], federation.aggregation_pool());
       }
     }
 

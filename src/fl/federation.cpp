@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 
 namespace fedclust::fl {
 
@@ -12,7 +13,10 @@ Federation::Federation(nn::Model template_model,
       clients_(std::move(clients)),
       config_(config),
       model_size_(template_.num_weights()),
-      pool_(config.threads) {
+      pool_(config.threads),
+      kernel_pool_(config.kernel_threads > 0
+                       ? std::make_unique<ThreadPool>(config.kernel_threads)
+                       : nullptr) {
   FEDCLUST_REQUIRE(!clients_.empty(), "federation needs at least one client");
   FEDCLUST_REQUIRE(model_size_ > 0, "template model has no parameters");
   FEDCLUST_REQUIRE(config_.participation > 0.0 && config_.participation <= 1.0,
@@ -82,6 +86,7 @@ std::vector<ClientUpdate> Federation::train_clients(
     const std::size_t cid = survivors[slot];
     FEDCLUST_REQUIRE(cid < clients_.size(), "client id out of range");
     nn::Model model = template_.clone();
+    model.set_thread_pool(kernel_pool_.get());
     model.set_flat_weights(start_weights_for(cid));
     const float loss = train_local(model, clients_[cid].train, local,
                                    client_rng(cid, round));
@@ -97,6 +102,7 @@ EvalResult Federation::evaluate_client(std::size_t client,
   FEDCLUST_REQUIRE(!clients_[client].test.empty(),
                    "client " << client << " has no test data");
   nn::Model model = template_.clone();
+  model.set_thread_pool(kernel_pool_.get());
   model.set_flat_weights(weights);
   return evaluate(model, clients_[client].test);
 }
@@ -105,6 +111,7 @@ double Federation::client_train_loss(std::size_t client,
                                      std::span<const float> weights) const {
   FEDCLUST_REQUIRE(client < clients_.size(), "client id out of range");
   nn::Model model = template_.clone();
+  model.set_thread_pool(kernel_pool_.get());
   model.set_flat_weights(weights);
   return evaluate(model, clients_[client].train).loss;
 }
@@ -126,9 +133,11 @@ AccuracySummary Federation::evaluate_personalized(
   return out;
 }
 
-std::vector<float> weighted_average(const std::vector<ClientUpdate>& updates) {
+std::vector<float> weighted_average(const std::vector<ClientUpdate>& updates,
+                                    ThreadPool* pool) {
   FEDCLUST_REQUIRE(!updates.empty(), "cannot average zero updates");
   const std::size_t dim = updates.front().weights.size();
+  const std::size_t n = updates.size();
   double total = 0.0;
   for (const ClientUpdate& u : updates) {
     FEDCLUST_REQUIRE(u.weights.size() == dim,
@@ -136,15 +145,44 @@ std::vector<float> weighted_average(const std::vector<ClientUpdate>& updates) {
     FEDCLUST_REQUIRE(u.num_samples > 0, "update with zero samples");
     total += static_cast<double>(u.num_samples);
   }
-  std::vector<double> acc(dim, 0.0);
-  for (const ClientUpdate& u : updates) {
-    const double w = static_cast<double>(u.num_samples) / total;
-    for (std::size_t i = 0; i < dim; ++i) {
-      acc[i] += w * static_cast<double>(u.weights[i]);
-    }
+  std::vector<double> coeff(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    coeff[u] = static_cast<double>(updates[u].num_samples) / total;
   }
+
+  // Fused single pass: each output element is reduced across updates in a
+  // double register and written once — no dim-sized double temporary, one
+  // sweep over every update's memory.
   std::vector<float> out(dim);
-  for (std::size_t i = 0; i < dim; ++i) out[i] = static_cast<float>(acc[i]);
+  const auto reduce_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      double acc = 0.0;
+      for (std::size_t u = 0; u < n; ++u) {
+        acc += coeff[u] * static_cast<double>(updates[u].weights[i]);
+      }
+      out[i] = static_cast<float>(acc);
+    }
+  };
+
+  // Chunk large models across the pool; per-element math is identical, so
+  // the result does not depend on the chunking.
+  constexpr std::size_t kMinParallelDim = 1u << 15;
+  const std::size_t workers = pool != nullptr ? pool->size() : 1;
+  if (workers <= 1 || dim < kMinParallelDim) {
+    reduce_range(0, dim);
+  } else {
+    const std::size_t chunk = (dim + workers - 1) / workers;
+    std::vector<std::future<void>> futures;
+    futures.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t begin = std::min(dim, w * chunk);
+      const std::size_t end = std::min(dim, begin + chunk);
+      if (begin >= end) break;
+      futures.push_back(
+          pool->submit([&reduce_range, begin, end] { reduce_range(begin, end); }));
+    }
+    for (auto& f : futures) f.get();
+  }
   return out;
 }
 

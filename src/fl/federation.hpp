@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -29,6 +30,13 @@ struct FederationConfig {
   double participation = 1.0;
   /// Worker threads for parallel client training; 0 = hardware default.
   std::size_t threads = 0;
+  /// Worker threads for intra-model kernels (blocked-GEMM row splitting)
+  /// — a separate pool lent to every trained/evaluated model. 0 disables
+  /// kernel threading. Prefer `threads` (client-level parallelism) when
+  /// many clients train per round; kernel threads pay off when few, large
+  /// models train at a time. Deterministic either way: each kernel worker
+  /// owns disjoint output rows and element-wise math is unchanged.
+  std::size_t kernel_threads = 0;
   /// Failure injection: probability that a sampled client drops out of a
   /// round after being selected (device churn). The failed client's
   /// update simply never arrives; deterministic per (seed, client,
@@ -97,6 +105,14 @@ class Federation {
   /// configured dropout probability (deterministic).
   bool client_fails(std::size_t client, std::size_t round) const;
 
+  /// Pool for intra-model kernel row-splitting (null when
+  /// config().kernel_threads == 0). Lent to models this engine trains.
+  ThreadPool* kernel_pool() const { return kernel_pool_.get(); }
+
+  /// Pool usable for between-round server-side work (aggregation). Safe
+  /// to borrow whenever no train_clients call is in flight.
+  ThreadPool* aggregation_pool() const { return &pool_; }
+
   /// Loss/accuracy of a weight vector on one client's local test split.
   EvalResult evaluate_client(std::size_t client,
                              std::span<const float> weights) const;
@@ -119,11 +135,17 @@ class Federation {
   FederationConfig config_;
   std::size_t model_size_ = 0;
   mutable ThreadPool pool_;
+  std::unique_ptr<ThreadPool> kernel_pool_;
   CommMeter comm_;
 };
 
 /// Sample-count-weighted average of client weight vectors (FedAvg's
-/// aggregation rule). All updates must have equal length.
-std::vector<float> weighted_average(const std::vector<ClientUpdate>& updates);
+/// aggregation rule). All updates must have equal length. Single fused
+/// pass: each output element is reduced in double across updates and
+/// written once. With a pool, large models are chunked into contiguous
+/// per-worker dimension ranges (deterministic — per-element math is
+/// independent of the chunking).
+std::vector<float> weighted_average(const std::vector<ClientUpdate>& updates,
+                                    ThreadPool* pool = nullptr);
 
 }  // namespace fedclust::fl

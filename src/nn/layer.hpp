@@ -20,6 +20,7 @@
 namespace fedclust {
 
 class Rng;
+class ThreadPool;
 
 namespace nn {
 
@@ -58,6 +59,11 @@ class Layer {
 
   /// (Re-)initializes parameters from `rng`. Default: nothing.
   virtual void init_params(Rng& rng) { (void)rng; }
+
+  /// Lends a thread pool to layers whose kernels can split work across
+  /// row blocks (Conv2d, Linear). The pool is borrowed, never owned, and
+  /// may be null (single-threaded kernels). Default: ignored.
+  virtual void set_thread_pool(ThreadPool* pool) { (void)pool; }
 
   /// Deep copy, preserving parameter values but not cached activations.
   virtual std::unique_ptr<Layer> clone() const = 0;

@@ -7,8 +7,10 @@ namespace fedclust::nn {
 // -- Conv2d ----------------------------------------------------------------
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
-               std::size_t kernel, std::size_t padding, std::size_t stride)
+               std::size_t kernel, std::size_t padding, std::size_t stride,
+               ConvImpl impl)
     : spec_{in_channels, out_channels, kernel, padding, stride},
+      impl_(impl),
       weight_("weight", {out_channels, in_channels, kernel, kernel}),
       bias_("bias", {out_channels}) {
   FEDCLUST_REQUIRE(in_channels > 0 && out_channels > 0 && kernel > 0,
@@ -30,16 +32,42 @@ void Conv2d::init_params(Rng& rng) {
 Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
   cached_input_ = input;
   Tensor output;
-  ops::conv2d_forward(input, weight_.value, bias_.value, spec_, output);
+  if (impl_ == ConvImpl::kIm2col) {
+    // The column expansion lands in slot kColumns and stays valid until
+    // the paired backward(), which reuses it for the dW GEMM.
+    ops::conv2d_forward_im2col(input, weight_.value, bias_.value, spec_,
+                               output, scratch_.slot(kColumns),
+                               scratch_.slot(kPix), pool_);
+  } else {
+    ops::conv2d_forward(input, weight_.value, bias_.value, spec_, output);
+  }
   return output;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
   FEDCLUST_REQUIRE(!cached_input_.empty(), "backward before forward");
-  ops::conv2d_backward_params(cached_input_, grad_output, spec_, weight_.grad,
-                              bias_.grad);
   Tensor grad_input(cached_input_.shape());
-  ops::conv2d_backward_input(grad_output, weight_.value, spec_, grad_input);
+  if (impl_ == ConvImpl::kIm2col) {
+    // Kernels overwrite their outputs, so per-batch gradients go to
+    // scratch first and are then accumulated into the Params.
+    Tensor& dw = scratch_.acquire(kGradWeight, weight_.value.shape());
+    Tensor& db = scratch_.acquire(kGradBias, bias_.value.shape());
+    ops::conv2d_backward_params_im2col(grad_output, scratch_.slot(kColumns),
+                                       spec_, dw, db, scratch_.slot(kPix),
+                                       pool_);
+    weight_.grad += dw;
+    bias_.grad += db;
+    ops::conv2d_backward_input_im2col(grad_output, weight_.value, spec_,
+                                      grad_input, scratch_.slot(kPix),
+                                      scratch_.slot(kGradColumns), pool_);
+  } else {
+    Tensor& dw = scratch_.acquire(kGradWeight, weight_.value.shape());
+    Tensor& db = scratch_.acquire(kGradBias, bias_.value.shape());
+    ops::conv2d_backward_params(cached_input_, grad_output, spec_, dw, db);
+    weight_.grad += dw;
+    bias_.grad += db;
+    ops::conv2d_backward_input(grad_output, weight_.value, spec_, grad_input);
+  }
   return grad_input;
 }
 
@@ -72,7 +100,7 @@ Tensor Linear::forward(const Tensor& input, bool /*train*/) {
                                              << shape_to_string(input.shape()));
   cached_input_ = input;
   Tensor output;
-  ops::matmul_nt(input, weight_.value, output);  // (B,in)·(out,in)ᵀ
+  ops::matmul_nt(input, weight_.value, output, pool_);  // (B,in)·(out,in)ᵀ
   for (std::size_t i = 0; i < output.dim(0); ++i) {
     float* row = output.data() + i * out_features_;
     for (std::size_t j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
@@ -84,9 +112,9 @@ Tensor Linear::backward(const Tensor& grad_output) {
   FEDCLUST_REQUIRE(!cached_input_.empty(), "backward before forward");
   const std::size_t batch = grad_output.dim(0);
 
-  // dW = gᵀ · x  (out×B · B×in), accumulated.
-  Tensor dw;
-  ops::matmul_tn(grad_output, cached_input_, dw);
+  // dW = gᵀ · x  (out×B · B×in), accumulated via a reused scratch slot.
+  Tensor& dw = scratch_.slot(0);
+  ops::matmul_tn(grad_output, cached_input_, dw, pool_);
   weight_.grad += dw;
 
   for (std::size_t i = 0; i < batch; ++i) {
@@ -96,7 +124,7 @@ Tensor Linear::backward(const Tensor& grad_output) {
 
   // dx = g · W  (B×out · out×in)
   Tensor grad_input;
-  ops::matmul(grad_output, weight_.value, grad_input);
+  ops::matmul(grad_output, weight_.value, grad_input, pool_);
   return grad_input;
 }
 

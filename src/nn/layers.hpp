@@ -7,31 +7,66 @@
 
 #include "nn/layer.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/scratch.hpp"
 #include "utils/rng.hpp"
 
 namespace fedclust::nn {
 
+/// Which convolution kernels a Conv2d layer runs on.
+enum class ConvImpl {
+  kIm2col,  ///< im2col + blocked GEMM (the fast production path)
+  kDirect,  ///< reference 7-loop direct kernels (equivalence testing)
+};
+
 /// 2-D convolution (square kernel, configurable stride/padding).
 /// Weight layout (out_channels, in_channels, k, k); Kaiming-uniform init.
+///
+/// The default im2col path caches the column expansion from forward and
+/// reuses it in backward, with all temporaries held in a ScratchArena so
+/// steady-state training does zero heap allocation per batch.
 class Conv2d final : public Layer {
  public:
   Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
-         std::size_t padding = 0, std::size_t stride = 1);
+         std::size_t padding = 0, std::size_t stride = 1,
+         ConvImpl impl = ConvImpl::kIm2col);
 
   const char* type() const override { return "conv2d"; }
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   void init_params(Rng& rng) override;
+  void set_thread_pool(ThreadPool* pool) override { pool_ = pool; }
   std::unique_ptr<Layer> clone() const override;
 
   const ops::Conv2dSpec& spec() const { return spec_; }
 
+  ConvImpl impl() const { return impl_; }
+  void set_impl(ConvImpl impl) { impl_ = impl; }
+
+  /// Heap (re)allocations the scratch arena has performed so far; stable
+  /// across batches once shapes reach steady state.
+  std::size_t scratch_allocations() const { return scratch_.allocations(); }
+  /// Floats currently held by the scratch arena — stable across batches
+  /// in steady state (kernels resize slots in place, reusing capacity).
+  std::size_t scratch_footprint() const { return scratch_.footprint(); }
+
  private:
+  // Scratch slot keys inside scratch_.
+  enum Slot : std::size_t {
+    kColumns = 0,   // im2col expansion, cached forward -> backward
+    kPix,           // pixel-major GEMM operand/result
+    kGradColumns,   // grad w.r.t. columns (backward-input)
+    kGradWeight,    // per-batch dW before accumulation into the Param
+    kGradBias,      // per-batch db before accumulation into the Param
+  };
+
   ops::Conv2dSpec spec_;
+  ConvImpl impl_;
   Param weight_;
   Param bias_;
   Tensor cached_input_;
+  ScratchArena scratch_;
+  ThreadPool* pool_ = nullptr;  // borrowed; null = single-threaded kernels
 };
 
 /// Fully connected layer: y = x·Wᵀ + b with W (out × in).
@@ -44,6 +79,7 @@ class Linear final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   void init_params(Rng& rng) override;
+  void set_thread_pool(ThreadPool* pool) override { pool_ = pool; }
   std::unique_ptr<Layer> clone() const override;
 
   std::size_t in_features() const { return in_features_; }
@@ -55,6 +91,8 @@ class Linear final : public Layer {
   Param weight_;
   Param bias_;
   Tensor cached_input_;
+  ScratchArena scratch_;         // slot 0: per-batch dW
+  ThreadPool* pool_ = nullptr;   // borrowed; null = single-threaded kernels
 };
 
 /// Elementwise max(x, 0).

@@ -52,6 +52,10 @@ void Model::zero_grad() {
   for (Param* p : params()) p->grad.zero();
 }
 
+void Model::set_thread_pool(ThreadPool* pool) {
+  for (auto& l : layers_) l->set_thread_pool(pool);
+}
+
 std::vector<Param*> Model::params() {
   std::vector<Param*> out;
   for (auto& l : layers_) {

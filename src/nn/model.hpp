@@ -56,6 +56,11 @@ class Model {
   /// Zeroes all parameter gradients.
   void zero_grad();
 
+  /// Lends a (borrowed, possibly null) thread pool to every layer whose
+  /// kernels can use one; large GEMMs then split across row blocks.
+  /// Clones inherit the pointer.
+  void set_thread_pool(ThreadPool* pool);
+
   /// All parameters in layer order.
   std::vector<Param*> params();
   std::vector<const Param*> params() const;

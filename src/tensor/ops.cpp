@@ -2,6 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
+#include <vector>
+
+#include "utils/thread_pool.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FEDCLUST_RESTRICT __restrict__
+#else
+#define FEDCLUST_RESTRICT
+#endif
 
 namespace fedclust::ops {
 namespace {
@@ -11,15 +21,247 @@ void check_matrix(const Tensor& t, const char* name) {
                                        << shape_to_string(t.shape()));
 }
 
+// ---------------------------------------------------------------------------
+// Raw-pointer GEMM cores.
+//
+// Each core computes a contiguous range [i0, i1) of output rows so the
+// threaded wrapper can hand disjoint row blocks to workers. Determinism:
+// for every output element the accumulation order over k depends only on
+// (i, j) — never on block boundaries, tile membership, or thread count —
+// so blocked, tiled, and threaded runs are bit-identical.
+//
+// Blocking parameters (floats): a KC×NC panel of B (256×512 = 512 KiB at
+// the defaults below, typically trimmed by the edge cases to the L2-
+// resident working set) is reused across an IR-row register tile of A,
+// and the 8-wide inner loops are written so the compiler can vectorize
+// them without reassociating float math.
+
+constexpr std::size_t kKC = 256;  ///< k-panel size (rows of B per block)
+constexpr std::size_t kNC = 512;  ///< j-panel size (B row segment in L1)
+constexpr std::size_t kIR = 4;    ///< register tile height (rows of C)
+
+/// C[i0:i1) = A(m×k) · B(k×n) for the row range; C rows are overwritten.
+void gemm_nn_rows(const float* FEDCLUST_RESTRICT pa,
+                  const float* FEDCLUST_RESTRICT pb, float* FEDCLUST_RESTRICT pc,
+                  std::size_t i0, std::size_t i1, std::size_t k,
+                  std::size_t n) {
+  std::fill(pc + i0 * n, pc + i1 * n, 0.0f);
+  for (std::size_t kc = 0; kc < k; kc += kKC) {
+    const std::size_t kend = std::min(k, kc + kKC);
+    for (std::size_t jc = 0; jc < n; jc += kNC) {
+      const std::size_t jend = std::min(n, jc + kNC);
+      std::size_t i = i0;
+      for (; i + kIR <= i1; i += kIR) {
+        for (std::size_t kk = kc; kk < kend; ++kk) {
+          const float a0 = pa[(i + 0) * k + kk];
+          const float a1 = pa[(i + 1) * k + kk];
+          const float a2 = pa[(i + 2) * k + kk];
+          const float a3 = pa[(i + 3) * k + kk];
+          const float* FEDCLUST_RESTRICT brow = pb + kk * n;
+          float* FEDCLUST_RESTRICT c0 = pc + (i + 0) * n;
+          float* FEDCLUST_RESTRICT c1 = pc + (i + 1) * n;
+          float* FEDCLUST_RESTRICT c2 = pc + (i + 2) * n;
+          float* FEDCLUST_RESTRICT c3 = pc + (i + 3) * n;
+          for (std::size_t j = jc; j < jend; ++j) {
+            c0[j] += a0 * brow[j];
+            c1[j] += a1 * brow[j];
+            c2[j] += a2 * brow[j];
+            c3[j] += a3 * brow[j];
+          }
+        }
+      }
+      for (; i < i1; ++i) {
+        for (std::size_t kk = kc; kk < kend; ++kk) {
+          const float a0 = pa[i * k + kk];
+          const float* FEDCLUST_RESTRICT brow = pb + kk * n;
+          float* FEDCLUST_RESTRICT crow = pc + i * n;
+          for (std::size_t j = jc; j < jend; ++j) crow[j] += a0 * brow[j];
+        }
+      }
+    }
+  }
+}
+
+/// C[i0:i1) = Aᵀ(k×m)·B(k×n) for the row range (A stored k-major).
+void gemm_tn_rows(const float* FEDCLUST_RESTRICT pa,
+                  const float* FEDCLUST_RESTRICT pb, float* FEDCLUST_RESTRICT pc,
+                  std::size_t i0, std::size_t i1, std::size_t k, std::size_t m,
+                  std::size_t n) {
+  std::fill(pc + i0 * n, pc + i1 * n, 0.0f);
+  for (std::size_t kc = 0; kc < k; kc += kKC) {
+    const std::size_t kend = std::min(k, kc + kKC);
+    for (std::size_t jc = 0; jc < n; jc += kNC) {
+      const std::size_t jend = std::min(n, jc + kNC);
+      std::size_t i = i0;
+      for (; i + kIR <= i1; i += kIR) {
+        for (std::size_t kk = kc; kk < kend; ++kk) {
+          const float* FEDCLUST_RESTRICT acol = pa + kk * m + i;
+          const float a0 = acol[0];
+          const float a1 = acol[1];
+          const float a2 = acol[2];
+          const float a3 = acol[3];
+          const float* FEDCLUST_RESTRICT brow = pb + kk * n;
+          float* FEDCLUST_RESTRICT c0 = pc + (i + 0) * n;
+          float* FEDCLUST_RESTRICT c1 = pc + (i + 1) * n;
+          float* FEDCLUST_RESTRICT c2 = pc + (i + 2) * n;
+          float* FEDCLUST_RESTRICT c3 = pc + (i + 3) * n;
+          for (std::size_t j = jc; j < jend; ++j) {
+            c0[j] += a0 * brow[j];
+            c1[j] += a1 * brow[j];
+            c2[j] += a2 * brow[j];
+            c3[j] += a3 * brow[j];
+          }
+        }
+      }
+      for (; i < i1; ++i) {
+        for (std::size_t kk = kc; kk < kend; ++kk) {
+          const float a0 = pa[kk * m + i];
+          const float* FEDCLUST_RESTRICT brow = pb + kk * n;
+          float* FEDCLUST_RESTRICT crow = pc + i * n;
+          for (std::size_t j = jc; j < jend; ++j) crow[j] += a0 * brow[j];
+        }
+      }
+    }
+  }
+}
+
+/// 8-accumulator dot product — the one and only reduction kernel for the
+/// NT variant, so every C element is summed in the same order no matter
+/// which tile or thread computed it.
+inline float dot8(const float* FEDCLUST_RESTRICT a,
+                  const float* FEDCLUST_RESTRICT b, std::size_t k) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  float s4 = 0.0f, s5 = 0.0f, s6 = 0.0f, s7 = 0.0f;
+  std::size_t kk = 0;
+  for (; kk + 8 <= k; kk += 8) {
+    s0 += a[kk + 0] * b[kk + 0];
+    s1 += a[kk + 1] * b[kk + 1];
+    s2 += a[kk + 2] * b[kk + 2];
+    s3 += a[kk + 3] * b[kk + 3];
+    s4 += a[kk + 4] * b[kk + 4];
+    s5 += a[kk + 5] * b[kk + 5];
+    s6 += a[kk + 6] * b[kk + 6];
+    s7 += a[kk + 7] * b[kk + 7];
+  }
+  float tail = 0.0f;
+  for (; kk < k; ++kk) tail += a[kk] * b[kk];
+  return (((s0 + s4) + (s1 + s5)) + ((s2 + s6) + (s3 + s7))) + tail;
+}
+
+/// C[i0:i1) = A(m×k) · Bᵀ(n×k) for the row range. A 6-row block of A is
+/// kept hot in L1 while B streams through once per block.
+void gemm_nt_rows(const float* FEDCLUST_RESTRICT pa,
+                  const float* FEDCLUST_RESTRICT pb, float* FEDCLUST_RESTRICT pc,
+                  std::size_t i0, std::size_t i1, std::size_t k,
+                  std::size_t n) {
+  constexpr std::size_t kIB = 6;  // A rows per block: 6·k floats stay in L1
+  for (std::size_t ib = i0; ib < i1; ib += kIB) {
+    const std::size_t iend = std::min(i1, ib + kIB);
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* FEDCLUST_RESTRICT brow = pb + j * k;
+      for (std::size_t i = ib; i < iend; ++i) {
+        pc[i * n + j] = dot8(pa + i * k, brow, k);
+      }
+    }
+  }
+}
+
+/// Runs `rows(i0, i1)` over [0, m), split into one contiguous block per
+/// worker when the problem is big enough to amortize the fork/join.
+template <typename RowsFn>
+void run_row_blocks(std::size_t m, std::size_t flops, ThreadPool* pool,
+                    RowsFn&& rows) {
+  constexpr std::size_t kMinFlops = 1u << 21;  // ~2 MFLOP: below this the
+                                               // fork/join dominates
+  const std::size_t workers = pool != nullptr ? pool->size() : 1;
+  if (workers <= 1 || flops < kMinFlops || m < 2 * workers) {
+    rows(0, m);
+    return;
+  }
+  const std::size_t chunk = (m + workers - 1) / workers;
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t i0 = std::min(m, w * chunk);
+    const std::size_t i1 = std::min(m, i0 + chunk);
+    if (i0 >= i1) break;
+    futures.push_back(pool->submit([&rows, i0, i1] { rows(i0, i1); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+/// Reorders NCHW (n, c, h, w) into pixel-major (n·h·w × c).
+void nchw_to_pixel_major(const Tensor& t, Tensor& out) {
+  const std::size_t n = t.dim(0), c = t.dim(1), h = t.dim(2), w = t.dim(3);
+  const std::size_t plane = h * w;
+  out.resize({n * plane, c});
+  const float* FEDCLUST_RESTRICT src = t.data();
+  float* FEDCLUST_RESTRICT dst = out.data();
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* FEDCLUST_RESTRICT p = src + (img * c + ch) * plane;
+      float* FEDCLUST_RESTRICT q = dst + img * plane * c + ch;
+      for (std::size_t i = 0; i < plane; ++i) q[i * c] = p[i];
+    }
+  }
+}
+
 }  // namespace
 
-void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
+// -- GEMM -------------------------------------------------------------------
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool) {
   check_matrix(a, "A");
   check_matrix(b, "B");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   FEDCLUST_REQUIRE(b.dim(0) == k, "matmul inner dims " << k << " vs "
                                                        << b.dim(0));
-  if (c.shape() != Shape{m, n}) c = Tensor({m, n});
+  c.resize({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  run_row_blocks(m, 2 * m * n * k, pool, [=](std::size_t i0, std::size_t i1) {
+    gemm_nn_rows(pa, pb, pc, i0, i1, k, n);
+  });
+}
+
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool) {
+  check_matrix(a, "A");
+  check_matrix(b, "B");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  FEDCLUST_REQUIRE(b.dim(0) == k, "matmul_tn inner dims " << k << " vs "
+                                                          << b.dim(0));
+  c.resize({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  run_row_blocks(m, 2 * m * n * k, pool, [=](std::size_t i0, std::size_t i1) {
+    gemm_tn_rows(pa, pb, pc, i0, i1, k, m, n);
+  });
+}
+
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool) {
+  check_matrix(a, "A");
+  check_matrix(b, "B");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  FEDCLUST_REQUIRE(b.dim(1) == k, "matmul_nt inner dims " << k << " vs "
+                                                          << b.dim(1));
+  c.resize({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  run_row_blocks(m, 2 * m * n * k, pool, [=](std::size_t i0, std::size_t i1) {
+    gemm_nt_rows(pa, pb, pc, i0, i1, k, n);
+  });
+}
+
+void matmul_naive(const Tensor& a, const Tensor& b, Tensor& c) {
+  check_matrix(a, "A");
+  check_matrix(b, "B");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  FEDCLUST_REQUIRE(b.dim(0) == k, "matmul inner dims " << k << " vs "
+                                                       << b.dim(0));
+  c.resize({m, n});
   c.zero();
   const float* pa = a.data();
   const float* pb = b.data();
@@ -35,51 +277,7 @@ void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
   }
 }
 
-void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c) {
-  check_matrix(a, "A");
-  check_matrix(b, "B");
-  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  FEDCLUST_REQUIRE(b.dim(0) == k, "matmul_tn inner dims " << k << " vs "
-                                                          << b.dim(0));
-  if (c.shape() != Shape{m, n}) c = Tensor({m, n});
-  c.zero();
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aik = arow[i];
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
-}
-
-void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c) {
-  check_matrix(a, "A");
-  check_matrix(b, "B");
-  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  FEDCLUST_REQUIRE(b.dim(1) == k, "matmul_nt inner dims " << k << " vs "
-                                                          << b.dim(1));
-  if (c.shape() != Shape{m, n}) c = Tensor({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // Dot-product form: both A's row i and B's row j are contiguous.
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double s = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        s += static_cast<double>(arow[kk]) * brow[kk];
-      }
-      pc[i * n + j] = static_cast<float>(s);
-    }
-  }
-}
+// -- Direct convolution ------------------------------------------------------
 
 void conv2d_forward(const Tensor& input, const Tensor& weight,
                     const Tensor& bias, const Conv2dSpec& spec,
@@ -188,6 +386,8 @@ void conv2d_backward_params(const Tensor& input, const Tensor& grad_output,
       "grad_weight shape mismatch");
   FEDCLUST_REQUIRE(grad_bias.shape() == Shape{spec.out_channels},
                    "grad_bias shape mismatch");
+  grad_weight.zero();
+  grad_bias.zero();
 
   for (std::size_t img = 0; img < n; ++img) {
     for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
@@ -224,6 +424,8 @@ void conv2d_backward_params(const Tensor& input, const Tensor& grad_output,
   }
 }
 
+// -- im2col/GEMM convolution -------------------------------------------------
+
 void im2col(const Tensor& input, const Conv2dSpec& spec, Tensor& columns) {
   const std::size_t n = input.dim(0), cin = input.dim(1), h = input.dim(2),
                     w = input.dim(3);
@@ -231,7 +433,7 @@ void im2col(const Tensor& input, const Conv2dSpec& spec, Tensor& columns) {
   const std::size_t k = spec.kernel, pad = spec.padding, stride = spec.stride;
   const std::size_t rows = n * ho * wo;
   const std::size_t cols = cin * k * k;
-  if (columns.shape() != Shape{rows, cols}) columns = Tensor({rows, cols});
+  columns.resize({rows, cols});
 
   float* out = columns.data();
   for (std::size_t img = 0; img < n; ++img) {
@@ -244,16 +446,63 @@ void im2col(const Tensor& input, const Conv2dSpec& spec, Tensor& columns) {
             const std::ptrdiff_t iy =
                 static_cast<std::ptrdiff_t>(oy * stride + ky) -
                 static_cast<std::ptrdiff_t>(pad);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+              for (std::size_t kx = 0; kx < k; ++kx, ++idx) row[idx] = 0.0f;
+              continue;
+            }
+            const float* irow =
+                input.data() +
+                ((img * cin + ic) * h + static_cast<std::size_t>(iy)) * w;
             for (std::size_t kx = 0; kx < k; ++kx, ++idx) {
               const std::ptrdiff_t ix =
                   static_cast<std::ptrdiff_t>(ox * stride + kx) -
                   static_cast<std::ptrdiff_t>(pad);
-              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h) || ix < 0 ||
-                  ix >= static_cast<std::ptrdiff_t>(w)) {
-                row[idx] = 0.0f;
-              } else {
-                row[idx] = input.at(img, ic, static_cast<std::size_t>(iy),
-                                    static_cast<std::size_t>(ix));
+              row[idx] = (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w))
+                             ? 0.0f
+                             : irow[ix];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Tensor& columns, const Conv2dSpec& spec, Tensor& grad_input) {
+  FEDCLUST_REQUIRE(grad_input.rank() == 4, "col2im output must be NCHW");
+  const std::size_t n = grad_input.dim(0), cin = grad_input.dim(1),
+                    h = grad_input.dim(2), w = grad_input.dim(3);
+  const std::size_t ho = spec.out_size(h), wo = spec.out_size(w);
+  const std::size_t k = spec.kernel, pad = spec.padding, stride = spec.stride;
+  const std::size_t cols = cin * k * k;
+  FEDCLUST_REQUIRE(columns.shape() == Shape({n * ho * wo, cols}),
+                   "col2im columns shape mismatch");
+  grad_input.zero();
+
+  const float* in = columns.data();
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oy = 0; oy < ho; ++oy) {
+      for (std::size_t ox = 0; ox < wo; ++ox) {
+        const float* row = in + ((img * ho + oy) * wo + ox) * cols;
+        std::size_t idx = 0;
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+          for (std::size_t ky = 0; ky < k; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                static_cast<std::ptrdiff_t>(pad);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+              idx += k;
+              continue;
+            }
+            float* grow =
+                grad_input.data() +
+                ((img * cin + ic) * h + static_cast<std::size_t>(iy)) * w;
+            for (std::size_t kx = 0; kx < k; ++kx, ++idx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (ix >= 0 && ix < static_cast<std::ptrdiff_t>(w)) {
+                grow[ix] += row[idx];
               }
             }
           }
@@ -265,33 +514,127 @@ void im2col(const Tensor& input, const Conv2dSpec& spec, Tensor& columns) {
 
 void conv2d_forward_im2col(const Tensor& input, const Tensor& weight,
                            const Tensor& bias, const Conv2dSpec& spec,
-                           Tensor& output, Tensor& scratch_columns) {
+                           Tensor& output, Tensor& scratch_columns,
+                           Tensor& scratch_pix, ThreadPool* pool) {
+  FEDCLUST_REQUIRE(input.rank() == 4, "conv input must be NCHW");
   const std::size_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  FEDCLUST_REQUIRE(input.dim(1) == spec.in_channels,
+                   "conv input channel mismatch");
+  FEDCLUST_REQUIRE(
+      weight.shape() ==
+          Shape({spec.out_channels, spec.in_channels, spec.kernel, spec.kernel}),
+      "conv weight shape mismatch");
+  FEDCLUST_REQUIRE(bias.shape() == Shape{spec.out_channels},
+                   "conv bias shape mismatch");
   const std::size_t ho = spec.out_size(h), wo = spec.out_size(w);
+  const std::size_t cout = spec.out_channels;
+  const std::size_t ckk = spec.in_channels * spec.kernel * spec.kernel;
+  const std::size_t pixels = n * ho * wo;
+
   im2col(input, spec, scratch_columns);
 
-  // columns (n*ho*wo × cin*k*k) · weightᵀ (cout × cin*k*k) = (n*ho*wo × cout)
-  const Tensor weight2d = weight.reshaped(
-      {spec.out_channels, spec.in_channels * spec.kernel * spec.kernel});
-  Tensor result;
-  matmul_nt(scratch_columns, weight2d, result);
+  // columns (pixels × ckk) · weightᵀ (cout × ckk) = pix (pixels × cout).
+  // The weight tensor is already contiguous in (cout × ckk) layout, so the
+  // raw NT core runs on it without a reshape copy.
+  scratch_pix.resize({pixels, cout});
+  const float* pa = scratch_columns.data();
+  const float* pb = weight.data();
+  float* pc = scratch_pix.data();
+  run_row_blocks(pixels, 2 * pixels * cout * ckk, pool,
+                 [=](std::size_t i0, std::size_t i1) {
+                   gemm_nt_rows(pa, pb, pc, i0, i1, ckk, cout);
+                 });
 
-  if (output.shape() != Shape{n, spec.out_channels, ho, wo}) {
-    output = Tensor({n, spec.out_channels, ho, wo});
+  // Transpose (pixel-major × cout) into NCHW, adding bias on the way out.
+  if (output.shape() != Shape{n, cout, ho, wo}) {
+    output = Tensor({n, cout, ho, wo});
   }
-  // Transpose (pixel-major × cout) into NCHW and add bias.
+  const std::size_t plane = ho * wo;
   for (std::size_t img = 0; img < n; ++img) {
-    for (std::size_t oy = 0; oy < ho; ++oy) {
-      for (std::size_t ox = 0; ox < wo; ++ox) {
-        const std::size_t row = (img * ho + oy) * wo + ox;
-        for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
-          output.at(img, oc, oy, ox) =
-              result.at(row, oc) + bias[oc];
-        }
-      }
+    for (std::size_t oc = 0; oc < cout; ++oc) {
+      const float b = bias[oc];
+      const float* FEDCLUST_RESTRICT src = pc + img * plane * cout + oc;
+      float* FEDCLUST_RESTRICT dst =
+          output.data() + (img * cout + oc) * plane;
+      for (std::size_t i = 0; i < plane; ++i) dst[i] = src[i * cout] + b;
     }
   }
 }
+
+void conv2d_backward_input_im2col(const Tensor& grad_output,
+                                  const Tensor& weight, const Conv2dSpec& spec,
+                                  Tensor& grad_input, Tensor& scratch_pix,
+                                  Tensor& scratch_columns, ThreadPool* pool) {
+  FEDCLUST_REQUIRE(grad_output.rank() == 4 && grad_input.rank() == 4,
+                   "conv backward tensors must be NCHW");
+  const std::size_t n = grad_input.dim(0), h = grad_input.dim(2),
+                    w = grad_input.dim(3);
+  const std::size_t ho = spec.out_size(h), wo = spec.out_size(w);
+  const std::size_t cout = spec.out_channels;
+  FEDCLUST_REQUIRE(grad_output.shape() == Shape({n, cout, ho, wo}),
+                   "grad_output shape mismatch");
+  const std::size_t ckk = spec.in_channels * spec.kernel * spec.kernel;
+  const std::size_t pixels = n * ho * wo;
+
+  nchw_to_pixel_major(grad_output, scratch_pix);
+
+  // grad_cols (pixels × ckk) = grad_pix (pixels × cout) · W (cout × ckk).
+  scratch_columns.resize({pixels, ckk});
+  const float* pa = scratch_pix.data();
+  const float* pb = weight.data();
+  float* pc = scratch_columns.data();
+  run_row_blocks(pixels, 2 * pixels * cout * ckk, pool,
+                 [=](std::size_t i0, std::size_t i1) {
+                   gemm_nn_rows(pa, pb, pc, i0, i1, cout, ckk);
+                 });
+
+  col2im(scratch_columns, spec, grad_input);
+}
+
+void conv2d_backward_params_im2col(const Tensor& grad_output,
+                                   const Tensor& columns,
+                                   const Conv2dSpec& spec, Tensor& grad_weight,
+                                   Tensor& grad_bias, Tensor& scratch_pix,
+                                   ThreadPool* pool) {
+  FEDCLUST_REQUIRE(grad_output.rank() == 4, "conv backward needs NCHW grads");
+  const std::size_t cout = spec.out_channels;
+  const std::size_t ckk = spec.in_channels * spec.kernel * spec.kernel;
+  const std::size_t pixels =
+      grad_output.dim(0) * grad_output.dim(2) * grad_output.dim(3);
+  FEDCLUST_REQUIRE(grad_output.dim(1) == cout, "grad_output channel mismatch");
+  FEDCLUST_REQUIRE(columns.shape() == Shape({pixels, ckk}),
+                   "columns do not match grad_output geometry");
+  FEDCLUST_REQUIRE(
+      grad_weight.shape() ==
+          Shape({spec.out_channels, spec.in_channels, spec.kernel, spec.kernel}),
+      "grad_weight shape mismatch");
+  FEDCLUST_REQUIRE(grad_bias.shape() == Shape{spec.out_channels},
+                   "grad_bias shape mismatch");
+
+  nchw_to_pixel_major(grad_output, scratch_pix);
+
+  // dW (cout × ckk) = grad_pixᵀ (pixels × cout)ᵀ · columns (pixels × ckk).
+  // grad_weight is contiguous (cout × ckk), so the TN core writes it in
+  // place — overwrite semantics for free.
+  const float* pa = scratch_pix.data();
+  const float* pb = columns.data();
+  float* pc = grad_weight.data();
+  run_row_blocks(cout, 2 * pixels * cout * ckk, pool,
+                 [=](std::size_t i0, std::size_t i1) {
+                   gemm_tn_rows(pa, pb, pc, i0, i1, pixels, cout, ckk);
+                 });
+
+  // grad_bias[oc] = Σ over pixels of grad_pix[p, oc].
+  grad_bias.zero();
+  float* gb = grad_bias.data();
+  const float* pix = scratch_pix.data();
+  for (std::size_t p = 0; p < pixels; ++p) {
+    const float* FEDCLUST_RESTRICT row = pix + p * cout;
+    for (std::size_t oc = 0; oc < cout; ++oc) gb[oc] += row[oc];
+  }
+}
+
+// -- Pooling -----------------------------------------------------------------
 
 void max_pool_forward(const Tensor& input, std::size_t window, Tensor& output,
                       std::vector<std::size_t>& argmax) {
@@ -392,6 +735,8 @@ void avg_pool_backward(const Tensor& grad_output, std::size_t window,
     }
   }
 }
+
+// -- Softmax / misc ----------------------------------------------------------
 
 void softmax_rows(const Tensor& logits, Tensor& probs) {
   FEDCLUST_REQUIRE(logits.rank() == 2, "softmax_rows needs a matrix");

@@ -5,28 +5,53 @@
 // functions over pre-allocated outputs so layers can reuse buffers across
 // batches, and the direct vs im2col convolution variants are kept side by
 // side for the micro-kernel benchmark (bench/micro_kernels).
+//
+// GEMM kernels are cache-blocked and register-tiled; every variant takes
+// an optional ThreadPool and splits the output rows into contiguous
+// per-worker blocks when one is provided. Each output element's
+// accumulation order is independent of blocking and of the thread count,
+// so results are bit-identical with and without a pool.
+//
+// Contracts:
+//  * every kernel OVERWRITES its output(s); none accumulates into them.
+//    Layers that need gradient accumulation compute into scratch and add.
+//  * scratch tensors are resized in place (capacity is reused), so
+//    passing slots of a ScratchArena keeps steady-state calls
+//    allocation-free.
 #pragma once
 
 #include <cstddef>
 
 #include "tensor/tensor.hpp"
 
+namespace fedclust {
+class ThreadPool;
+}
+
 namespace fedclust::ops {
 
 // -- GEMM -----------------------------------------------------------------
 
 /// C = A(m×k) · B(k×n). Shapes are validated; C is overwritten.
-void matmul(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul(const Tensor& a, const Tensor& b, Tensor& c,
+            ThreadPool* pool = nullptr);
 
 /// C = Aᵀ(k×m) · B(k×n) without materializing Aᵀ.
-void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c,
+               ThreadPool* pool = nullptr);
 
 /// C = A(m×k) · Bᵀ(n×k) without materializing Bᵀ.
-void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c);
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c,
+               ThreadPool* pool = nullptr);
+
+/// Reference single-threaded ikj GEMM (the pre-blocking implementation).
+/// Kept as the equivalence oracle for tests and the naive side of the
+/// blocked-vs-naive micro-benchmark.
+void matmul_naive(const Tensor& a, const Tensor& b, Tensor& c);
 
 // -- Convolution ------------------------------------------------------------
 
-/// Geometry of a 2-D convolution (stride 1, symmetric zero padding).
+/// Geometry of a 2-D convolution (square kernel, symmetric zero padding).
 struct Conv2dSpec {
   std::size_t in_channels = 0;
   std::size_t out_channels = 0;
@@ -52,21 +77,51 @@ void conv2d_forward(const Tensor& input, const Tensor& weight,
 void conv2d_backward_input(const Tensor& grad_output, const Tensor& weight,
                            const Conv2dSpec& spec, Tensor& grad_input);
 
-/// Gradients w.r.t. weight and bias, ACCUMULATED into grad_weight /
-/// grad_bias (callers zero them at batch start).
+/// Gradients w.r.t. weight and bias. grad_weight and grad_bias are
+/// OVERWRITTEN (zeroed inside the kernel, matching
+/// conv2d_backward_input). Callers that accumulate across calls must add
+/// from a scratch tensor.
 void conv2d_backward_params(const Tensor& input, const Tensor& grad_output,
                             const Conv2dSpec& spec, Tensor& grad_weight,
                             Tensor& grad_bias);
 
+// -- im2col/GEMM convolution -------------------------------------------------
+
 /// im2col expansion: input (N, Cin, H, W) -> columns
 /// (N * Hout * Wout, Cin * K * K). Used by the GEMM-based convolution
-/// variant and benchmarked against the direct kernel.
+/// variants and benchmarked against the direct kernel.
 void im2col(const Tensor& input, const Conv2dSpec& spec, Tensor& columns);
 
+/// Inverse of im2col: scatter-adds column rows back into image layout.
+/// grad_input must be preshaped (N, Cin, H, W); it is overwritten.
+void col2im(const Tensor& columns, const Conv2dSpec& spec, Tensor& grad_input);
+
 /// GEMM-based convolution producing the same result as conv2d_forward.
+/// scratch_columns receives the im2col expansion (reusable by the
+/// backward-params pass); scratch_pix holds the pixel-major GEMM result.
 void conv2d_forward_im2col(const Tensor& input, const Tensor& weight,
                            const Tensor& bias, const Conv2dSpec& spec,
-                           Tensor& output, Tensor& scratch_columns);
+                           Tensor& output, Tensor& scratch_columns,
+                           Tensor& scratch_pix, ThreadPool* pool = nullptr);
+
+/// GEMM-based gradient w.r.t. input: grad_cols = grad_out · W (pixel-major
+/// GEMM), then col2im. grad_input must be preshaped (N, Cin, H, W); it is
+/// overwritten. Matches conv2d_backward_input.
+void conv2d_backward_input_im2col(const Tensor& grad_output,
+                                  const Tensor& weight, const Conv2dSpec& spec,
+                                  Tensor& grad_input, Tensor& scratch_pix,
+                                  Tensor& scratch_columns,
+                                  ThreadPool* pool = nullptr);
+
+/// GEMM-based gradients w.r.t. weight and bias: dW = grad_outᵀ · columns
+/// via the TN kernel, where `columns` is the im2col expansion of the
+/// forward input (cached by the layer). grad_weight / grad_bias are
+/// OVERWRITTEN. Matches conv2d_backward_params.
+void conv2d_backward_params_im2col(const Tensor& grad_output,
+                                   const Tensor& columns,
+                                   const Conv2dSpec& spec, Tensor& grad_weight,
+                                   Tensor& grad_bias, Tensor& scratch_pix,
+                                   ThreadPool* pool = nullptr);
 
 // -- Pooling ---------------------------------------------------------------
 

@@ -1,0 +1,31 @@
+#include "tensor/scratch.hpp"
+
+namespace fedclust {
+
+Tensor& ScratchArena::acquire(std::size_t key, const Shape& shape) {
+  if (key >= slots_.size()) slots_.resize(key + 1);
+  Tensor& slot = slots_[key];
+  if (slot.shape() == shape) return slot;
+  const std::size_t before = slot.buffer_capacity();
+  slot.resize(shape);
+  if (slot.buffer_capacity() != before) ++allocations_;
+  return slot;
+}
+
+Tensor& ScratchArena::slot(std::size_t key) {
+  if (key >= slots_.size()) slots_.resize(key + 1);
+  return slots_[key];
+}
+
+std::size_t ScratchArena::footprint() const {
+  std::size_t total = 0;
+  for (const Tensor& t : slots_) total += t.buffer_capacity();
+  return total;
+}
+
+void ScratchArena::reset() {
+  slots_.clear();
+  allocations_ = 0;
+}
+
+}  // namespace fedclust

@@ -80,6 +80,14 @@ void Tensor::reshape(Shape new_shape) {
   shape_ = std::move(new_shape);
 }
 
+void Tensor::resize(Shape new_shape) {
+  FEDCLUST_REQUIRE(new_shape.size() <= 4,
+                   "tensors up to rank 4 supported, got rank "
+                       << new_shape.size());
+  data_.resize(shape_numel(new_shape));
+  shape_ = std::move(new_shape);
+}
+
 float& Tensor::at(std::size_t i, std::size_t j) {
   FEDCLUST_DCHECK(rank() == 2, "at(i,j) needs a rank-2 tensor");
   FEDCLUST_DCHECK(i < shape_[0] && j < shape_[1], "2-D index out of range");

@@ -75,6 +75,14 @@ class Tensor {
   /// Reshapes in place; numel must match.
   void reshape(Shape new_shape);
 
+  /// Resizes to a new shape, REUSING the existing buffer when its
+  /// capacity suffices (contents are unspecified afterwards). This is
+  /// what lets ScratchArena hand out per-batch workspaces without
+  /// steady-state heap traffic.
+  void resize(Shape new_shape);
+  /// Allocated buffer capacity in floats (>= numel()).
+  std::size_t buffer_capacity() const { return data_.capacity(); }
+
   // -- element access -----------------------------------------------------
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }

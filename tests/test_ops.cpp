@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "utils/rng.hpp"
+#include "utils/thread_pool.hpp"
 
 namespace fedclust {
 namespace {
@@ -77,6 +78,65 @@ TEST(Matmul, TransposedVariantsAgree) {
   }
 }
 
+// The blocked/tiled GEMM must agree with the reference ikj loop across
+// shapes that exercise every code path: under one register tile, ragged
+// remainders, and sizes spanning multiple cache blocks.
+TEST(Matmul, BlockedMatchesNaiveAcrossShapes) {
+  const struct {
+    std::size_t m, k, n;
+  } cases[] = {{1, 1, 1},   {3, 5, 2},    {4, 8, 8},    {7, 13, 9},
+               {17, 300, 23}, {64, 257, 64}, {130, 512, 70}};
+  std::uint64_t seed = 100;
+  for (const auto& c : cases) {
+    const Tensor a = random_tensor({c.m, c.k}, seed++);
+    const Tensor b = random_tensor({c.k, c.n}, seed++);
+    Tensor ref, blocked;
+    ops::matmul_naive(a, b, ref);
+    ops::matmul(a, b, blocked);
+    ASSERT_EQ(blocked.shape(), ref.shape());
+    for (std::size_t i = 0; i < ref.numel(); ++i) {
+      ASSERT_NEAR(blocked[i], ref[i], 1e-4f)
+          << c.m << "x" << c.k << "x" << c.n << " at " << i;
+    }
+  }
+}
+
+// Row-block threading must be bit-identical to the single-threaded
+// kernels: each element's accumulation order never depends on the
+// partition. Shapes are above the parallel FLOP threshold.
+TEST(Matmul, ThreadedIsBitIdentical) {
+  ThreadPool pool(4);
+  const Tensor a = random_tensor({96, 160}, 200);
+  const Tensor b = random_tensor({160, 96}, 201);
+
+  Tensor serial, threaded;
+  ops::matmul(a, b, serial);
+  ops::matmul(a, b, threaded, &pool);
+  ASSERT_EQ(threaded.shape(), serial.shape());
+  for (std::size_t i = 0; i < serial.numel(); ++i) {
+    ASSERT_EQ(threaded[i], serial[i]) << "matmul diverged at " << i;
+  }
+
+  Tensor bt({96, 160});
+  for (std::size_t i = 0; i < 160; ++i) {
+    for (std::size_t j = 0; j < 96; ++j) bt.at(j, i) = b.at(i, j);
+  }
+
+  Tensor serial_tn, threaded_tn;
+  ops::matmul_tn(a, bt, serial_tn);
+  ops::matmul_tn(a, bt, threaded_tn, &pool);
+  for (std::size_t i = 0; i < serial_tn.numel(); ++i) {
+    ASSERT_EQ(threaded_tn[i], serial_tn[i]) << "matmul_tn diverged at " << i;
+  }
+
+  Tensor serial_nt, threaded_nt;
+  ops::matmul_nt(a, bt, serial_nt);
+  ops::matmul_nt(a, bt, threaded_nt, &pool);
+  for (std::size_t i = 0; i < serial_nt.numel(); ++i) {
+    ASSERT_EQ(threaded_nt[i], serial_nt[i]) << "matmul_nt diverged at " << i;
+  }
+}
+
 // -- convolution --------------------------------------------------------------
 
 TEST(Conv2d, OutSizeFormula) {
@@ -118,18 +178,92 @@ TEST(Conv2d, PaddingZeroExtends) {
   EXPECT_FLOAT_EQ(out[0], 2.0f);  // only the center tap hits real data
 }
 
-TEST(Conv2d, DirectMatchesIm2col) {
-  const Conv2dSpec spec{3, 4, 3, 1, 1};
-  const Tensor input = random_tensor({2, 3, 8, 8}, 10);
-  const Tensor weight = random_tensor({4, 3, 3, 3}, 11, 0.5f);
-  const Tensor bias = random_tensor({4}, 12, 0.1f);
+// Randomized equivalence of the GEMM-lowered convolution against the
+// direct kernels: forward, grad_input, grad_weight, and grad_bias over
+// geometries with padding, stride, odd spatial sizes, and channel counts
+// that leave ragged GEMM tiles.
+TEST(Conv2d, Im2colMatchesDirectAcrossGeometries) {
+  const struct {
+    Conv2dSpec spec;
+    std::size_t batch, h, w;
+  } cases[] = {
+      {{3, 4, 3, 1, 1}, 2, 8, 8},    // the classic padded 3x3
+      {{1, 1, 1, 0, 1}, 1, 1, 1},    // degenerate 1x1 everything
+      {{2, 5, 3, 0, 1}, 3, 7, 9},    // odd sizes, no padding
+      {{3, 2, 5, 2, 2}, 2, 11, 9},   // big kernel, padding + stride 2
+      {{4, 3, 2, 1, 3}, 1, 10, 7},   // even kernel, stride 3
+      {{6, 16, 5, 0, 1}, 2, 14, 14}, // LeNet-5 conv2 geometry
+  };
+  std::uint64_t seed = 300;
+  for (const auto& c : cases) {
+    SCOPED_TRACE(::testing::Message()
+                 << "cin=" << c.spec.in_channels << " cout="
+                 << c.spec.out_channels << " k=" << c.spec.kernel << " pad="
+                 << c.spec.padding << " stride=" << c.spec.stride << " input="
+                 << c.batch << "x" << c.h << "x" << c.w);
+    const Tensor input =
+        random_tensor({c.batch, c.spec.in_channels, c.h, c.w}, seed++);
+    const Tensor weight =
+        random_tensor({c.spec.out_channels, c.spec.in_channels, c.spec.kernel,
+                       c.spec.kernel},
+                      seed++, 0.5f);
+    const Tensor bias = random_tensor({c.spec.out_channels}, seed++, 0.1f);
+    const std::size_t ho = c.spec.out_size(c.h), wo = c.spec.out_size(c.w);
+    const Tensor g =
+        random_tensor({c.batch, c.spec.out_channels, ho, wo}, seed++);
 
-  Tensor direct, gemm, scratch;
-  ops::conv2d_forward(input, weight, bias, spec, direct);
-  ops::conv2d_forward_im2col(input, weight, bias, spec, gemm, scratch);
-  ASSERT_EQ(direct.shape(), gemm.shape());
-  for (std::size_t i = 0; i < direct.numel(); ++i) {
-    ASSERT_NEAR(direct[i], gemm[i], 1e-4f) << "at " << i;
+    Tensor direct, gemm, columns, pix, grad_cols;
+    ops::conv2d_forward(input, weight, bias, c.spec, direct);
+    ops::conv2d_forward_im2col(input, weight, bias, c.spec, gemm, columns,
+                               pix);
+    ASSERT_EQ(gemm.shape(), direct.shape());
+    for (std::size_t i = 0; i < direct.numel(); ++i) {
+      ASSERT_NEAR(gemm[i], direct[i], 1e-4f) << "forward at " << i;
+    }
+
+    Tensor din_direct(input.shape()), din_gemm(input.shape());
+    ops::conv2d_backward_input(g, weight, c.spec, din_direct);
+    ops::conv2d_backward_input_im2col(g, weight, c.spec, din_gemm, pix,
+                                      grad_cols);
+    for (std::size_t i = 0; i < din_direct.numel(); ++i) {
+      ASSERT_NEAR(din_gemm[i], din_direct[i], 1e-4f) << "grad_input at " << i;
+    }
+
+    Tensor dw_direct(weight.shape()), db_direct(bias.shape());
+    Tensor dw_gemm(weight.shape()), db_gemm(bias.shape());
+    ops::conv2d_backward_params(input, g, c.spec, dw_direct, db_direct);
+    // `columns` holds the forward im2col expansion, as cached by Conv2d.
+    ops::conv2d_backward_params_im2col(g, columns, c.spec, dw_gemm, db_gemm,
+                                       pix);
+    for (std::size_t i = 0; i < dw_direct.numel(); ++i) {
+      ASSERT_NEAR(dw_gemm[i], dw_direct[i], 1e-4f) << "grad_weight at " << i;
+    }
+    for (std::size_t i = 0; i < db_direct.numel(); ++i) {
+      ASSERT_NEAR(db_gemm[i], db_direct[i], 1e-4f) << "grad_bias at " << i;
+    }
+  }
+}
+
+// col2im is the adjoint of im2col: scattering a column expansion back
+// must add each input element once per window that covered it.
+TEST(Conv2d, Col2imIsAdjointOfIm2col) {
+  const Conv2dSpec spec{2, 1, 3, 1, 2};
+  const Tensor input = random_tensor({2, 2, 7, 5}, 400);
+  Tensor columns;
+  ops::im2col(input, spec, columns);
+
+  // Coverage count per input element, via im2col of an all-ones image.
+  Tensor ones(input.shape());
+  for (std::size_t i = 0; i < ones.numel(); ++i) ones[i] = 1.0f;
+  Tensor ones_cols;
+  ops::im2col(ones, spec, ones_cols);
+
+  Tensor back(input.shape());
+  ops::col2im(columns, spec, back);
+  Tensor coverage(input.shape());
+  ops::col2im(ones_cols, spec, coverage);
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    ASSERT_NEAR(back[i], coverage[i] * input[i], 1e-4f) << "at " << i;
   }
 }
 
@@ -222,16 +356,24 @@ TEST(Conv2d, BackwardParamsMatchesFiniteDifference) {
   }
 }
 
-TEST(Conv2d, BackwardParamsAccumulates) {
+// The kernel contract: every backward kernel OVERWRITES its outputs.
+// Accumulation across batches is the layer's job (scratch + add), so a
+// second call with the same inputs must reproduce, not double, the
+// gradients — even from garbage-filled output tensors.
+TEST(Conv2d, BackwardParamsOverwrites) {
   const Conv2dSpec spec{1, 1, 2, 0, 1};
   const Tensor input = random_tensor({1, 1, 3, 3}, 40);
   const Tensor g = random_tensor({1, 1, 2, 2}, 41);
   Tensor grad_w({1, 1, 2, 2});
   Tensor grad_b({1});
   ops::conv2d_backward_params(input, g, spec, grad_w, grad_b);
-  const float first = grad_w[0];
+  const float first_w = grad_w[0];
+  const float first_b = grad_b[0];
+  for (std::size_t i = 0; i < grad_w.numel(); ++i) grad_w[i] += 7.0f;
+  grad_b[0] -= 3.0f;
   ops::conv2d_backward_params(input, g, spec, grad_w, grad_b);
-  EXPECT_NEAR(grad_w[0], 2.0f * first, 1e-5f);
+  EXPECT_FLOAT_EQ(grad_w[0], first_w);
+  EXPECT_FLOAT_EQ(grad_b[0], first_b);
 }
 
 // -- pooling ----------------------------------------------------------------
