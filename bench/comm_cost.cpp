@@ -7,12 +7,20 @@
 // For every method we report, on the grouped two-cluster workload:
 //   * bytes uploaded/downloaded during cluster formation,
 //   * total traffic for the whole run,
-//   * rounds and bytes to reach a target accuracy.
+//   * rounds and bytes to reach a target accuracy,
+//   * and, under a simulated network profile, the simulated wall-clock
+//     seconds to reach the target (time-to-accuracy) plus total
+//     simulated time — the axis where byte savings turn into speed.
 //
 //   ./comm_cost [--rounds 12] [--clients 20] [--target 0.6]
+//               [--profile lan|wan|cellular|heterogeneous|none|all]
+//               [--straggler 1.0]
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "net/link.hpp"
 #include "utils/cli.hpp"
 #include "utils/table.hpp"
 
@@ -42,6 +50,11 @@ int main(int argc, char** argv) {
   cli.add_int("pool", 1200, "total training samples");
   cli.add_double("target", 0.6, "accuracy target for rounds-to-target");
   cli.add_int("seed", 3, "random seed");
+  cli.add_string("profile", "lan",
+                 "network profile: none, lan, wan, cellular, heterogeneous, "
+                 "or all");
+  cli.add_double("straggler", 1.0,
+                 "fraction of uploads a simulated round waits for");
   cli.add_flag("quick", "tiny configuration for smoke runs");
   cli.parse(argc, argv);
 
@@ -64,48 +77,88 @@ int main(int argc, char** argv) {
       quick ? std::size_t{5} : static_cast<std::size_t>(cli.get_int("rounds"));
   const double target = cli.get_double("target");
 
-  TextTable table({"Method", "Formation upload", "Formation download",
-                   "Total upload", "Total download", "Rounds to target",
-                   "Bytes to target", "Final acc (%)"});
-
-  auto algorithms = bench::make_algorithms(/*expected_clusters=*/2);
-  for (auto& algo : algorithms) {
-    fl::Federation fed = bench::make_federation(s);
-    const fl::RunResult r = algo->run(fed, rounds);
-
-    // "Formation" = round 0 for the one-shot methods; for the iterative
-    // ones it is simply their first-round traffic (they never stop
-    // paying full price, which is the point of the comparison).
-    const auto& up = fed.comm().round_upload();
-    const auto& down = fed.comm().round_download();
-
-    std::size_t hit_round = 0;
-    std::uint64_t hit_bytes = 0;
-    const bool reached = r.rounds_to_accuracy(target, hit_round, hit_bytes);
-
-    table.new_row()
-        .add(algo->name())
-        .add(human_bytes(static_cast<double>(up.empty() ? 0 : up[0])))
-        .add(human_bytes(static_cast<double>(down.empty() ? 0 : down[0])))
-        .add(human_bytes(static_cast<double>(fed.comm().total_upload())))
-        .add(human_bytes(static_cast<double>(fed.comm().total_download())))
-        .add(reached ? std::to_string(hit_round + 1) : std::string("-"))
-        .add(reached ? human_bytes(static_cast<double>(hit_bytes))
-                     : std::string("-"))
-        .add(100.0 * r.final_accuracy.mean, 2);
-
-    std::fprintf(stderr, "[comm] %-8s done (final %.2f%%)\n",
-                 algo->name().c_str(), 100.0 * r.final_accuracy.mean);
+  std::vector<std::string> profiles;
+  const std::string profile_arg = cli.get_string("profile");
+  if (profile_arg == "all") {
+    profiles.push_back("none");
+    for (net::Profile p : net::all_profiles()) {
+      profiles.emplace_back(net::to_string(p));
+    }
+  } else {
+    profiles.push_back(profile_arg);  // validated below (or "none")
   }
 
-  std::printf("\nCommunication cost — grouped 2-cluster workload (FMNIST "
-              "stand-in), %zu clients, %zu rounds, target %.0f%%\n\n",
-              s.num_clients, rounds, 100.0 * target);
-  std::printf("%s\n", table.to_string().c_str());
+  for (const std::string& profile : profiles) {
+    const bool simulated = profile != "none";
+    bench::Scenario sp = s;
+    if (simulated) {
+      sp.engine.network.enabled = true;
+      sp.engine.network.profile = net::profile_from_string(profile);
+      sp.engine.network.straggler_frac = cli.get_double("straggler");
+    }
+
+    TextTable table({"Method", "Formation upload", "Formation download",
+                     "Total upload", "Total download", "Rounds to target",
+                     "Bytes to target", "Time to target", "Sim total (s)",
+                     "Final acc (%)"});
+
+    auto algorithms = bench::make_algorithms(/*expected_clusters=*/2);
+    for (auto& algo : algorithms) {
+      fl::Federation fed = bench::make_federation(sp);
+      const fl::RunResult r = algo->run(fed, rounds);
+
+      // "Formation" = round 0 for the one-shot methods; for the iterative
+      // ones it is simply their first-round traffic (they never stop
+      // paying full price, which is the point of the comparison).
+      const auto& up = fed.comm().round_upload();
+      const auto& down = fed.comm().round_download();
+
+      std::size_t hit_round = 0;
+      std::uint64_t hit_bytes = 0;
+      const bool reached = r.rounds_to_accuracy(target, hit_round, hit_bytes);
+      double hit_seconds = 0.0;
+      const bool timed =
+          simulated && r.time_to_accuracy(target, hit_seconds);
+      char seconds_buf[32] = "-";
+      if (timed) {
+        std::snprintf(seconds_buf, sizeof(seconds_buf), "%.1f s",
+                      hit_seconds);
+      }
+
+      table.new_row()
+          .add(algo->name())
+          .add(human_bytes(static_cast<double>(up.empty() ? 0 : up[0])))
+          .add(human_bytes(static_cast<double>(down.empty() ? 0 : down[0])))
+          .add(human_bytes(static_cast<double>(fed.comm().total_upload())))
+          .add(human_bytes(static_cast<double>(fed.comm().total_download())))
+          .add(reached ? std::to_string(hit_round + 1) : std::string("-"))
+          .add(reached ? human_bytes(static_cast<double>(hit_bytes))
+                       : std::string("-"))
+          .add(seconds_buf)
+          .add(simulated ? fed.sim_time() : 0.0, 1)
+          .add(100.0 * r.final_accuracy.mean, 2);
+
+      std::fprintf(stderr, "[comm] %-8s / %-13s done (final %.2f%%)\n",
+                   algo->name().c_str(), profile.c_str(),
+                   100.0 * r.final_accuracy.mean);
+    }
+
+    std::printf("\nCommunication cost — grouped 2-cluster workload (FMNIST "
+                "stand-in), %zu clients, %zu rounds, target %.0f%%\n",
+                sp.num_clients, rounds, 100.0 * target);
+    if (simulated) {
+      std::printf("network profile: %s (straggler cutoff %.0f%%)\n\n",
+                  profile.c_str(), 100.0 * sp.engine.network.straggler_frac);
+    } else {
+      std::printf("network: disabled (bare float32 byte accounting)\n\n");
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
   std::printf(
-      "expected shape (paper): FedClust's formation round uploads only the\n"
-      "final layer (~%.1fx smaller than a full model); IFCA downloads k "
-      "models per round; CFL needs many full rounds before clusters "
+      "\nexpected shape (paper): FedClust's formation round uploads only "
+      "the\nfinal layer (~%.1fx smaller than a full model); IFCA downloads "
+      "k models per round; CFL needs many full rounds before clusters "
       "stabilize.\n",
       61706.0 / 850.0);  // LeNet-5 total vs final-layer weights
   return 0;

@@ -18,7 +18,7 @@ double vector_norm(const std::vector<float>& v) {
 }  // namespace
 
 fl::RunResult Cfl::run(fl::Federation& federation, std::size_t rounds) {
-  federation.comm().reset();
+  federation.reset_comm();
 
   fl::RunResult result;
   result.algorithm = name();
@@ -28,17 +28,13 @@ fl::RunResult Cfl::run(fl::Federation& federation, std::size_t rounds) {
   std::vector<std::vector<float>> cluster_weights{
       federation.template_model().flat_weights()};
 
-  const std::uint64_t model_bytes =
-      fl::CommMeter::float_bytes(federation.model_size());
-
   for (std::size_t round = 0; round < rounds; ++round) {
     federation.comm().begin_round(round);
     const std::vector<std::size_t> participants =
         federation.sample_clients(round);
 
     for (std::size_t cid : participants) {
-      (void)cid;
-      federation.comm().download(model_bytes);
+      federation.meter_download(cid, federation.model_size());
     }
     const std::vector<fl::ClientUpdate> updates = federation.train_clients(
         participants, round, [&](std::size_t cid) {
@@ -51,7 +47,7 @@ fl::RunResult Cfl::run(fl::Federation& federation, std::size_t rounds) {
         cluster_weights.size());
     double loss_sum = 0.0;
     for (const fl::ClientUpdate& u : updates) {
-      federation.comm().upload(model_bytes);
+      federation.meter_upload(u.client_id, federation.model_size());
       loss_sum += u.train_loss;
       by_cluster[labels[u.client_id]].push_back(&u);
     }
@@ -129,7 +125,7 @@ fl::RunResult Cfl::run(fl::Federation& federation, std::size_t rounds) {
           round, acc,
           updates.empty() ? 0.0
                           : loss_sum / static_cast<double>(updates.size()),
-          federation.comm(), cluster_weights.size()));
+          federation, cluster_weights.size()));
       if (last) result.final_accuracy = acc;
     }
   }

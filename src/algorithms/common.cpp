@@ -19,12 +19,10 @@ double per_cluster_fedavg_round(
   const std::vector<std::size_t> participants =
       federation.sample_clients(round);
 
-  // Everyone downloads their cluster model; everyone uploads a full one.
-  const std::uint64_t model_bytes =
-      fl::CommMeter::float_bytes(federation.model_size());
+  // Everyone downloads their cluster model; everyone who arrives in time
+  // uploads a full one.
   for (std::size_t cid : participants) {
-    (void)cid;
-    federation.comm().download(model_bytes);
+    federation.meter_download(cid, federation.model_size());
   }
 
   const std::vector<fl::ClientUpdate> updates = federation.train_clients(
@@ -36,7 +34,7 @@ double per_cluster_fedavg_round(
 
   double loss_sum = 0.0;
   for (const fl::ClientUpdate& u : updates) {
-    federation.comm().upload(model_bytes);
+    federation.meter_upload(u.client_id, federation.model_size());
     loss_sum += u.train_loss;
   }
 

@@ -10,7 +10,7 @@ fl::RunResult run_global_averaging(const std::string& name,
                                    fl::Federation& federation,
                                    std::size_t rounds,
                                    const fl::LocalTrainConfig* override_cfg) {
-  federation.comm().reset();
+  federation.reset_comm();
 
   fl::RunResult result;
   result.algorithm = name;
@@ -29,7 +29,7 @@ fl::RunResult run_global_averaging(const std::string& name,
       const fl::AccuracySummary acc =
           evaluate_clustered(federation, labels, global);
       result.rounds.push_back(fl::make_round_metrics(
-          round, acc, loss, federation.comm(), /*num_clusters=*/1));
+          round, acc, loss, federation, /*num_clusters=*/1));
       if (last) result.final_accuracy = acc;
     }
   }
@@ -45,7 +45,7 @@ fl::RunResult FedAvg::run(fl::Federation& federation, std::size_t rounds) {
 fl::RunResult FedAvgM::run(fl::Federation& federation, std::size_t rounds) {
   FEDCLUST_REQUIRE(momentum_ >= 0.0 && momentum_ < 1.0,
                    "server momentum must be in [0, 1)");
-  federation.comm().reset();
+  federation.reset_comm();
 
   fl::RunResult result;
   result.algorithm = name();
@@ -53,23 +53,20 @@ fl::RunResult FedAvgM::run(fl::Federation& federation, std::size_t rounds) {
 
   std::vector<float> global = federation.template_model().flat_weights();
   std::vector<float> velocity(global.size(), 0.0f);
-  const std::uint64_t model_bytes =
-      fl::CommMeter::float_bytes(federation.model_size());
 
   for (std::size_t round = 0; round < rounds; ++round) {
     federation.comm().begin_round(round);
     const std::vector<std::size_t> participants =
         federation.sample_clients(round);
     for (std::size_t cid : participants) {
-      (void)cid;
-      federation.comm().download(model_bytes);
+      federation.meter_download(cid, federation.model_size());
     }
     const std::vector<fl::ClientUpdate> updates = federation.train_clients(
         participants, round,
         [&](std::size_t) { return std::span<const float>(global); });
     double loss_sum = 0.0;
     for (const fl::ClientUpdate& u : updates) {
-      federation.comm().upload(model_bytes);
+      federation.meter_upload(u.client_id, federation.model_size());
       loss_sum += u.train_loss;
     }
 
@@ -93,7 +90,7 @@ fl::RunResult FedAvgM::run(fl::Federation& federation, std::size_t rounds) {
           round, acc,
           updates.empty() ? 0.0
                           : loss_sum / static_cast<double>(updates.size()),
-          federation.comm(), 1));
+          federation, 1));
       if (last) result.final_accuracy = acc;
     }
   }

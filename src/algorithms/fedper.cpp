@@ -5,7 +5,7 @@
 namespace fedclust::algorithms {
 
 fl::RunResult FedPer::run(fl::Federation& federation, std::size_t rounds) {
-  federation.comm().reset();
+  federation.reset_comm();
 
   fl::RunResult result;
   result.algorithm = name();
@@ -34,8 +34,10 @@ fl::RunResult FedPer::run(fl::Federation& federation, std::size_t rounds) {
     }
   };
 
-  const std::uint64_t base_bytes =
-      fl::CommMeter::float_bytes(federation.model_size() - head_floats);
+  // Only the base crosses the wire, in both directions.
+  const std::size_t base_floats = federation.model_size() - head_floats;
+  const fl::NetPayloads payloads{base_floats, base_floats,
+                                 net::MessageKind::kPartialUpdate};
 
   // Per-client start vectors must outlive train_clients' callback.
   std::vector<std::vector<float>> starts(n);
@@ -46,19 +48,21 @@ fl::RunResult FedPer::run(fl::Federation& federation, std::size_t rounds) {
         federation.sample_clients(round);
 
     for (const std::size_t cid : participants) {
-      federation.comm().download(base_bytes);  // base only; head is local
+      federation.meter_download(cid, base_floats);  // base only; head is local
       starts[cid] = global;
       splice_head(starts[cid], cid);
     }
 
     const std::vector<fl::ClientUpdate> updates = federation.train_clients(
-        participants, round, [&](std::size_t cid) {
+        participants, round,
+        [&](std::size_t cid) {
           return std::span<const float>(starts[cid]);
-        });
+        },
+        nullptr, /*allow_failures=*/true, &payloads);
 
     double loss_sum = 0.0;
     for (const fl::ClientUpdate& u : updates) {
-      federation.comm().upload(base_bytes);
+      federation.meter_upload(u.client_id, base_floats);
       loss_sum += u.train_loss;
       heads[u.client_id] = nn::extract_slices(u.weights, head);
     }
@@ -95,7 +99,7 @@ fl::RunResult FedPer::run(fl::Federation& federation, std::size_t rounds) {
           round, acc,
           updates.empty() ? 0.0
                           : loss_sum / static_cast<double>(updates.size()),
-          federation.comm(), /*num_clusters=*/1));
+          federation, /*num_clusters=*/1));
       if (last) result.final_accuracy = acc;
     }
   }

@@ -9,7 +9,7 @@ namespace fedclust::algorithms {
 
 fl::RunResult Ifca::run(fl::Federation& federation, std::size_t rounds) {
   FEDCLUST_REQUIRE(config_.num_clusters >= 1, "IFCA needs k >= 1");
-  federation.comm().reset();
+  federation.reset_comm();
 
   fl::RunResult result;
   result.algorithm = name();
@@ -26,8 +26,12 @@ fl::RunResult Ifca::run(fl::Federation& federation, std::size_t rounds) {
   }
 
   std::vector<std::size_t> labels(federation.num_clients(), 0);
-  const std::uint64_t model_bytes =
-      fl::CommMeter::float_bytes(federation.model_size());
+
+  // Under the network simulator, a participant's download is all k models
+  // (identity estimation) while the upload is the single chosen model.
+  const fl::NetPayloads payloads{
+      federation.model_size() * config_.num_clusters, federation.model_size(),
+      net::MessageKind::kModelUpdate};
 
   for (std::size_t round = 0; round < rounds; ++round) {
     federation.comm().begin_round(round);
@@ -37,7 +41,7 @@ fl::RunResult Ifca::run(fl::Federation& federation, std::size_t rounds) {
     // Identity estimation: every participant downloads all k models and
     // evaluates them on its local training data.
     for (std::size_t cid : participants) {
-      federation.comm().download(model_bytes * models.size());
+      federation.meter_download(cid, federation.model_size() * models.size());
       double best = std::numeric_limits<double>::infinity();
       std::size_t best_k = 0;
       for (std::size_t k = 0; k < models.size(); ++k) {
@@ -52,14 +56,16 @@ fl::RunResult Ifca::run(fl::Federation& federation, std::size_t rounds) {
 
     // Local training on the chosen model.
     const std::vector<fl::ClientUpdate> updates = federation.train_clients(
-        participants, round, [&](std::size_t cid) {
+        participants, round,
+        [&](std::size_t cid) {
           return std::span<const float>(models[labels[cid]]);
-        });
+        },
+        nullptr, /*allow_failures=*/true, &payloads);
 
     double loss_sum = 0.0;
     std::vector<std::vector<fl::ClientUpdate>> by_cluster(models.size());
     for (const fl::ClientUpdate& u : updates) {
-      federation.comm().upload(model_bytes);
+      federation.meter_upload(u.client_id, federation.model_size());
       loss_sum += u.train_loss;
       by_cluster[labels[u.client_id]].push_back(u);
     }
@@ -80,7 +86,7 @@ fl::RunResult Ifca::run(fl::Federation& federation, std::size_t rounds) {
           round, acc,
           updates.empty() ? 0.0
                           : loss_sum / static_cast<double>(updates.size()),
-          federation.comm(), cluster::num_clusters(labels)));
+          federation, cluster::num_clusters(labels)));
       if (last) result.final_accuracy = acc;
     }
   }

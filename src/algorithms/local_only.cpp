@@ -3,7 +3,11 @@
 namespace fedclust::algorithms {
 
 fl::RunResult LocalOnly::run(fl::Federation& federation, std::size_t rounds) {
-  federation.comm().reset();
+  federation.reset_comm();
+
+  // Nothing ever crosses the wire; the zero/zero payload spec keeps the
+  // network simulator out of the round entirely.
+  const fl::NetPayloads no_traffic{0, 0, net::MessageKind::kModelUpdate};
 
   fl::RunResult result;
   result.algorithm = name();
@@ -20,9 +24,11 @@ fl::RunResult LocalOnly::run(fl::Federation& federation, std::size_t rounds) {
     std::vector<std::size_t> everyone(n);
     for (std::size_t i = 0; i < n; ++i) everyone[i] = i;
     const std::vector<fl::ClientUpdate> updates = federation.train_clients(
-        everyone, round, [&](std::size_t cid) {
+        everyone, round,
+        [&](std::size_t cid) {
           return std::span<const float>(weights[cid]);
-        });
+        },
+        nullptr, /*allow_failures=*/true, &no_traffic);
     double loss_sum = 0.0;
     for (const fl::ClientUpdate& u : updates) {
       weights[u.client_id] = u.weights;
@@ -37,7 +43,7 @@ fl::RunResult LocalOnly::run(fl::Federation& federation, std::size_t rounds) {
           });
       result.rounds.push_back(fl::make_round_metrics(
           round, acc, loss_sum / static_cast<double>(updates.size()),
-          federation.comm(), n));
+          federation, n));
       if (last) result.final_accuracy = acc;
     }
   }

@@ -62,17 +62,19 @@ Matrix client_subspace_basis(const data::Dataset& train,
 
 std::vector<std::size_t> Pacfl::cluster_clients(
     const fl::Federation& federation, Matrix* dissimilarity_out,
-    std::uint64_t* upload_bytes_out) const {
+    std::uint64_t* upload_bytes_out,
+    std::vector<std::size_t>* basis_floats_out) const {
   const std::size_t n = federation.num_clients();
 
   std::vector<Matrix> bases;
   bases.reserve(n);
+  std::vector<std::size_t> basis_floats(n, 0);
   std::uint64_t upload_bytes = 0;
   for (std::size_t c = 0; c < n; ++c) {
     bases.push_back(
         client_subspace_basis(federation.client_data(c).train, config_));
-    upload_bytes +=
-        fl::CommMeter::float_bytes(bases.back().rows() * bases.back().cols());
+    basis_floats[c] = bases.back().rows() * bases.back().cols();
+    upload_bytes += federation.wire_bytes(basis_floats[c]);
   }
 
   Matrix dis(n, n);
@@ -96,13 +98,14 @@ std::vector<std::size_t> Pacfl::cluster_clients(
 
   if (dissimilarity_out != nullptr) *dissimilarity_out = dis;
   if (upload_bytes_out != nullptr) *upload_bytes_out = upload_bytes;
+  if (basis_floats_out != nullptr) *basis_floats_out = std::move(basis_floats);
   return dendro.cut_threshold(threshold);
 }
 
 fl::RunResult Pacfl::run(fl::Federation& federation, std::size_t rounds) {
   FEDCLUST_REQUIRE(rounds >= 2, "PACFL needs the formation round plus at "
                                 "least one training round");
-  federation.comm().reset();
+  federation.reset_comm();
 
   fl::RunResult result;
   result.algorithm = name();
@@ -110,10 +113,30 @@ fl::RunResult Pacfl::run(fl::Federation& federation, std::size_t rounds) {
   // Round 0: one-shot clustering from data subspaces (upload only — no
   // model travels).
   federation.comm().begin_round(0);
-  std::uint64_t upload_bytes = 0;
+  std::vector<std::size_t> basis_floats;
   const std::vector<std::size_t> labels =
-      cluster_clients(federation, nullptr, &upload_bytes);
-  federation.comm().upload(upload_bytes);
+      cluster_clients(federation, nullptr, nullptr, &basis_floats);
+  for (std::size_t c = 0; c < basis_floats.size(); ++c) {
+    federation.meter_upload(c, basis_floats[c]);
+  }
+  // Formation is synchronous: the engine never trains here, so simulate
+  // the basis uploads directly (no downlink payload, one SVD "epoch" of
+  // local compute, everyone waits for everyone).
+  if (federation.network_enabled()) {
+    std::vector<net::ClientOp> ops;
+    ops.reserve(basis_floats.size());
+    for (std::size_t c = 0; c < basis_floats.size(); ++c) {
+      ops.push_back(net::ClientOp{
+          .client = c,
+          .download_floats = 0,
+          .upload_floats = basis_floats[c],
+          .num_samples = federation.client_data(c).train.size(),
+          .epochs = 1,
+          .churned = false,
+          .upload_kind = net::MessageKind::kBasisUpload});
+    }
+    federation.simulate_network_round(0, ops, /*reliable=*/true);
+  }
 
   std::vector<std::vector<float>> cluster_weights(
       cluster::num_clusters(labels),
@@ -123,7 +146,7 @@ fl::RunResult Pacfl::run(fl::Federation& federation, std::size_t rounds) {
     const fl::AccuracySummary acc =
         evaluate_clustered(federation, labels, cluster_weights);
     result.rounds.push_back(fl::make_round_metrics(
-        0, acc, 0.0, federation.comm(), cluster_weights.size()));
+        0, acc, 0.0, federation, cluster_weights.size()));
   }
 
   // Rounds 1..R-1: per-cluster FedAvg.
@@ -136,7 +159,7 @@ fl::RunResult Pacfl::run(fl::Federation& federation, std::size_t rounds) {
       const fl::AccuracySummary acc =
           evaluate_clustered(federation, labels, cluster_weights);
       result.rounds.push_back(fl::make_round_metrics(
-          round, acc, loss, federation.comm(), cluster_weights.size()));
+          round, acc, loss, federation, cluster_weights.size()));
       if (last) result.final_accuracy = acc;
     }
   }

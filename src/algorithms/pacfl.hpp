@@ -44,11 +44,13 @@ class Pacfl : public fl::Algorithm {
 
   /// The one-shot clustering step alone (exposed for tests/ablations):
   /// returns per-client labels and, through `dissimilarity_out` if
-  /// non-null, the angle matrix.
-  std::vector<std::size_t> cluster_clients(const fl::Federation& federation,
-                                           Matrix* dissimilarity_out = nullptr,
-                                           std::uint64_t* upload_bytes_out =
-                                               nullptr) const;
+  /// non-null, the angle matrix. `upload_bytes_out` receives the total
+  /// wire cost of shipping every basis; `basis_floats_out` the per-client
+  /// basis sizes in float32 values (what run() meters and simulates).
+  std::vector<std::size_t> cluster_clients(
+      const fl::Federation& federation, Matrix* dissimilarity_out = nullptr,
+      std::uint64_t* upload_bytes_out = nullptr,
+      std::vector<std::size_t>* basis_floats_out = nullptr) const;
 
  private:
   PacflConfig config_;

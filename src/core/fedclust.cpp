@@ -25,11 +25,15 @@ ClusteringOutcome FedClust::form_clusters(fl::Federation& federation,
   for (std::size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
 
   // The paper's formation round covers all available clients, so the
-  // warmup is exempt from dropout injection.
+  // warmup is exempt from dropout injection — and under the simulated
+  // network it runs as a reliable round that waits for every upload.
+  const fl::NetPayloads payloads{federation.model_size(),
+                                 slices_numel(slices),
+                                 net::MessageKind::kPartialUpdate};
   const std::vector<fl::ClientUpdate> updates = federation.train_clients(
       everyone, round,
       [&](std::size_t) { return std::span<const float>(init_weights); },
-      &warmup, /*allow_failures=*/false);
+      &warmup, /*allow_failures=*/false, &payloads);
 
   ClusteringOutcome out;
   out.partial_weights.resize(federation.num_clients());
@@ -38,10 +42,10 @@ ClusteringOutcome FedClust::form_clusters(fl::Federation& federation,
   }
 
   // Wire accounting: full model down (initial broadcast), partial up.
-  out.download_bytes = fl::CommMeter::float_bytes(federation.model_size()) *
-                       federation.num_clients();
-  out.upload_bytes = fl::CommMeter::float_bytes(slices_numel(slices)) *
-                     federation.num_clients();
+  out.download_bytes =
+      federation.wire_bytes(federation.model_size()) * federation.num_clients();
+  out.upload_bytes =
+      federation.wire_bytes(slices_numel(slices)) * federation.num_clients();
 
   // Server side: proximity matrix -> HC -> cut.
   out.proximity = cluster::pairwise_euclidean(out.partial_weights);
@@ -115,16 +119,21 @@ ClusteringOutcome FedClust::form_clusters(fl::Federation& federation,
 fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
   FEDCLUST_REQUIRE(rounds >= 2, "FedClust needs the formation round plus at "
                                 "least one training round");
-  federation.comm().reset();
+  federation.reset_comm();
 
   fl::RunResult result;
   result.algorithm = name();
 
-  // Round 0: one-shot weight-driven cluster formation.
+  // Round 0: one-shot weight-driven cluster formation. Every client
+  // downloads the full initial model and uploads only its partial slice.
   federation.comm().begin_round(0);
   ClusteringOutcome outcome = form_clusters(federation, /*round=*/0);
-  federation.comm().download(outcome.download_bytes);
-  federation.comm().upload(outcome.upload_bytes);
+  const std::size_t partial_floats = slices_numel(resolve_partial_slices(
+      federation.template_model(), config_.partial_spec));
+  for (std::size_t c = 0; c < federation.num_clients(); ++c) {
+    federation.meter_download(c, federation.model_size());
+    federation.meter_upload(c, partial_floats);
+  }
 
   const std::vector<std::size_t>& labels = outcome.labels;
   std::vector<std::vector<float>> cluster_weights(
@@ -161,7 +170,7 @@ fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
     const fl::AccuracySummary acc =
         algorithms::evaluate_clustered(federation, labels, cluster_weights);
     result.rounds.push_back(fl::make_round_metrics(
-        0, acc, 0.0, federation.comm(), cluster_weights.size()));
+        0, acc, 0.0, federation, cluster_weights.size()));
   }
 
   // Rounds 1..R-1: FedAvg within each cluster.
@@ -174,7 +183,7 @@ fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
       const fl::AccuracySummary acc = algorithms::evaluate_clustered(
           federation, labels, cluster_weights);
       result.rounds.push_back(fl::make_round_metrics(
-          round, acc, loss, federation.comm(), cluster_weights.size()));
+          round, acc, loss, federation, cluster_weights.size()));
       if (last) result.final_accuracy = acc;
     }
   }

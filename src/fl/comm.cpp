@@ -3,11 +3,21 @@
 #include "utils/error.hpp"
 
 namespace fedclust::fl {
+namespace {
+
+void attribute(std::vector<std::uint64_t>& per_client, std::size_t client,
+               std::uint64_t bytes) {
+  if (client >= per_client.size()) per_client.resize(client + 1, 0);
+  per_client[client] += bytes;
+}
+
+}  // namespace
 
 void CommMeter::begin_round(std::size_t round) {
   FEDCLUST_REQUIRE(round == down_.size(),
-                   "rounds must be opened in order: expected "
-                       << down_.size() << ", got " << round);
+                   "rounds must be opened in order starting at 0: expected "
+                       << down_.size() << ", got " << round
+                       << " (out-of-order or repeated begin_round)");
   down_.push_back(0);
   up_.push_back(0);
 }
@@ -18,15 +28,35 @@ void CommMeter::download(std::uint64_t bytes) {
   total_down_ += bytes;
 }
 
+void CommMeter::download(std::uint64_t bytes, std::size_t client) {
+  download(bytes);
+  attribute(client_down_, client, bytes);
+}
+
 void CommMeter::upload(std::uint64_t bytes) {
   FEDCLUST_REQUIRE(!up_.empty(), "begin_round before recording traffic");
   up_.back() += bytes;
   total_up_ += bytes;
 }
 
+void CommMeter::upload(std::uint64_t bytes, std::size_t client) {
+  upload(bytes);
+  attribute(client_up_, client, bytes);
+}
+
+std::uint64_t CommMeter::client_download(std::size_t client) const {
+  return client < client_down_.size() ? client_down_[client] : 0;
+}
+
+std::uint64_t CommMeter::client_upload(std::size_t client) const {
+  return client < client_up_.size() ? client_up_[client] : 0;
+}
+
 void CommMeter::reset() {
   down_.clear();
   up_.clear();
+  client_down_.clear();
+  client_up_.clear();
   total_down_ = 0;
   total_up_ = 0;
 }

@@ -1,10 +1,16 @@
 // Communication accounting.
 //
-// Every parameter vector shipped between server and clients is metered at
-// float32 width. The paper's efficiency claim is that FedClust forms
-// clusters in ONE communication round (uploading only final-layer
-// weights), versus CFL's many rounds of full-model traffic — this meter
-// is what the comm_cost bench reads.
+// Every parameter vector shipped between server and clients is metered
+// here. The paper's efficiency claim is that FedClust forms clusters in
+// ONE communication round (uploading only final-layer weights), versus
+// CFL's many rounds of full-model traffic — this meter is what the
+// comm_cost bench reads.
+//
+// Without the network simulator, transfers are metered at bare float32
+// width (CommMeter::float_bytes). With the simulator enabled the engine
+// meters framed wire sizes instead, and the meter's totals are exactly
+// the delivered traffic of the simulator's event log (see
+// net::delivered_bytes) — the meter is a byte-count view over that log.
 #pragma once
 
 #include <cstdint>
@@ -12,16 +18,22 @@
 
 namespace fedclust::fl {
 
-/// Byte counters split by direction, with per-round granularity.
+/// Byte counters split by direction, with per-round and per-client
+/// granularity.
 class CommMeter {
  public:
-  /// Marks the beginning of round `r`; rounds must be opened in order.
+  /// Marks the beginning of round `r`. Rounds must be opened strictly in
+  /// order starting at 0; anything else throws instead of mis-indexing
+  /// the per-round series.
   void begin_round(std::size_t round);
 
-  /// Records server -> client traffic (model broadcast).
+  /// Records server -> client traffic (model broadcast). The overload
+  /// with `client` additionally attributes the bytes to that client.
   void download(std::uint64_t bytes);
+  void download(std::uint64_t bytes, std::size_t client);
   /// Records client -> server traffic (update upload).
   void upload(std::uint64_t bytes);
+  void upload(std::uint64_t bytes, std::size_t client);
 
   /// Bytes for a vector of `num_floats` float32 values.
   static std::uint64_t float_bytes(std::size_t num_floats) {
@@ -32,15 +44,32 @@ class CommMeter {
   std::uint64_t total_upload() const { return total_up_; }
   std::uint64_t total() const { return total_down_ + total_up_; }
 
+  /// Number of rounds opened so far.
+  std::size_t round_count() const { return down_.size(); }
+
   /// Per-round totals (index = round order passed to begin_round).
   const std::vector<std::uint64_t>& round_download() const { return down_; }
   const std::vector<std::uint64_t>& round_upload() const { return up_; }
+
+  /// Whole-run bytes attributed to one client (0 for clients never seen
+  /// by the attributing overloads).
+  std::uint64_t client_download(std::size_t client) const;
+  std::uint64_t client_upload(std::size_t client) const;
+  /// Per-client series, sized to the largest attributed client id + 1.
+  const std::vector<std::uint64_t>& per_client_download() const {
+    return client_down_;
+  }
+  const std::vector<std::uint64_t>& per_client_upload() const {
+    return client_up_;
+  }
 
   void reset();
 
  private:
   std::vector<std::uint64_t> down_;
   std::vector<std::uint64_t> up_;
+  std::vector<std::uint64_t> client_down_;
+  std::vector<std::uint64_t> client_up_;
   std::uint64_t total_down_ = 0;
   std::uint64_t total_up_ = 0;
 };

@@ -26,6 +26,23 @@ Federation::Federation(nn::Model template_model,
     FEDCLUST_REQUIRE(!clients_[i].train.empty(),
                      "client " << i << " has no training data");
   }
+  if (config_.network.enabled) {
+    const std::uint64_t net_seed =
+        config_.network.seed != 0 ? config_.network.seed : config_.seed;
+    net_ = std::make_unique<net::NetworkSimulator>(config_.network,
+                                                  clients_.size(), net_seed);
+  }
+}
+
+void Federation::reset_comm() {
+  comm_.reset();
+  if (net_) net_->reset();
+}
+
+void Federation::simulate_network_round(std::size_t round,
+                                        const std::vector<net::ClientOp>& ops,
+                                        bool reliable) {
+  if (net_) net_->run_round(round, ops, reliable);
 }
 
 const ClientData& Federation::client_data(std::size_t i) const {
@@ -68,16 +85,54 @@ std::vector<ClientUpdate> Federation::train_clients(
     const std::vector<std::size_t>& clients, std::size_t round,
     const std::function<std::span<const float>(std::size_t)>&
         start_weights_for,
-    const LocalTrainConfig* config_override, bool allow_failures) {
+    const LocalTrainConfig* config_override, bool allow_failures,
+    const NetPayloads* net_payloads) {
   const LocalTrainConfig& local =
       config_override != nullptr ? *config_override : config_.local;
 
-  // Decide failures up front so dropped clients cost no training time.
+  // Decide churn up front so dropped clients cost no training time.
   std::vector<std::size_t> survivors;
   survivors.reserve(clients.size());
   for (const std::size_t cid : clients) {
     if (!allow_failures || !client_fails(cid, round)) {
       survivors.push_back(cid);
+    }
+  }
+
+  // With the simulated network on, the round's network fate (drops,
+  // retries, stragglers past the deadline) is decided before any
+  // training runs: arrival times never depend on real compute, so late
+  // or lost clients can simply be skipped. The simulation itself runs
+  // single-threaded on the caller and every draw is keyed by
+  // (seed, round, client, attempt) — thread count cannot perturb it.
+  if (net_ != nullptr) {
+    NetPayloads payloads{model_size_, model_size_,
+                         net::MessageKind::kModelUpdate};
+    if (net_payloads != nullptr) payloads = *net_payloads;
+    if (payloads.download_floats > 0 || payloads.upload_floats > 0) {
+      std::vector<net::ClientOp> ops;
+      ops.reserve(clients.size());
+      for (const std::size_t cid : clients) {
+        FEDCLUST_REQUIRE(cid < clients_.size(), "client id out of range");
+        const bool churned =
+            allow_failures && client_fails(cid, round);
+        ops.push_back(net::ClientOp{.client = cid,
+                                    .download_floats = payloads.download_floats,
+                                    .upload_floats = payloads.upload_floats,
+                                    .num_samples = clients_[cid].train.size(),
+                                    .epochs = local.epochs,
+                                    .churned = churned,
+                                    .upload_kind = payloads.upload_kind});
+      }
+      const net::RoundReport report =
+          net_->run_round(round, ops, /*reliable=*/!allow_failures);
+      std::vector<std::size_t> accepted;
+      accepted.reserve(report.accepted);
+      for (std::size_t i = 0; i < report.arrivals.size(); ++i) {
+        const net::Arrival& a = report.arrivals[i];
+        if (a.delivered && !a.late) accepted.push_back(clients[i]);
+      }
+      survivors = std::move(accepted);
     }
   }
 
@@ -135,7 +190,14 @@ AccuracySummary Federation::evaluate_personalized(
 
 std::vector<float> weighted_average(const std::vector<ClientUpdate>& updates,
                                     ThreadPool* pool) {
-  FEDCLUST_REQUIRE(!updates.empty(), "cannot average zero updates");
+  // Guard before touching updates.front(): averaging nothing is a caller
+  // bug (e.g. aggregating a round in which every client dropped out or
+  // straggled past the deadline) and must fail loudly, not read past the
+  // end of an empty vector.
+  FEDCLUST_REQUIRE(!updates.empty(),
+                   "weighted_average over zero updates — no client update "
+                   "survived the round; callers must skip aggregation for "
+                   "empty rounds");
   const std::size_t dim = updates.front().weights.size();
   const std::size_t n = updates.size();
   double total = 0.0;

@@ -17,6 +17,7 @@
 #include "fl/comm.hpp"
 #include "fl/trainer.hpp"
 #include "fl/types.hpp"
+#include "net/simulator.hpp"
 #include "nn/model.hpp"
 #include "utils/thread_pool.hpp"
 
@@ -46,6 +47,21 @@ struct FederationConfig {
   /// Evaluate (and record metrics) every this many rounds; the final
   /// round is always evaluated.
   std::size_t eval_every = 1;
+  /// Simulated network (latency/bandwidth/stragglers/deadlines).
+  /// Disabled by default: byte accounting and algorithm behaviour are
+  /// then exactly the pre-network engine's.
+  net::NetworkConfig network{};
+};
+
+/// Per-direction payload sizes, in float32 values, of one simulated
+/// round trip. Algorithms that ship something other than a full model
+/// each way (FedClust's partial upload, IFCA's k-model download, FedPer's
+/// base-only exchange) pass this to train_clients. A zero/zero spec
+/// means the step never touches the network (LocalOnly).
+struct NetPayloads {
+  std::size_t download_floats = 0;
+  std::size_t upload_floats = 0;
+  net::MessageKind upload_kind = net::MessageKind::kModelUpdate;
 };
 
 /// Mean/std of per-client accuracy — the paper's reported metric.
@@ -66,6 +82,43 @@ class Federation {
   const ClientData& client_data(std::size_t i) const;
   const FederationConfig& config() const { return config_; }
   CommMeter& comm() { return comm_; }
+  const CommMeter& comm() const { return comm_; }
+
+  /// The network simulator, or null when config().network.enabled is
+  /// false.
+  net::NetworkSimulator* network() { return net_.get(); }
+  const net::NetworkSimulator* network() const { return net_.get(); }
+  bool network_enabled() const { return net_ != nullptr; }
+  /// Virtual seconds elapsed so far (0 when the network is disabled).
+  double sim_time() const { return net_ ? net_->now() : 0.0; }
+
+  /// Wire size of a `num_floats` payload: framed message bytes under the
+  /// simulated network, bare float bytes otherwise. Algorithms meter
+  /// through this so the two modes stay consistent.
+  std::uint64_t wire_bytes(std::size_t num_floats) const {
+    return net_ ? net::wire_bytes(num_floats)
+                : CommMeter::float_bytes(num_floats);
+  }
+  /// Meters one server -> client transfer of `num_floats` values,
+  /// attributed to `client`.
+  void meter_download(std::size_t client, std::size_t num_floats) {
+    comm_.download(wire_bytes(num_floats), client);
+  }
+  /// Meters one client -> server transfer of `num_floats` values.
+  void meter_upload(std::size_t client, std::size_t num_floats) {
+    comm_.upload(wire_bytes(num_floats), client);
+  }
+
+  /// Resets communication accounting AND the network simulator's clock,
+  /// log, and reports. Algorithms call this at run() entry.
+  void reset_comm();
+
+  /// Simulates a round the engine does not train (e.g. PACFL's formation,
+  /// where clients upload subspace bases computed from raw data). No-op
+  /// when the network is disabled.
+  void simulate_network_round(std::size_t round,
+                              const std::vector<net::ClientOp>& ops,
+                              bool reliable = true);
 
   /// Deep copy of the common initial model.
   nn::Model make_model() const { return template_.clone(); }
@@ -94,12 +147,21 @@ class Federation {
   /// `clients`). Pass allow_failures = false for protocol steps that
   /// must hear from everyone (e.g. FedClust's formation round, which the
   /// paper runs over all available clients).
+  ///
+  /// With the network simulator enabled, the whole round trip (broadcast
+  /// -> compute -> upload with drops/retries) is simulated first:
+  /// clients whose upload misses the round's deadline or straggler
+  /// cutoff, or is lost after all retries, are omitted from the result —
+  /// and are never trained, since the outcome is known up front.
+  /// `net_payloads` sizes the transfers (defaults to a full model each
+  /// way); a formation step (allow_failures = false) is simulated as a
+  /// reliable round that waits for everyone.
   std::vector<ClientUpdate> train_clients(
       const std::vector<std::size_t>& clients, std::size_t round,
       const std::function<std::span<const float>(std::size_t)>&
           start_weights_for,
       const LocalTrainConfig* config_override = nullptr,
-      bool allow_failures = true);
+      bool allow_failures = true, const NetPayloads* net_payloads = nullptr);
 
   /// Whether a given client drops out of a given round under the
   /// configured dropout probability (deterministic).
@@ -137,6 +199,7 @@ class Federation {
   mutable ThreadPool pool_;
   std::unique_ptr<ThreadPool> kernel_pool_;
   CommMeter comm_;
+  std::unique_ptr<net::NetworkSimulator> net_;
 };
 
 /// Sample-count-weighted average of client weight vectors (FedAvg's

@@ -21,17 +21,29 @@ bool RunResult::rounds_to_accuracy(double target, std::size_t& round_out,
   return false;
 }
 
+bool RunResult::time_to_accuracy(double target, double& seconds_out) const {
+  for (const RoundMetrics& r : rounds) {
+    if (r.acc_mean >= target) {
+      seconds_out = r.sim_seconds;
+      return true;
+    }
+  }
+  return false;
+}
+
 RoundMetrics make_round_metrics(std::size_t round, const AccuracySummary& acc,
-                                double train_loss, const CommMeter& comm,
+                                double train_loss,
+                                const Federation& federation,
                                 std::size_t num_clusters) {
   RoundMetrics m;
   m.round = round;
   m.acc_mean = acc.mean;
   m.acc_std = acc.std;
   m.train_loss = train_loss;
-  m.cum_upload = comm.total_upload();
-  m.cum_download = comm.total_download();
+  m.cum_upload = federation.comm().total_upload();
+  m.cum_download = federation.comm().total_download();
   m.num_clusters = num_clusters;
+  m.sim_seconds = federation.sim_time();
   return m;
 }
 

@@ -18,6 +18,9 @@ struct RoundMetrics {
   std::uint64_t cum_upload = 0;    ///< cumulative bytes client -> server
   std::uint64_t cum_download = 0;  ///< cumulative bytes server -> client
   std::size_t num_clusters = 1;    ///< active clusters this round
+  /// Cumulative simulated wall-clock seconds (0 when the network
+  /// simulator is disabled).
+  double sim_seconds = 0.0;
 };
 
 /// Everything a benchmark needs from one algorithm execution.
@@ -35,11 +38,17 @@ struct RunResult {
   /// cumulative bytes spent by then; returns false if never reached.
   bool rounds_to_accuracy(double target, std::size_t& round_out,
                           std::uint64_t& bytes_out) const;
+  /// Simulated wall-clock seconds until mean accuracy first reaches
+  /// `target`; returns false if never reached (seconds are only
+  /// meaningful when the run used the network simulator).
+  bool time_to_accuracy(double target, double& seconds_out) const;
 };
 
-/// Helper used by every algorithm to append a RoundMetrics entry.
+/// Helper used by every algorithm to append a RoundMetrics entry;
+/// snapshots the federation's byte counters and simulated clock.
 RoundMetrics make_round_metrics(std::size_t round, const AccuracySummary& acc,
-                                double train_loss, const CommMeter& comm,
+                                double train_loss,
+                                const Federation& federation,
                                 std::size_t num_clusters);
 
 }  // namespace fedclust::fl

@@ -10,13 +10,14 @@ namespace {
 
 constexpr const char* kRoundsHeader =
     "algorithm,round,acc_mean,acc_std,train_loss,cum_upload_bytes,"
-    "cum_download_bytes,num_clusters\n";
+    "cum_download_bytes,num_clusters,sim_seconds\n";
 
 void append_rounds(std::ostringstream& oss, const RunResult& result) {
   for (const RoundMetrics& r : result.rounds) {
     oss << result.algorithm << ',' << r.round << ',' << r.acc_mean << ','
         << r.acc_std << ',' << r.train_loss << ',' << r.cum_upload << ','
-        << r.cum_download << ',' << r.num_clusters << '\n';
+        << r.cum_download << ',' << r.num_clusters << ',' << r.sim_seconds
+        << '\n';
   }
 }
 

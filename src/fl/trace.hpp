@@ -14,7 +14,7 @@
 namespace fedclust::fl {
 
 /// CSV of the per-round series: algorithm,round,acc_mean,acc_std,
-/// train_loss,cum_upload,cum_download,num_clusters.
+/// train_loss,cum_upload,cum_download,num_clusters,sim_seconds.
 std::string rounds_to_csv(const RunResult& result);
 
 /// CSV of the final per-client outcome: algorithm,client,cluster,

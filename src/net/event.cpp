@@ -1,0 +1,76 @@
+#include "net/event.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "utils/error.hpp"
+
+namespace fedclust::net {
+namespace {
+
+bool later(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time > b.time;
+  return a.seq > b.seq;
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBroadcastDelivered:
+      return "broadcast_delivered";
+    case EventKind::kComputeDone:
+      return "compute_done";
+    case EventKind::kUploadAttempt:
+      return "upload_attempt";
+    case EventKind::kUploadDropped:
+      return "upload_dropped";
+    case EventKind::kUploadDelivered:
+      return "upload_delivered";
+    case EventKind::kUploadLate:
+      return "upload_late";
+    case EventKind::kUploadLost:
+      return "upload_lost";
+    case EventKind::kDeadline:
+      return "deadline";
+    case EventKind::kRoundClosed:
+      return "round_closed";
+  }
+  return "unknown";
+}
+
+void EventQueue::push(Event e) {
+  e.seq = next_seq_++;
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+Event EventQueue::pop() {
+  FEDCLUST_REQUIRE(!heap_.empty(), "pop on empty event queue");
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  const Event e = heap_.back();
+  heap_.pop_back();
+  return e;
+}
+
+std::uint64_t fingerprint(const std::vector<Event>& log) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const Event& e : log) {
+    mix(std::bit_cast<std::uint64_t>(e.time));
+    mix(e.seq);
+    mix(static_cast<std::uint64_t>(e.kind));
+    mix(e.round);
+    mix(e.client);
+    mix(e.attempt);
+    mix(e.bytes);
+  }
+  return h;
+}
+
+}  // namespace fedclust::net

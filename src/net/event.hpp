@@ -1,0 +1,58 @@
+// Discrete-event core of the network simulator.
+//
+// Events carry a virtual timestamp (seconds) and a monotonically
+// increasing push sequence number. The queue pops the minimum
+// (time, seq), so simultaneous events resolve in push order — a total,
+// deterministic order that never depends on thread count or scheduling.
+// Processed events accumulate in a log; fingerprint() hashes the log so
+// tests can assert bit-identical behaviour across runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fedclust::net {
+
+enum class EventKind : std::uint8_t {
+  kBroadcastDelivered = 1,  ///< server -> client model arrived
+  kComputeDone = 2,         ///< client finished local training
+  kUploadAttempt = 3,       ///< client started sending its update
+  kUploadDropped = 4,       ///< the attempt was lost in transit
+  kUploadDelivered = 5,     ///< update arrived before the round closed
+  kUploadLate = 6,          ///< update arrived after the round closed
+  kUploadLost = 7,          ///< retries exhausted; update never arrived
+  kDeadline = 8,            ///< the absolute round deadline fired
+  kRoundClosed = 9,         ///< server stopped waiting for this round
+};
+
+const char* to_string(EventKind kind);
+
+struct Event {
+  double time = 0.0;         ///< virtual seconds since simulation start
+  std::uint64_t seq = 0;     ///< push order (deterministic tiebreak)
+  EventKind kind = EventKind::kRoundClosed;
+  std::uint32_t round = 0;
+  std::uint32_t client = 0;
+  std::uint32_t attempt = 0;  ///< upload attempt index (0 = first send)
+  std::uint64_t bytes = 0;    ///< framed wire size for transfer events
+};
+
+/// Binary min-heap on (time, seq). push() stamps the sequence number.
+class EventQueue {
+ public:
+  void push(Event e);
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  /// Removes and returns the earliest event; requires !empty().
+  Event pop();
+
+ private:
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// FNV-1a hash over every field of every event — two logs fingerprint
+/// equal iff the simulations were event-for-event identical.
+std::uint64_t fingerprint(const std::vector<Event>& log);
+
+}  // namespace fedclust::net

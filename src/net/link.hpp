@@ -1,0 +1,51 @@
+// Per-client link and device models for the network simulator.
+//
+// Each client owns a ClientLink: base latency, bandwidth, jitter, drop
+// probability, and a device compute-speed multiplier. Named profiles
+// build homogeneous (lan/wan) or per-client-drawn (cellular,
+// heterogeneous) populations from a seeded Rng, so a (profile, seed)
+// pair always yields the same fleet.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "utils/rng.hpp"
+
+namespace fedclust::net {
+
+struct ClientLink {
+  double latency_s = 0.0;      ///< one-way propagation delay
+  double bandwidth_Bps = 0.0;  ///< bytes per second (> 0)
+  double jitter_s = 0.0;       ///< max added uniform latency noise
+  double drop_prob = 0.0;      ///< per-message loss probability
+  double compute_scale = 1.0;  ///< device slowdown factor (1 = reference)
+};
+
+enum class Profile {
+  kLan,            ///< datacenter-grade: ~1 Gbps, 1 ms, lossless
+  kWan,            ///< broadband: 20 Mbps, 50 ms, light loss
+  kCellular,       ///< mobile: 2-10 Mbps, high latency/jitter/loss,
+                   ///< per-client bandwidth and compute draws
+  kHeterogeneous,  ///< mixed fleet: each client drawn lan/wan/cellular
+};
+
+/// Parses "lan"/"wan"/"cellular"/"heterogeneous"; throws on anything else.
+Profile profile_from_string(const std::string& name);
+const char* to_string(Profile profile);
+/// All named profiles, in a stable order (for "--profile all" sweeps).
+std::vector<Profile> all_profiles();
+
+/// Builds the per-client fleet for a profile. Each client's draws come
+/// from an independent child stream of `rng`, keyed by client index, so
+/// the fleet is identical across runs for the same (profile, seed).
+std::vector<ClientLink> make_links(Profile profile, std::size_t num_clients,
+                                   Rng rng);
+
+/// Seconds to push `bytes` through `link`: latency + bytes/bandwidth +
+/// a uniform jitter draw from `rng` (deterministic given the stream).
+double transfer_seconds(const ClientLink& link, std::uint64_t bytes,
+                        Rng& rng);
+
+}  // namespace fedclust::net

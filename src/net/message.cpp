@@ -1,0 +1,72 @@
+#include "net/message.hpp"
+
+#include <cstring>
+
+#include "nn/serialize.hpp"
+#include "utils/error.hpp"
+
+namespace fedclust::net {
+namespace {
+
+constexpr char kMagic[4] = {'F', 'C', 'M', 'G'};
+constexpr std::uint16_t kVersion = 1;
+
+}  // namespace
+
+const char* to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kModelBroadcast:
+      return "model_broadcast";
+    case MessageKind::kModelUpdate:
+      return "model_update";
+    case MessageKind::kPartialUpdate:
+      return "partial_update";
+    case MessageKind::kBasisUpload:
+      return "basis_upload";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode(const Message& m) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(kHeaderBytes + m.payload.size() * 4);
+  nn::wire::put_bytes(buf, kMagic, sizeof(kMagic));
+  nn::wire::put_u16(buf, kVersion);
+  nn::wire::put_u16(buf, static_cast<std::uint16_t>(m.header.kind));
+  nn::wire::put_u32(buf, m.header.round);
+  nn::wire::put_u32(buf, m.header.sender);
+  nn::wire::put_u64(buf, static_cast<std::uint64_t>(m.payload.size()));
+  nn::wire::put_f32(buf, m.payload);
+  return buf;
+}
+
+Message decode(std::span<const std::uint8_t> buf) {
+  nn::wire::Reader r(buf);
+  char magic[4];
+  r.raw(magic, sizeof(magic));
+  FEDCLUST_CHECK(std::memcmp(magic, kMagic, 4) == 0,
+                 "not a fedclust network message");
+  const std::uint16_t version = r.u16();
+  FEDCLUST_CHECK(version == kVersion,
+                 "unsupported message version " << version);
+
+  Message m;
+  const std::uint16_t kind = r.u16();
+  FEDCLUST_CHECK(kind >= 1 &&
+                     kind <= static_cast<std::uint16_t>(
+                                 MessageKind::kBasisUpload),
+                 "unknown message kind " << kind);
+  m.header.kind = static_cast<MessageKind>(kind);
+  m.header.round = r.u32();
+  m.header.sender = r.u32();
+  m.header.payload_floats = r.u64();
+  FEDCLUST_CHECK(r.remaining() == m.header.payload_floats * 4,
+                 "message payload length mismatch: header says "
+                     << m.header.payload_floats * 4 << " bytes, buffer has "
+                     << r.remaining());
+  m.payload.resize(m.header.payload_floats);
+  r.f32(m.payload);
+  return m;
+}
+
+}  // namespace fedclust::net

@@ -1,0 +1,65 @@
+// Typed wire messages of the simulated federated network.
+//
+// Every transfer between server and clients is a framed message:
+//
+//   magic "FCMG" | u16 version | u16 kind | u32 round | u32 sender |
+//   u64 payload_floats | payload: packed little-endian float32
+//
+// The 24-byte header is charged on every simulated transfer, so byte
+// accounting under the network layer reflects framed traffic instead of
+// the bare `num_floats * 4` the CommMeter used historically. Payloads
+// are weight vectors serialized through the nn/serialize wire codec;
+// decode() rejects bad magic, unknown versions, and truncated payloads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fedclust::net {
+
+/// What a message carries; mirrors the protocol steps of the algorithms.
+enum class MessageKind : std::uint16_t {
+  kModelBroadcast = 1,  ///< server -> client: full (or cluster) model
+  kModelUpdate = 2,     ///< client -> server: full post-training weights
+  kPartialUpdate = 3,   ///< client -> server: FedClust's layer slice
+  kBasisUpload = 4,     ///< client -> server: PACFL subspace basis
+};
+
+const char* to_string(MessageKind kind);
+
+/// Sender id used for server-originated messages.
+inline constexpr std::uint32_t kServerId = 0xffffffffu;
+
+/// magic(4) + version(2) + kind(2) + round(4) + sender(4) + length(8).
+inline constexpr std::size_t kHeaderBytes = 24;
+
+/// Framed size on the wire of a message carrying `payload_floats`
+/// float32 values.
+constexpr std::uint64_t wire_bytes(std::size_t payload_floats) {
+  return kHeaderBytes + static_cast<std::uint64_t>(payload_floats) * 4;
+}
+
+struct MessageHeader {
+  MessageKind kind = MessageKind::kModelBroadcast;
+  std::uint32_t round = 0;
+  std::uint32_t sender = kServerId;
+  std::uint64_t payload_floats = 0;
+};
+
+struct Message {
+  MessageHeader header;
+  std::vector<float> payload;  ///< header.payload_floats values
+};
+
+/// Frames `m` (header + payload) into a byte buffer; sets the header's
+/// payload_floats from the payload size.
+std::vector<std::uint8_t> encode(const Message& m);
+
+/// Parses a frame produced by encode(). Throws fedclust::Error on bad
+/// magic, unsupported version, unknown kind, a payload length that
+/// disagrees with the buffer, or trailing garbage.
+Message decode(std::span<const std::uint8_t> buf);
+
+}  // namespace fedclust::net

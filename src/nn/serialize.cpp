@@ -1,75 +1,148 @@
 #include "nn/serialize.hpp"
 
-#include <cstdint>
+#include <bit>
 #include <cstring>
 #include <fstream>
 
 namespace fedclust::nn {
+
+namespace wire {
+
+void put_u16(std::vector<std::uint8_t>& buf, std::uint16_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v & 0xff));
+  buf.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f32(std::vector<std::uint8_t>& buf, std::span<const float> values) {
+  buf.reserve(buf.size() + values.size() * 4);
+  for (float f : values) {
+    put_u32(buf, std::bit_cast<std::uint32_t>(f));
+  }
+}
+
+void put_bytes(std::vector<std::uint8_t>& buf, const void* data,
+               std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf.insert(buf.end(), p, p + n);
+}
+
+void Reader::need(std::size_t n) const {
+  FEDCLUST_CHECK(n <= remaining(),
+                 "truncated input: need " << n << " bytes at offset " << pos_
+                                          << ", have " << remaining());
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+void Reader::f32(std::span<float> out) {
+  for (float& f : out) {
+    f = std::bit_cast<float>(u32());
+  }
+}
+
+void Reader::raw(void* out, std::size_t n) {
+  need(n);
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+}
+
+}  // namespace wire
+
 namespace {
 
 constexpr char kMagic[4] = {'F', 'C', 'W', 'T'};
 constexpr std::uint32_t kVersion = 1;
 
-template <typename T>
-void write_pod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-void read_pod(std::ifstream& in, T& value) {
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  FEDCLUST_CHECK(in.good(), "unexpected end of checkpoint file");
-}
-
 }  // namespace
 
 void save_weights(const Model& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  FEDCLUST_CHECK(out.good(), "cannot open " << path << " for writing");
-
-  out.write(kMagic, sizeof(kMagic));
-  write_pod(out, kVersion);
+  std::vector<std::uint8_t> buf;
+  wire::put_bytes(buf, kMagic, sizeof(kMagic));
+  wire::put_u32(buf, kVersion);
   const auto slices = model.slices();
-  write_pod(out, static_cast<std::uint64_t>(slices.size()));
+  wire::put_u64(buf, static_cast<std::uint64_t>(slices.size()));
   for (const ParamSlice& s : slices) {
-    write_pod(out, static_cast<std::uint32_t>(s.name.size()));
-    out.write(s.name.data(), static_cast<std::streamsize>(s.name.size()));
-    write_pod(out, static_cast<std::uint64_t>(s.size));
+    wire::put_u32(buf, static_cast<std::uint32_t>(s.name.size()));
+    wire::put_bytes(buf, s.name.data(), s.name.size());
+    wire::put_u64(buf, static_cast<std::uint64_t>(s.size));
   }
   const std::vector<float> weights = model.flat_weights();
-  out.write(reinterpret_cast<const char*>(weights.data()),
-            static_cast<std::streamsize>(weights.size() * sizeof(float)));
+  wire::put_f32(buf, weights);
+
+  std::ofstream out(path, std::ios::binary);
+  FEDCLUST_CHECK(out.good(), "cannot open " << path << " for writing");
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
   FEDCLUST_CHECK(out.good(), "write to " << path << " failed");
 }
 
 void load_weights(Model& model, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   FEDCLUST_CHECK(in.good(), "cannot open " << path << " for reading");
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(buf.data()), size);
+  FEDCLUST_CHECK(in.good(), "read from " << path << " failed");
 
+  wire::Reader r(buf);
   char magic[4];
-  in.read(magic, sizeof(magic));
-  FEDCLUST_CHECK(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+  r.raw(magic, sizeof(magic));
+  FEDCLUST_CHECK(std::memcmp(magic, kMagic, 4) == 0,
                  path << " is not a fedclust checkpoint");
-  std::uint32_t version = 0;
-  read_pod(in, version);
+  const std::uint32_t version = r.u32();
   FEDCLUST_CHECK(version == kVersion,
                  "unsupported checkpoint version " << version);
 
   const auto expected = model.slices();
-  std::uint64_t num_slices = 0;
-  read_pod(in, num_slices);
+  const std::uint64_t num_slices = r.u64();
   FEDCLUST_CHECK(num_slices == expected.size(),
                  "checkpoint has " << num_slices << " parameters, model has "
                                    << expected.size());
   for (const ParamSlice& s : expected) {
-    std::uint32_t name_len = 0;
-    read_pod(in, name_len);
+    const std::uint32_t name_len = r.u32();
     FEDCLUST_CHECK(name_len < 4096, "implausible name length in checkpoint");
     std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    FEDCLUST_CHECK(in.good(), "unexpected end of checkpoint file");
-    std::uint64_t numel = 0;
-    read_pod(in, numel);
+    r.raw(name.data(), name_len);
+    const std::uint64_t numel = r.u64();
     FEDCLUST_CHECK(name == s.name && numel == s.size,
                    "checkpoint parameter '" << name << "' (" << numel
                                             << ") does not match model '"
@@ -78,9 +151,7 @@ void load_weights(Model& model, const std::string& path) {
   }
 
   std::vector<float> weights(model.num_weights());
-  in.read(reinterpret_cast<char*>(weights.data()),
-          static_cast<std::streamsize>(weights.size() * sizeof(float)));
-  FEDCLUST_CHECK(in.good(), "checkpoint is truncated");
+  r.f32(weights);
   model.set_flat_weights(weights);
 }
 

@@ -1,14 +1,23 @@
-// Binary model checkpointing.
+// Binary serialization: model checkpointing plus the shared
+// little-endian buffer codec.
 //
-// Format (little-endian):
+// Checkpoint format (little-endian):
 //   magic "FCWT" | u32 version | u64 num_slices
 //   per slice: u32 name_len | name bytes | u64 numel
 //   then all float32 values back to back (flat_weights order).
 // Loading validates the layout against the target model, so a checkpoint
 // can only be restored into an identically structured network.
+//
+// The `wire` codec below is the machinery both checkpoints and the
+// network layer's message framing (net/message) are built on: explicit
+// little-endian byte packing into a growable buffer, and a
+// bounds-checked Reader that throws on truncated input.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "nn/model.hpp"
 
@@ -21,4 +30,41 @@ void save_weights(const Model& model, const std::string& path);
 /// corrupt, or describes a different architecture.
 void load_weights(Model& model, const std::string& path);
 
+namespace wire {
+
+void put_u16(std::vector<std::uint8_t>& buf, std::uint16_t v);
+void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v);
+/// Appends `values` as packed little-endian float32.
+void put_f32(std::vector<std::uint8_t>& buf, std::span<const float> values);
+/// Appends raw bytes verbatim.
+void put_bytes(std::vector<std::uint8_t>& buf, const void* data,
+               std::size_t n);
+
+/// Bounds-checked little-endian cursor over an encoded buffer. Every
+/// read past the end throws fedclust::Error ("truncated"), so framed
+/// inputs cannot be silently mis-parsed.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  /// Fills `out` with packed little-endian float32 values.
+  void f32(std::span<float> out);
+  /// Copies `n` raw bytes into `out`.
+  void raw(void* out, std::size_t n);
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace wire
 }  // namespace fedclust::nn
