@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/audit.hpp"
 #include "cluster/distance.hpp"
 #include "cluster/hierarchical.hpp"
 
@@ -70,8 +71,7 @@ fl::RunResult Cfl::run(fl::Federation& federation, std::size_t rounds) {
       std::vector<fl::ClientUpdate> tmp;
       tmp.reserve(by_cluster[c].size());
       for (const fl::ClientUpdate* u : by_cluster[c]) tmp.push_back(*u);
-      cluster_weights[c] =
-          fl::weighted_average(tmp, federation.aggregation_pool());
+      cluster_weights[c] = federation.aggregate(tmp);
     }
 
     // Split check per cluster (Sattler's eps1/eps2 criterion).
@@ -125,7 +125,8 @@ fl::RunResult Cfl::run(fl::Federation& federation, std::size_t rounds) {
           round, acc,
           updates.empty() ? 0.0
                           : loss_sum / static_cast<double>(updates.size()),
-          federation, cluster_weights.size()));
+          federation, cluster_weights.size(),
+          check::weights_fingerprint(cluster_weights)));
       if (last) result.final_accuracy = acc;
     }
   }

@@ -46,8 +46,7 @@ double per_cluster_fedavg_round(
   }
   for (std::size_t c = 0; c < by_cluster.size(); ++c) {
     if (!by_cluster[c].empty()) {
-      cluster_weights[c] = fl::weighted_average(by_cluster[c],
-                                                federation.aggregation_pool());
+      cluster_weights[c] = federation.aggregate(by_cluster[c]);
     }
   }
   return updates.empty() ? 0.0

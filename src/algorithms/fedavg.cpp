@@ -1,6 +1,7 @@
 #include "algorithms/fedavg.hpp"
 
 #include "algorithms/common.hpp"
+#include "check/audit.hpp"
 
 namespace fedclust::algorithms {
 namespace {
@@ -29,7 +30,8 @@ fl::RunResult run_global_averaging(const std::string& name,
       const fl::AccuracySummary acc =
           evaluate_clustered(federation, labels, global);
       result.rounds.push_back(fl::make_round_metrics(
-          round, acc, loss, federation, /*num_clusters=*/1));
+          round, acc, loss, federation, /*num_clusters=*/1,
+          check::weights_fingerprint(global)));
       if (last) result.final_accuracy = acc;
     }
   }
@@ -73,8 +75,7 @@ fl::RunResult FedAvgM::run(fl::Federation& federation, std::size_t rounds) {
     // Server update: v = beta*v + (avg - w); w += v. A round in which
     // every client dropped out leaves the model untouched.
     if (!updates.empty()) {
-      const std::vector<float> averaged =
-          fl::weighted_average(updates, federation.aggregation_pool());
+      const std::vector<float> averaged = federation.aggregate(updates);
       const float beta = static_cast<float>(momentum_);
       for (std::size_t i = 0; i < global.size(); ++i) {
         velocity[i] = beta * velocity[i] + (averaged[i] - global[i]);
@@ -90,7 +91,8 @@ fl::RunResult FedAvgM::run(fl::Federation& federation, std::size_t rounds) {
           round, acc,
           updates.empty() ? 0.0
                           : loss_sum / static_cast<double>(updates.size()),
-          federation, 1));
+          federation, 1,
+          check::weights_fingerprint(std::span<const float>(global))));
       if (last) result.final_accuracy = acc;
     }
   }

@@ -1,5 +1,6 @@
 #include "algorithms/fedper.hpp"
 
+#include "check/audit.hpp"
 #include "nn/slicing.hpp"
 
 namespace fedclust::algorithms {
@@ -70,8 +71,7 @@ fl::RunResult FedPer::run(fl::Federation& federation, std::size_t rounds) {
     // Aggregate the base; the heads stay personal. An all-dropout round
     // leaves the base unchanged.
     if (!updates.empty()) {
-      std::vector<float> new_global =
-          fl::weighted_average(updates, federation.aggregation_pool());
+      std::vector<float> new_global = federation.aggregate(updates);
       // Restore the template head region of the global vector so the
       // global never carries any single client's head.
       std::size_t cursor = 0;
@@ -99,7 +99,10 @@ fl::RunResult FedPer::run(fl::Federation& federation, std::size_t rounds) {
           round, acc,
           updates.empty() ? 0.0
                           : loss_sum / static_cast<double>(updates.size()),
-          federation, /*num_clusters=*/1));
+          federation, /*num_clusters=*/1,
+          // The served state is base + personal head per client; `starts`
+          // holds exactly that after the refresh above.
+          check::weights_fingerprint(starts)));
       if (last) result.final_accuracy = acc;
     }
   }

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "check/audit.hpp"
 #include "cluster/hierarchical.hpp"
 #include "utils/rng.hpp"
 
@@ -71,8 +72,7 @@ fl::RunResult Ifca::run(fl::Federation& federation, std::size_t rounds) {
     }
     for (std::size_t k = 0; k < models.size(); ++k) {
       if (!by_cluster[k].empty()) {
-        models[k] =
-            fl::weighted_average(by_cluster[k], federation.aggregation_pool());
+        models[k] = federation.aggregate(by_cluster[k]);
       }
     }
 
@@ -86,7 +86,8 @@ fl::RunResult Ifca::run(fl::Federation& federation, std::size_t rounds) {
           round, acc,
           updates.empty() ? 0.0
                           : loss_sum / static_cast<double>(updates.size()),
-          federation, cluster::num_clusters(labels)));
+          federation, cluster::num_clusters(labels),
+          check::weights_fingerprint(models)));
       if (last) result.final_accuracy = acc;
     }
   }

@@ -1,5 +1,7 @@
 #include "algorithms/local_only.hpp"
 
+#include "check/audit.hpp"
+
 namespace fedclust::algorithms {
 
 fl::RunResult LocalOnly::run(fl::Federation& federation, std::size_t rounds) {
@@ -43,7 +45,7 @@ fl::RunResult LocalOnly::run(fl::Federation& federation, std::size_t rounds) {
           });
       result.rounds.push_back(fl::make_round_metrics(
           round, acc, loss_sum / static_cast<double>(updates.size()),
-          federation, n));
+          federation, n, check::weights_fingerprint(weights)));
       if (last) result.final_accuracy = acc;
     }
   }

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "algorithms/common.hpp"
+#include "check/audit.hpp"
 #include "linalg/svd.hpp"
 
 namespace fedclust::algorithms {
@@ -99,7 +100,12 @@ std::vector<std::size_t> Pacfl::cluster_clients(
   if (dissimilarity_out != nullptr) *dissimilarity_out = dis;
   if (upload_bytes_out != nullptr) *upload_bytes_out = upload_bytes;
   if (basis_floats_out != nullptr) *basis_floats_out = std::move(basis_floats);
-  return dendro.cut_threshold(threshold);
+  std::vector<std::size_t> labels = dendro.cut_threshold(threshold);
+  if (federation.config().audit) {
+    check::audit_dendrogram_monotone(dendro);
+    check::audit_cluster_partition(labels);
+  }
+  return labels;
 }
 
 fl::RunResult Pacfl::run(fl::Federation& federation, std::size_t rounds) {
@@ -146,7 +152,8 @@ fl::RunResult Pacfl::run(fl::Federation& federation, std::size_t rounds) {
     const fl::AccuracySummary acc =
         evaluate_clustered(federation, labels, cluster_weights);
     result.rounds.push_back(fl::make_round_metrics(
-        0, acc, 0.0, federation, cluster_weights.size()));
+        0, acc, 0.0, federation, cluster_weights.size(),
+        check::weights_fingerprint(cluster_weights)));
   }
 
   // Rounds 1..R-1: per-cluster FedAvg.
@@ -159,7 +166,8 @@ fl::RunResult Pacfl::run(fl::Federation& federation, std::size_t rounds) {
       const fl::AccuracySummary acc =
           evaluate_clustered(federation, labels, cluster_weights);
       result.rounds.push_back(fl::make_round_metrics(
-          round, acc, loss, federation, cluster_weights.size()));
+          round, acc, loss, federation, cluster_weights.size(),
+          check::weights_fingerprint(cluster_weights)));
       if (last) result.final_accuracy = acc;
     }
   }

@@ -1,0 +1,144 @@
+#include "check/audit.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "net/simulator.hpp"
+#include "utils/error.hpp"
+
+namespace fedclust::check {
+
+void assert_all_finite(std::span<const float> values, const char* context) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    FEDCLUST_CHECK(std::isfinite(values[i]),
+                   context << ": non-finite value " << values[i]
+                           << " at index " << i << " of " << values.size());
+  }
+}
+
+void audit_aggregation(const std::vector<std::span<const float>>& inputs,
+                       const std::vector<double>& coefficients,
+                       std::span<const float> output) {
+  FEDCLUST_REQUIRE(!inputs.empty(), "aggregation audit over zero inputs");
+  FEDCLUST_REQUIRE(inputs.size() == coefficients.size(),
+                   "aggregation audit: " << inputs.size() << " inputs vs "
+                                         << coefficients.size()
+                                         << " coefficients");
+
+  double coeff_sum = 0.0;
+  for (const double c : coefficients) {
+    FEDCLUST_CHECK(std::isfinite(c) && c >= 0.0,
+                   "aggregation weight " << c << " is negative or non-finite");
+    coeff_sum += c;
+  }
+  FEDCLUST_CHECK(std::abs(coeff_sum - 1.0) < 1e-9,
+                 "aggregation weights sum to " << coeff_sum << ", not 1");
+
+  const std::size_t dim = output.size();
+  for (const auto& in : inputs) {
+    FEDCLUST_CHECK(in.size() == dim, "aggregation audit: input length "
+                                         << in.size() << " != output length "
+                                         << dim);
+  }
+
+  for (std::size_t i = 0; i < dim; ++i) {
+    float lo = std::numeric_limits<float>::infinity();
+    float hi = -std::numeric_limits<float>::infinity();
+    for (const auto& in : inputs) {
+      FEDCLUST_CHECK(std::isfinite(in[i]),
+                     "aggregation input has non-finite value " << in[i]
+                                                               << " at index "
+                                                               << i);
+      lo = std::min(lo, in[i]);
+      hi = std::max(hi, in[i]);
+    }
+    // The average is reduced in double and rounded once to float, so it
+    // can overshoot the envelope by at most one rounding step; allow a
+    // margin scaled to the envelope's magnitude.
+    const float margin =
+        1e-5f * std::max(1.0f, std::max(std::abs(lo), std::abs(hi)));
+    FEDCLUST_CHECK(std::isfinite(output[i]) && output[i] >= lo - margin &&
+                       output[i] <= hi + margin,
+                   "aggregated value " << output[i] << " at index " << i
+                                       << " escapes the input envelope ["
+                                       << lo << ", " << hi << "]");
+  }
+}
+
+void audit_cluster_partition(const std::vector<std::size_t>& labels) {
+  FEDCLUST_REQUIRE(!labels.empty(), "cluster partition audit: no labels");
+  const std::size_t k =
+      *std::max_element(labels.begin(), labels.end()) + 1;
+  FEDCLUST_CHECK(k <= labels.size(),
+                 "cluster label " << k - 1 << " exceeds client count "
+                                  << labels.size());
+  std::vector<std::size_t> count(k, 0);
+  for (const std::size_t l : labels) ++count[l];
+  for (std::size_t c = 0; c < k; ++c) {
+    FEDCLUST_CHECK(count[c] > 0,
+                   "cluster ids are not consecutive: id " << c
+                                                          << " of " << k
+                                                          << " has no members");
+  }
+}
+
+void audit_dendrogram_monotone(const cluster::Dendrogram& dendrogram,
+                               double tolerance) {
+  const auto& merges = dendrogram.merges;
+  for (std::size_t m = 1; m < merges.size(); ++m) {
+    FEDCLUST_CHECK(merges[m].distance >= merges[m - 1].distance - tolerance,
+                   "dendrogram inversion at merge " << m << ": distance "
+                                                    << merges[m].distance
+                                                    << " < previous "
+                                                    << merges[m - 1].distance);
+  }
+  for (std::size_t m = 0; m < merges.size(); ++m) {
+    FEDCLUST_CHECK(std::isfinite(merges[m].distance) &&
+                       merges[m].distance >= 0.0,
+                   "merge " << m << " has invalid distance "
+                            << merges[m].distance);
+  }
+}
+
+void audit_comm_parity(std::uint64_t metered_download,
+                       std::uint64_t metered_upload,
+                       const std::vector<net::Event>& log) {
+  const net::DeliveredBytes view = net::delivered_bytes(log);
+  FEDCLUST_CHECK(view.download == metered_download,
+                 "comm meter download " << metered_download
+                                        << " != event-log delivered "
+                                        << view.download);
+  FEDCLUST_CHECK(view.upload == metered_upload,
+                 "comm meter upload " << metered_upload
+                                      << " != event-log delivered "
+                                      << view.upload);
+}
+
+std::uint64_t weights_fingerprint(std::span<const float> weights,
+                                  std::uint64_t h) {
+  for (const float w : weights) {
+    const std::uint32_t bits = std::bit_cast<std::uint32_t>(w);
+    for (int i = 0; i < 4; ++i) {
+      h ^= (bits >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+std::uint64_t weights_fingerprint(
+    const std::vector<std::vector<float>>& weight_vectors, std::uint64_t h) {
+  for (const auto& w : weight_vectors) {
+    const std::uint64_t len = w.size();
+    for (int i = 0; i < 8; ++i) {
+      h ^= (len >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+    h = weights_fingerprint(std::span<const float>(w), h);
+  }
+  return h;
+}
+
+}  // namespace fedclust::check

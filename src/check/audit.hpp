@@ -1,0 +1,75 @@
+// Runtime invariant audits for the FL engine.
+//
+// Each function here verifies one invariant the rest of the system
+// silently relies on, throwing fedclust::Error with a precise message on
+// violation. They are cheap enough to run on every round of a simulated
+// federation; fl::Federation wires them in behind FederationConfig::audit
+// (off by default, so production runs pay nothing).
+//
+// This library sits BELOW src/fl in the dependency order — it knows
+// about tensors, dendrograms, and network event logs, but takes engine
+// state (aggregation inputs, metered byte totals) as plain values so the
+// engine can link against it without a cycle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/hierarchical.hpp"
+#include "net/event.hpp"
+
+namespace fedclust::check {
+
+/// Throws if any value is NaN or ±Inf. `context` names the vector in the
+/// error message ("client 3 update weights").
+void assert_all_finite(std::span<const float> values, const char* context);
+
+/// Audits one weighted-average aggregation:
+///  * the coefficients are non-negative and sum to 1 (within 1e-9);
+///  * every output coordinate lies inside the per-coordinate min/max
+///    envelope of the inputs (within a float-rounding margin) — a convex
+///    combination can never leave it;
+///  * inputs and output are finite.
+/// All inputs must have the same length as `output`.
+void audit_aggregation(const std::vector<std::span<const float>>& inputs,
+                       const std::vector<double>& coefficients,
+                       std::span<const float> output);
+
+/// Audits a flat clustering: labels must be consecutive integers
+/// 0..K-1 with every id in that range used at least once — i.e. the
+/// labels form a partition of the member clients. (This is the contract
+/// of Dendrogram::cut_*; methods like IFCA that legitimately leave
+/// clusters empty must not be audited with this.)
+void audit_cluster_partition(const std::vector<std::size_t>& labels);
+
+/// Audits dendrogram monotonicity: merge distances must be non-decreasing
+/// (within `tolerance`). This holds for single/complete/average/ward
+/// linkage — the four this repo implements — and is what
+/// suggest_threshold's largest-gap scan assumes.
+void audit_dendrogram_monotone(const cluster::Dendrogram& dendrogram,
+                               double tolerance = 1e-9);
+
+/// Audits CommMeter-vs-event-log byte parity: the metered totals must
+/// equal the delivered traffic of the simulator's event log exactly.
+void audit_comm_parity(std::uint64_t metered_download,
+                       std::uint64_t metered_upload,
+                       const std::vector<net::Event>& log);
+
+/// FNV-1a offset basis — seed value for the fingerprint chain below.
+inline constexpr std::uint64_t kFingerprintSeed = 0xcbf29ce484222325ull;
+
+/// FNV-1a hash over the bit patterns of a float span, chained from `h`.
+/// Two weight vectors fingerprint equal iff they are bit-identical —
+/// the primitive behind the determinism audit (same idiom as
+/// net::fingerprint over event logs).
+std::uint64_t weights_fingerprint(std::span<const float> weights,
+                                  std::uint64_t h = kFingerprintSeed);
+
+/// Chained fingerprint over a set of weight vectors (cluster models,
+/// per-client models); also mixes each vector's length.
+std::uint64_t weights_fingerprint(
+    const std::vector<std::vector<float>>& weight_vectors,
+    std::uint64_t h = kFingerprintSeed);
+
+}  // namespace fedclust::check

@@ -1,0 +1,191 @@
+#include "check/gradcheck.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/loss.hpp"
+#include "utils/rng.hpp"
+
+namespace fedclust::check {
+namespace {
+
+Tensor random_direction(const Shape& shape, Rng& rng) {
+  Tensor v(shape);
+  for (auto& x : v.flat()) {
+    x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return v;
+}
+
+/// Σ a ⊙ b accumulated in float64.
+double dot64(std::span<const float> a, std::span<const float> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return s;
+}
+
+struct Recorder {
+  GradCheckResult result;
+  double tolerance;
+
+  void record(double analytic, double fd, const char* what,
+              std::size_t direction) {
+    const double denom =
+        std::max(std::max(std::abs(analytic), std::abs(fd)), 1.0);
+    const double rel = std::abs(analytic - fd) / denom;
+    ++result.checks;
+    if (rel > result.max_rel_error) {
+      result.max_rel_error = rel;
+      std::ostringstream oss;
+      oss << what << " direction " << direction << ": analytic " << analytic
+          << " vs central-difference " << fd << " (rel " << rel << ")";
+      result.worst = oss.str();
+    }
+  }
+
+  GradCheckResult finish() {
+    result.passed = result.max_rel_error < tolerance;
+    return result;
+  }
+};
+
+}  // namespace
+
+GradCheckResult check_layer(nn::Layer& layer, const Tensor& input,
+                            const GradCheckConfig& config, bool train) {
+  Rng rng(config.seed);
+  const std::uint64_t mask_seed = rng();
+  const float eps = static_cast<float>(config.epsilon);
+
+  // Frozen-mask evaluation of Σ u ⊙ f(x): every forward re-arms the
+  // layer's RNG (no-op for deterministic layers) so stochastic layers
+  // see the same mask on the analytic pass and on every FD probe.
+  const auto weighted_output = [&](const Tensor& x, const Tensor& u) {
+    layer.reseed(mask_seed);
+    const Tensor y = layer.forward(x, train);
+    FEDCLUST_CHECK(y.numel() == u.numel(),
+                   "layer output shape changed between probes");
+    return dot64(y.flat(), u.flat());
+  };
+
+  // Analytic pass: forward, then backward with cotangent u.
+  layer.reseed(mask_seed);
+  const Tensor y0 = layer.forward(input, train);
+  Tensor u = random_direction(y0.shape(), rng);
+  for (nn::Param* p : layer.params()) p->grad.zero();
+  const Tensor grad_input = layer.backward(u);
+  FEDCLUST_CHECK(grad_input.same_shape(input),
+                 "backward returned a gradient of the wrong shape");
+
+  Recorder rec{.result = {}, .tolerance = config.tolerance};
+
+  // Input directions.
+  for (std::size_t d = 0; d < config.directions; ++d) {
+    const Tensor v = random_direction(input.shape(), rng);
+    const double analytic = dot64(grad_input.flat(), v.flat());
+    Tensor xp = input;
+    xp.axpy(eps, v);
+    Tensor xm = input;
+    xm.axpy(-eps, v);
+    const double fd =
+        (weighted_output(xp, u) - weighted_output(xm, u)) / (2.0 * eps);
+    rec.record(analytic, fd, "input", d);
+  }
+
+  // Parameter directions, one parameter at a time.
+  for (nn::Param* p : layer.params()) {
+    for (std::size_t d = 0; d < config.directions; ++d) {
+      const Tensor v = random_direction(p->value.shape(), rng);
+      const double analytic = dot64(p->grad.flat(), v.flat());
+      const Tensor saved = p->value;
+      p->value.axpy(eps, v);
+      const double plus = weighted_output(input, u);
+      p->value = saved;
+      p->value.axpy(-eps, v);
+      const double minus = weighted_output(input, u);
+      p->value = saved;
+      const double fd = (plus - minus) / (2.0 * eps);
+      rec.record(analytic, fd, p->name.c_str(), d);
+    }
+  }
+  return rec.finish();
+}
+
+GradCheckResult check_softmax_cross_entropy(std::size_t batch,
+                                            std::size_t classes,
+                                            const GradCheckConfig& config) {
+  Rng rng(config.seed);
+  Tensor logits = random_direction({batch, classes}, rng);
+  logits *= 3.0f;  // spread the softmax away from uniform
+  std::vector<std::int32_t> labels(batch);
+  for (auto& y : labels) {
+    y = static_cast<std::int32_t>(rng.uniform_int(classes));
+  }
+
+  const nn::LossResult analytic = nn::softmax_cross_entropy(logits, labels);
+  const float eps = static_cast<float>(config.epsilon);
+  Recorder rec{.result = {}, .tolerance = config.tolerance};
+
+  for (std::size_t d = 0; d < config.directions; ++d) {
+    const Tensor v = random_direction(logits.shape(), rng);
+    const double a = dot64(analytic.grad_logits.flat(), v.flat());
+    Tensor lp = logits;
+    lp.axpy(eps, v);
+    Tensor lm = logits;
+    lm.axpy(-eps, v);
+    const double fd =
+        (static_cast<double>(nn::softmax_cross_entropy_loss(lp, labels)) -
+         static_cast<double>(nn::softmax_cross_entropy_loss(lm, labels))) /
+        (2.0 * eps);
+    rec.record(a, fd, "logits", d);
+  }
+  return rec.finish();
+}
+
+GradCheckResult check_model(nn::Model& model, const Tensor& input,
+                            std::span<const std::int32_t> labels,
+                            const GradCheckConfig& config) {
+  Rng rng(config.seed);
+  const std::uint64_t mask_seed = rng();
+  const std::vector<float> base = model.flat_weights();
+  const float eps = static_cast<float>(config.epsilon);
+
+  const auto loss_at = [&](const std::vector<float>& w) {
+    model.set_flat_weights(w);
+    model.reseed_dropout(mask_seed);
+    const Tensor logits = model.forward(input, /*train=*/true);
+    return static_cast<double>(nn::softmax_cross_entropy_loss(logits, labels));
+  };
+
+  // Analytic flat gradient — the exact vector fl::train_local descends
+  // along and tests ship via Model::flat_grads().
+  model.reseed_dropout(mask_seed);
+  model.zero_grad();
+  const Tensor logits = model.forward(input, /*train=*/true);
+  const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+  model.backward(loss.grad_logits);
+  const std::vector<float> grad = model.flat_grads();
+
+  Recorder rec{.result = {}, .tolerance = config.tolerance};
+  std::vector<float> probe(base.size());
+  for (std::size_t d = 0; d < config.directions; ++d) {
+    std::vector<float> v(base.size());
+    for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const double analytic = dot64(grad, v);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      probe[i] = base[i] + eps * v[i];
+    }
+    const double plus = loss_at(probe);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      probe[i] = base[i] - eps * v[i];
+    }
+    const double minus = loss_at(probe);
+    rec.record(analytic, (plus - minus) / (2.0 * eps), "flat weights", d);
+  }
+  model.set_flat_weights(base);
+  return rec.finish();
+}
+
+}  // namespace fedclust::check

@@ -1,0 +1,75 @@
+// Central finite-difference verification of the hand-written backward
+// passes in src/nn.
+//
+// Method: for a layer f with input x and parameters θ, draw a random
+// cotangent u over the output. One analytic forward/backward pair yields
+// the vector-Jacobian products uᵀ·∂f/∂x (the returned input gradient)
+// and uᵀ·∂f/∂θ (the accumulated parameter gradients). Each is then
+// probed along random directions v: the analytic directional derivative
+// ⟨uᵀJ, v⟩ must match the central difference
+//
+//     ( Σ u ⊙ f(x + εv)  −  Σ u ⊙ f(x − εv) ) / 2ε
+//
+// with all reductions accumulated in float64 (forward passes stay
+// float32 — that is what is being verified). Stochastic layers are
+// frozen by reseed()-ing before every forward, so Dropout is checked
+// against a fixed mask; BatchNorm2d is checked in train mode (running
+// statistics mutate across probes but never feed the train-mode output).
+//
+// Tolerances: with ε = 1e-3 and O(1) activations, float32 forward noise
+// contributes ~1e-4 relative error to the quotient; the default 1e-2
+// tolerance leaves an order of magnitude of headroom while still
+// catching any structurally wrong backward (a missing term or factor
+// shows up as O(1) relative error).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace fedclust::check {
+
+struct GradCheckConfig {
+  /// Central-difference step, applied in float32.
+  double epsilon = 1e-3;
+  /// Maximum allowed relative error, |a−f| / max(|a|, |f|, 1).
+  double tolerance = 1e-2;
+  /// Random probe directions per checked quantity (input and each
+  /// parameter get this many).
+  std::size_t directions = 2;
+  /// Seed for cotangents, probe directions, and frozen dropout masks.
+  std::uint64_t seed = 0x6ead;
+};
+
+struct GradCheckResult {
+  double max_rel_error = 0.0;  ///< worst relative error seen
+  std::size_t checks = 0;      ///< directional comparisons performed
+  std::string worst;           ///< description of the worst comparison
+  bool passed = false;         ///< max_rel_error < tolerance
+};
+
+/// Verifies `layer.backward` against central differences for the layer
+/// input and every parameter (parameters whose analytic gradient is
+/// identically zero — batch-norm running statistics — check trivially).
+/// `train` selects the forward mode; Dropout and BatchNorm2d must be
+/// checked with train = true.
+GradCheckResult check_layer(nn::Layer& layer, const Tensor& input,
+                            const GradCheckConfig& config = {},
+                            bool train = true);
+
+/// Verifies softmax_cross_entropy's logit gradient against central
+/// differences of the scalar loss on a random (batch × classes) problem.
+GradCheckResult check_softmax_cross_entropy(std::size_t batch,
+                                            std::size_t classes,
+                                            const GradCheckConfig& config = {});
+
+/// Whole-model check: Model::flat_grads() (the gradient the FL engine
+/// would ship) against the central-difference directional derivative of
+/// the softmax cross-entropy loss along random weight directions.
+/// Runs in train mode with dropout masks frozen per evaluation.
+GradCheckResult check_model(nn::Model& model, const Tensor& input,
+                            std::span<const std::int32_t> labels,
+                            const GradCheckConfig& config = {});
+
+}  // namespace fedclust::check

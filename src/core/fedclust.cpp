@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "algorithms/common.hpp"
+#include "check/audit.hpp"
 #include "cluster/distance.hpp"
 #include "cluster/metrics.hpp"
 #include "fl/trainer.hpp"
@@ -113,6 +115,19 @@ ClusteringOutcome FedClust::form_clusters(fl::Federation& federation,
       break;
     }
   }
+  if (federation.config().audit) {
+    // The one-shot formation is FedClust's load-bearing step: verify the
+    // uploaded slices are finite, the Lance–Williams merges never invert
+    // (what the largest-gap threshold scan assumes), and the cut produced
+    // a genuine partition with consecutive cluster ids.
+    for (std::size_t c = 0; c < out.partial_weights.size(); ++c) {
+      const std::string context =
+          "formation partial weights of client " + std::to_string(c);
+      check::assert_all_finite(out.partial_weights[c], context.c_str());
+    }
+    check::audit_dendrogram_monotone(out.dendrogram);
+    check::audit_cluster_partition(out.labels);
+  }
   return out;
 }
 
@@ -170,7 +185,8 @@ fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
     const fl::AccuracySummary acc =
         algorithms::evaluate_clustered(federation, labels, cluster_weights);
     result.rounds.push_back(fl::make_round_metrics(
-        0, acc, 0.0, federation, cluster_weights.size()));
+        0, acc, 0.0, federation, cluster_weights.size(),
+        check::weights_fingerprint(cluster_weights)));
   }
 
   // Rounds 1..R-1: FedAvg within each cluster.
@@ -183,7 +199,8 @@ fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
       const fl::AccuracySummary acc = algorithms::evaluate_clustered(
           federation, labels, cluster_weights);
       result.rounds.push_back(fl::make_round_metrics(
-          round, acc, loss, federation, cluster_weights.size()));
+          round, acc, loss, federation, cluster_weights.size(),
+          check::weights_fingerprint(cluster_weights)));
       if (last) result.final_accuracy = acc;
     }
   }

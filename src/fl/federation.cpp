@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <future>
+#include <string>
+
+#include "check/audit.hpp"
 
 namespace fedclust::fl {
 
@@ -87,8 +90,9 @@ std::vector<ClientUpdate> Federation::train_clients(
         start_weights_for,
     const LocalTrainConfig* config_override, bool allow_failures,
     const NetPayloads* net_payloads) {
-  const LocalTrainConfig& local =
+  LocalTrainConfig local =
       config_override != nullptr ? *config_override : config_.local;
+  if (config_.audit) local.audit = true;
 
   // Decide churn up front so dropped clients cost no training time.
   std::vector<std::size_t> survivors;
@@ -148,6 +152,18 @@ std::vector<ClientUpdate> Federation::train_clients(
     updates[slot] = ClientUpdate{cid, model.flat_weights(),
                                  clients_[cid].train.size(), loss};
   });
+  if (config_.audit) {
+    // Sweep after the pool joins so a violation throws on the caller's
+    // thread with a precise attribution.
+    for (const ClientUpdate& u : updates) {
+      const std::string context = "round " + std::to_string(round) +
+                                  " client " + std::to_string(u.client_id) +
+                                  " update weights";
+      check::assert_all_finite(u.weights, context.c_str());
+      FEDCLUST_CHECK(std::isfinite(u.train_loss),
+                     context << ": non-finite train loss " << u.train_loss);
+    }
+  }
   return updates;
 }
 
@@ -200,17 +216,11 @@ std::vector<float> weighted_average(const std::vector<ClientUpdate>& updates,
                    "empty rounds");
   const std::size_t dim = updates.front().weights.size();
   const std::size_t n = updates.size();
-  double total = 0.0;
   for (const ClientUpdate& u : updates) {
     FEDCLUST_REQUIRE(u.weights.size() == dim,
                      "update size mismatch in weighted_average");
-    FEDCLUST_REQUIRE(u.num_samples > 0, "update with zero samples");
-    total += static_cast<double>(u.num_samples);
   }
-  std::vector<double> coeff(n);
-  for (std::size_t u = 0; u < n; ++u) {
-    coeff[u] = static_cast<double>(updates[u].num_samples) / total;
-  }
+  const std::vector<double> coeff = aggregation_coefficients(updates);
 
   // Fused single pass: each output element is reduced across updates in a
   // double register and written once — no dim-sized double temporary, one
@@ -244,6 +254,32 @@ std::vector<float> weighted_average(const std::vector<ClientUpdate>& updates,
           pool->submit([&reduce_range, begin, end] { reduce_range(begin, end); }));
     }
     for (auto& f : futures) f.get();
+  }
+  return out;
+}
+
+std::vector<double> aggregation_coefficients(
+    const std::vector<ClientUpdate>& updates) {
+  double total = 0.0;
+  for (const ClientUpdate& u : updates) {
+    FEDCLUST_REQUIRE(u.num_samples > 0, "update with zero samples");
+    total += static_cast<double>(u.num_samples);
+  }
+  std::vector<double> coeff(updates.size());
+  for (std::size_t u = 0; u < updates.size(); ++u) {
+    coeff[u] = static_cast<double>(updates[u].num_samples) / total;
+  }
+  return coeff;
+}
+
+std::vector<float> Federation::aggregate(
+    const std::vector<ClientUpdate>& updates) {
+  std::vector<float> out = weighted_average(updates, aggregation_pool());
+  if (config_.audit) {
+    std::vector<std::span<const float>> inputs;
+    inputs.reserve(updates.size());
+    for (const ClientUpdate& u : updates) inputs.emplace_back(u.weights);
+    check::audit_aggregation(inputs, aggregation_coefficients(updates), out);
   }
   return out;
 }

@@ -51,6 +51,13 @@ struct FederationConfig {
   /// Disabled by default: byte accounting and algorithm behaviour are
   /// then exactly the pre-network engine's.
   net::NetworkConfig network{};
+  /// Runtime invariant auditing (src/check): finite-value sweeps over
+  /// every client update and the local-training state, aggregation
+  /// weight-conservation and convex-envelope checks, and CommMeter-vs-
+  /// event-log byte parity at every evaluated round. Audits throw
+  /// fedclust::Error on violation. Off by default — audited runs pay one
+  /// extra sweep over each weight vector per round.
+  bool audit = false;
 };
 
 /// Per-direction payload sizes, in float32 values, of one simulated
@@ -175,6 +182,13 @@ class Federation {
   /// to borrow whenever no train_clients call is in flight.
   ThreadPool* aggregation_pool() const { return &pool_; }
 
+  /// weighted_average over the aggregation pool, plus — under
+  /// config().audit — verification that the coefficients conserve mass
+  /// and every output coordinate stays inside the inputs' convex
+  /// envelope (check::audit_aggregation). Algorithms aggregate through
+  /// this instead of calling weighted_average directly.
+  std::vector<float> aggregate(const std::vector<ClientUpdate>& updates);
+
   /// Loss/accuracy of a weight vector on one client's local test split.
   EvalResult evaluate_client(std::size_t client,
                              std::span<const float> weights) const;
@@ -210,5 +224,11 @@ class Federation {
 /// independent of the chunking).
 std::vector<float> weighted_average(const std::vector<ClientUpdate>& updates,
                                     ThreadPool* pool = nullptr);
+
+/// The normalized per-update coefficients weighted_average applies
+/// (num_samples / total). Exposed so the aggregation audit can verify
+/// conservation against exactly what the reduction used.
+std::vector<double> aggregation_coefficients(
+    const std::vector<ClientUpdate>& updates);
 
 }  // namespace fedclust::fl

@@ -1,5 +1,6 @@
 #include "fl/metrics.hpp"
 
+#include "check/audit.hpp"
 #include "utils/error.hpp"
 
 namespace fedclust::fl {
@@ -34,7 +35,8 @@ bool RunResult::time_to_accuracy(double target, double& seconds_out) const {
 RoundMetrics make_round_metrics(std::size_t round, const AccuracySummary& acc,
                                 double train_loss,
                                 const Federation& federation,
-                                std::size_t num_clusters) {
+                                std::size_t num_clusters,
+                                std::uint64_t weights_fp) {
   RoundMetrics m;
   m.round = round;
   m.acc_mean = acc.mean;
@@ -44,6 +46,13 @@ RoundMetrics make_round_metrics(std::size_t round, const AccuracySummary& acc,
   m.cum_download = federation.comm().total_download();
   m.num_clusters = num_clusters;
   m.sim_seconds = federation.sim_time();
+  m.weights_fp = weights_fp;
+  if (federation.config().audit && federation.network_enabled()) {
+    // Every evaluated round re-checks the whole-run totals, so a parity
+    // break is caught within eval_every rounds of its introduction.
+    check::audit_comm_parity(m.cum_download, m.cum_upload,
+                             federation.network()->log());
+  }
   return m;
 }
 

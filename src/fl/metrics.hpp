@@ -21,6 +21,11 @@ struct RoundMetrics {
   /// Cumulative simulated wall-clock seconds (0 when the network
   /// simulator is disabled).
   double sim_seconds = 0.0;
+  /// FNV-1a fingerprint of the algorithm's server-side model state after
+  /// this round's aggregation (check::weights_fingerprint). Equal
+  /// fingerprints mean bit-identical weights — the determinism audit
+  /// compares trajectories through this field.
+  std::uint64_t weights_fp = 0;
 };
 
 /// Everything a benchmark needs from one algorithm execution.
@@ -46,9 +51,15 @@ struct RunResult {
 
 /// Helper used by every algorithm to append a RoundMetrics entry;
 /// snapshots the federation's byte counters and simulated clock.
+/// `weights_fp` is the fingerprint of the algorithm's post-aggregation
+/// model state (check::weights_fingerprint over whatever the method
+/// serves clients: the global model, cluster models, per-client models).
+/// Under config().audit with the network simulator enabled, also
+/// verifies CommMeter-vs-event-log byte parity.
 RoundMetrics make_round_metrics(std::size_t round, const AccuracySummary& acc,
                                 double train_loss,
                                 const Federation& federation,
-                                std::size_t num_clusters);
+                                std::size_t num_clusters,
+                                std::uint64_t weights_fp);
 
 }  // namespace fedclust::fl

@@ -1,5 +1,10 @@
 #include "fl/trainer.hpp"
 
+#include <cmath>
+#include <string>
+
+#include "check/audit.hpp"
+
 namespace fedclust::fl {
 
 float train_local(nn::Model& model, const data::Dataset& dataset,
@@ -11,6 +16,13 @@ float train_local(nn::Model& model, const data::Dataset& dataset,
   if (config.sgd.prox_mu > 0.0) {
     optimizer.capture_prox_reference();
   }
+
+  // Clones copy the template's dropout RNG state, so without this every
+  // client would draw identical mask streams. Deriving the seed from the
+  // (client, round)-keyed stream keeps replays bit-identical while
+  // decorrelating clients; split() leaves the batch-shuffle stream
+  // untouched.
+  model.reseed_dropout(rng.split(0xd509u)());
 
   data::BatchIterator batches(dataset, config.batch_size, rng);
   const std::size_t steps_per_epoch = batches.batches_per_epoch();
@@ -25,10 +37,27 @@ float train_local(nn::Model& model, const data::Dataset& dataset,
       const nn::LossResult loss =
           nn::softmax_cross_entropy(logits, batch.labels);
       model.backward(loss.grad_logits);
+      if (config.audit) {
+        FEDCLUST_CHECK(std::isfinite(loss.loss),
+                       "local training: non-finite loss " << loss.loss
+                                                          << " at epoch "
+                                                          << epoch << " step "
+                                                          << step);
+      }
       optimizer.step();
       loss_sum += loss.loss;
     }
     last_epoch_loss = loss_sum / static_cast<double>(steps_per_epoch);
+    if (config.audit) {
+      // One sweep per epoch (not per step) keeps the audited run within a
+      // constant factor of the plain one; the final epoch's sweep covers
+      // exactly the update shipped to the server.
+      const std::string at = "local training epoch " + std::to_string(epoch);
+      const std::vector<float> w = model.flat_weights();
+      check::assert_all_finite(w, (at + " weights").c_str());
+      const std::vector<float> g = model.flat_grads();
+      check::assert_all_finite(g, (at + " gradients").c_str());
+    }
   }
   return static_cast<float>(last_epoch_loss);
 }

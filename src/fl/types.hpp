@@ -22,6 +22,10 @@ struct LocalTrainConfig {
   std::size_t epochs = 1;
   std::size_t batch_size = 32;
   nn::SgdConfig sgd{};
+  /// Runtime auditing inside train_local: per-step finite losses and
+  /// per-epoch finite-value sweeps over weights and gradients. Set
+  /// automatically by the engine when FederationConfig::audit is on.
+  bool audit = false;
 };
 
 /// What a client sends back after local training.

@@ -11,6 +11,7 @@
 // via Model::zero_grad() between optimizer steps.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,6 +60,12 @@ class Layer {
 
   /// (Re-)initializes parameters from `rng`. Default: nothing.
   virtual void init_params(Rng& rng) { (void)rng; }
+
+  /// Reseeds any internal RNG stream (Dropout's mask stream). Default:
+  /// nothing. The FL trainer calls this on every cloned model with a
+  /// (client, round)-keyed seed — clones copy the template's RNG state,
+  /// so without reseeding every client would replay identical streams.
+  virtual void reseed(std::uint64_t seed) { (void)seed; }
 
   /// Lends a thread pool to layers whose kernels can split work across
   /// row blocks (Conv2d, Linear). The pool is borrowed, never owned, and

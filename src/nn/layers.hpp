@@ -215,7 +215,7 @@ class Dropout final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::unique_ptr<Layer> clone() const override;
 
-  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+  void reseed(std::uint64_t seed) override { rng_ = Rng(seed); }
   double rate() const { return p_; }
 
  private:

@@ -52,6 +52,13 @@ void Model::zero_grad() {
   for (Param* p : params()) p->grad.zero();
 }
 
+void Model::reseed_dropout(std::uint64_t seed) {
+  const Rng base(seed);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->reseed(base.split(i)());
+  }
+}
+
 void Model::set_thread_pool(ThreadPool* pool) {
   for (auto& l : layers_) l->set_thread_pool(pool);
 }

@@ -56,6 +56,13 @@ class Model {
   /// Zeroes all parameter gradients.
   void zero_grad();
 
+  /// Reseeds every RNG-bearing layer (Dropout mask streams) from `seed`,
+  /// mixing in the layer index so two dropout layers never share a
+  /// stream. Clones copy the template's RNG state verbatim, so callers
+  /// that fan a model out (one clone per client) must reseed each clone
+  /// or all of them draw identical mask sequences.
+  void reseed_dropout(std::uint64_t seed);
+
   /// Lends a (borrowed, possibly null) thread pool to every layer whose
   /// kernels can use one; large GEMMs then split across row blocks.
   /// Clones inherit the pointer.

@@ -82,10 +82,12 @@ void Adam::step() {
   ++t_;
   const double b1 = config_.beta1;
   const double b2 = config_.beta2;
-  // Bias-corrected step size folds the corrections into one scalar.
+  // Bias corrections applied to m and v separately, with ε added to
+  // √v̂ — NOT to √v. Folding the corrections into one step-size scalar
+  // while leaving the denominator as √v + ε silently rescales ε by
+  // √(1−β₂ᵗ) (~30× at t=1 with β₂ = 0.999).
   const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));
   const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
-  const double alpha = config_.lr * std::sqrt(bias2) / bias1;
   const float wd = static_cast<float>(config_.weight_decay);
 
   for (std::size_t pi = 0; pi < params.size(); ++pi) {
@@ -101,9 +103,10 @@ void Adam::step() {
       if (wd != 0.0f) grad += wd * w[i];
       m[i] = static_cast<float>(b1 * m[i] + (1.0 - b1) * grad);
       v[i] = static_cast<float>(b2 * v[i] + (1.0 - b2) * grad * grad);
-      w[i] -= static_cast<float>(alpha * m[i] /
-                                 (std::sqrt(static_cast<double>(v[i])) +
-                                  config_.epsilon));
+      const double m_hat = static_cast<double>(m[i]) / bias1;
+      const double v_hat = static_cast<double>(v[i]) / bias2;
+      w[i] -= static_cast<float>(config_.lr * m_hat /
+                                 (std::sqrt(v_hat) + config_.epsilon));
     }
   }
 }

@@ -66,7 +66,9 @@ std::string TextTable::to_string() const {
 
 std::string TextTable::to_csv() const {
   auto escape = [](const std::string& s) {
-    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    // RFC 4180: quote any cell carrying a separator, quote, or EITHER
+    // line-break character — a bare \r splits the row in most readers.
+    if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
     std::string out = "\"";
     for (char ch : s) {
       if (ch == '"') out += '"';

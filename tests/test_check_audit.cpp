@@ -1,0 +1,210 @@
+// Unit tests for the runtime invariant audits in src/check, plus
+// end-to-end runs of audited federations (with and without the network
+// simulator) proving the engine's own behaviour passes its audits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "algorithms/fedavg.hpp"
+#include "check/audit.hpp"
+#include "core/fedclust.hpp"
+#include "test_helpers.hpp"
+#include "utils/error.hpp"
+
+namespace fedclust::check {
+namespace {
+
+using fedclust::testing::make_grouped_federation;
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+TEST(AuditFinite, PassesOnFiniteValues) {
+  const std::vector<float> v = {0.0f, -1.5f, 3e30f, -3e-30f};
+  EXPECT_NO_THROW(assert_all_finite(v, "test vector"));
+}
+
+TEST(AuditFinite, ThrowsOnNanAndInf) {
+  EXPECT_THROW(assert_all_finite(std::vector<float>{1.0f, kNan}, "v"), Error);
+  EXPECT_THROW(assert_all_finite(std::vector<float>{kInf}, "v"), Error);
+  EXPECT_THROW(assert_all_finite(std::vector<float>{-kInf, 0.0f}, "v"), Error);
+}
+
+TEST(AuditAggregation, AcceptsConvexCombination) {
+  const std::vector<float> a = {0.0f, 1.0f, -2.0f};
+  const std::vector<float> b = {1.0f, 3.0f, 2.0f};
+  // 0.25*a + 0.75*b
+  const std::vector<float> out = {0.75f, 2.5f, 1.0f};
+  EXPECT_NO_THROW(audit_aggregation({a, b}, {0.25, 0.75}, out));
+}
+
+TEST(AuditAggregation, RejectsNonConservingCoefficients) {
+  const std::vector<float> a = {1.0f};
+  const std::vector<float> b = {2.0f};
+  EXPECT_THROW(audit_aggregation({a, b}, {0.5, 0.6}, a), Error);
+  EXPECT_THROW(audit_aggregation({a, b}, {1.2, -0.2}, a), Error);
+}
+
+TEST(AuditAggregation, RejectsOutputOutsideEnvelope) {
+  const std::vector<float> a = {0.0f, 0.0f};
+  const std::vector<float> b = {1.0f, 1.0f};
+  // Second coordinate escapes [0, 1] by far more than rounding allows.
+  const std::vector<float> out = {0.5f, 1.5f};
+  EXPECT_THROW(audit_aggregation({a, b}, {0.5, 0.5}, out), Error);
+}
+
+TEST(AuditAggregation, RejectsNonFiniteInput) {
+  const std::vector<float> a = {1.0f, kNan};
+  const std::vector<float> b = {1.0f, 1.0f};
+  const std::vector<float> out = {1.0f, 1.0f};
+  EXPECT_THROW(audit_aggregation({a, b}, {0.5, 0.5}, out), Error);
+}
+
+TEST(AuditPartition, AcceptsConsecutiveLabels) {
+  EXPECT_NO_THROW(audit_cluster_partition({0, 1, 0, 2, 1}));
+  EXPECT_NO_THROW(audit_cluster_partition({0, 0, 0}));
+}
+
+TEST(AuditPartition, RejectsGapsAndEmpties) {
+  // Id 1 has no members: {0, 2} is not a consecutive partition.
+  EXPECT_THROW(audit_cluster_partition({0, 2, 2}), Error);
+  EXPECT_THROW(audit_cluster_partition({}), Error);
+  // A label >= n cannot occur in a partition of n members.
+  EXPECT_THROW(audit_cluster_partition({5, 0}), Error);
+}
+
+TEST(AuditDendrogram, AcceptsRealClusteringOutput) {
+  // 4 leaves, two tight pairs far apart — classic clusterable layout.
+  Matrix d(4, 4);
+  const double dist[4][4] = {{0, 1, 9, 10}, {1, 0, 10, 9},
+                             {9, 10, 0, 1.5}, {10, 9, 1.5, 0}};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) d(i, j) = dist[i][j];
+  }
+  for (const cluster::Linkage linkage :
+       {cluster::Linkage::kSingle, cluster::Linkage::kComplete,
+        cluster::Linkage::kAverage, cluster::Linkage::kWard}) {
+    const cluster::Dendrogram dendro =
+        cluster::agglomerative_cluster(d, linkage);
+    EXPECT_NO_THROW(audit_dendrogram_monotone(dendro));
+  }
+}
+
+TEST(AuditDendrogram, RejectsInvertedMerges) {
+  cluster::Dendrogram dendro;
+  dendro.num_leaves = 3;
+  dendro.merges = {{0, 1, 2.0, 2}, {3, 2, 1.0, 3}};  // 1.0 after 2.0
+  EXPECT_THROW(audit_dendrogram_monotone(dendro), Error);
+}
+
+TEST(AuditDendrogram, RejectsNegativeOrNonFiniteDistance) {
+  cluster::Dendrogram bad;
+  bad.num_leaves = 2;
+  bad.merges = {{0, 1, -0.5, 2}};
+  EXPECT_THROW(audit_dendrogram_monotone(bad), Error);
+  bad.merges = {{0, 1, static_cast<double>(kNan), 2}};
+  EXPECT_THROW(audit_dendrogram_monotone(bad), Error);
+}
+
+TEST(AuditCommParity, MatchesDeliveredTraffic) {
+  std::vector<net::Event> log;
+  net::Event down;
+  down.kind = net::EventKind::kBroadcastDelivered;
+  down.bytes = 100;
+  net::Event up;
+  up.kind = net::EventKind::kUploadDelivered;
+  up.bytes = 60;
+  net::Event dropped;  // lost in transit: must not count
+  dropped.kind = net::EventKind::kUploadDropped;
+  dropped.bytes = 60;
+  log = {down, up, dropped};
+  EXPECT_NO_THROW(audit_comm_parity(100, 60, log));
+  EXPECT_THROW(audit_comm_parity(100, 120, log), Error);
+  EXPECT_THROW(audit_comm_parity(0, 60, log), Error);
+}
+
+TEST(Fingerprint, BitIdenticalVectorsAgree) {
+  const std::vector<float> a = {1.0f, -2.5f, 0.0f};
+  std::vector<float> b = a;
+  EXPECT_EQ(weights_fingerprint(a), weights_fingerprint(b));
+  b[1] = std::nextafter(b[1], 0.0f);  // one-ulp change must be visible
+  EXPECT_NE(weights_fingerprint(a), weights_fingerprint(b));
+}
+
+TEST(Fingerprint, DistinguishesPositiveAndNegativeZero) {
+  const std::vector<float> pos = {0.0f};
+  const std::vector<float> neg = {-0.0f};
+  EXPECT_NE(weights_fingerprint(pos), weights_fingerprint(neg));
+}
+
+TEST(Fingerprint, VectorSetMixesLengths) {
+  // {a, b} concatenated differently must not collide: length framing.
+  const std::vector<std::vector<float>> one = {{1.0f, 2.0f}};
+  const std::vector<std::vector<float>> two = {{1.0f}, {2.0f}};
+  EXPECT_NE(weights_fingerprint(one), weights_fingerprint(two));
+}
+
+fl::FederationConfig audited_config() {
+  fl::FederationConfig cfg;
+  cfg.local.epochs = 2;
+  cfg.local.batch_size = 16;
+  cfg.local.sgd.lr = 0.05;
+  cfg.threads = 2;
+  cfg.audit = true;
+  return cfg;
+}
+
+TEST(AuditedRun, FedAvgPassesAllAudits) {
+  auto [fed, groups] = make_grouped_federation(4, 320, 31, audited_config());
+  const fl::RunResult r = algorithms::FedAvg().run(fed, 3);
+  EXPECT_EQ(r.rounds.size(), 3u);
+  for (const fl::RoundMetrics& m : r.rounds) EXPECT_NE(m.weights_fp, 0u);
+}
+
+TEST(AuditedRun, FedClustPassesAllAudits) {
+  auto [fed, groups] = make_grouped_federation(6, 480, 32, audited_config());
+  const fl::RunResult r = core::FedClust({.warmup_epochs = 2}).run(fed, 4);
+  EXPECT_GE(r.rounds.size(), 2u);
+  EXPECT_NO_THROW(audit_cluster_partition(r.cluster_labels));
+}
+
+TEST(AuditedRun, MatchesUnauditedTrajectoryBitForBit) {
+  // The audit layer observes; it must never perturb. Identical seeds with
+  // and without audit must produce identical weight fingerprints.
+  fl::FederationConfig plain = audited_config();
+  plain.audit = false;
+  auto [fed_a, g1] = make_grouped_federation(4, 320, 33, audited_config());
+  auto [fed_p, g2] = make_grouped_federation(4, 320, 33, plain);
+  const fl::RunResult a = algorithms::FedAvg().run(fed_a, 3);
+  const fl::RunResult p = algorithms::FedAvg().run(fed_p, 3);
+  ASSERT_EQ(a.rounds.size(), p.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].weights_fp, p.rounds[i].weights_fp);
+  }
+}
+
+TEST(AuditedRun, CommParityHoldsUnderSimulatedNetwork) {
+  fl::FederationConfig cfg = audited_config();
+  cfg.network.enabled = true;
+  auto [fed, groups] = make_grouped_federation(4, 320, 34, cfg);
+  ASSERT_TRUE(fed.network_enabled());
+  // make_round_metrics audits meter-vs-log parity at every evaluated
+  // round; any divergence throws and fails the run.
+  const fl::RunResult r = algorithms::FedAvg().run(fed, 3);
+  EXPECT_EQ(r.rounds.size(), 3u);
+  EXPECT_GT(r.final_round().cum_upload, 0u);
+}
+
+TEST(AuditedRun, TrainClientsRejectsNonFiniteUpdates) {
+  // Drive the engine into divergence: an absurd learning rate overflows
+  // float32 within an epoch, and the audit sweep must catch it rather
+  // than silently aggregating NaNs.
+  fl::FederationConfig cfg = audited_config();
+  cfg.local.sgd.lr = 1e30;
+  auto [fed, groups] = make_grouped_federation(4, 320, 35, cfg);
+  EXPECT_THROW(algorithms::FedAvg().run(fed, 2), Error);
+}
+
+}  // namespace
+}  // namespace fedclust::check

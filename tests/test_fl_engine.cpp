@@ -9,6 +9,7 @@
 
 #include "fl/metrics.hpp"
 #include "fl/trace.hpp"
+#include "nn/layers.hpp"
 #include "test_helpers.hpp"
 
 namespace fedclust::fl {
@@ -110,6 +111,46 @@ TEST(TrainLocal, DeterministicGivenRng) {
   train_local(a, pool, cfg, Rng(6));
   train_local(b, pool, cfg, Rng(6));
   EXPECT_EQ(a.flat_weights(), b.flat_weights());
+}
+
+nn::Model dropout_mlp() {
+  nn::Model m;
+  m.emplace<nn::Flatten>();
+  m.emplace<nn::Linear>(64, 16);
+  m.emplace<nn::ReLU>();
+  m.emplace<nn::Dropout>(0.5);
+  m.emplace<nn::Linear>(16, 4);
+  return m;
+}
+
+TEST(TrainLocalDropout, MasksAreDecorrelatedAcrossClients) {
+  // Regression: train_local must reseed each clone's Dropout layers from
+  // the client's RNG stream. Before the fix every clone kept the layer's
+  // constructor seed, so all clients drew bit-identical mask sequences.
+  // With a single-sample dataset the batch shuffle is a no-op and the
+  // dropout mask is the ONLY stochastic input — identical final weights
+  // would prove the masks were shared.
+  const data::Dataset one = tiny_pool(1, 11);
+  LocalTrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 1;
+  cfg.sgd.lr = 0.1;
+
+  nn::Model tmpl = dropout_mlp();
+  Rng init(12);
+  tmpl.init_params(init);
+
+  // Per-(client, round) streams exactly as Federation derives them.
+  nn::Model a = tmpl.clone();
+  nn::Model b = tmpl.clone();
+  train_local(a, one, cfg, Rng(13).split(0x10000).split(0));
+  train_local(b, one, cfg, Rng(13).split(0x10001).split(0));
+  EXPECT_NE(a.flat_weights(), b.flat_weights());
+
+  // Same (client, round) stream must still replay bit-identically.
+  nn::Model c = tmpl.clone();
+  train_local(c, one, cfg, Rng(13).split(0x10000).split(0));
+  EXPECT_EQ(a.flat_weights(), c.flat_weights());
 }
 
 TEST(TrainLocal, ProxKeepsWeightsCloserToStart) {

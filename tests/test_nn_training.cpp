@@ -230,6 +230,30 @@ TEST(Adam, StepSizeInvariantToGradientScale) {
   EXPECT_NEAR(delta_b, -0.05f, 2e-3f);
 }
 
+TEST(Adam, BiasCorrectedStepMatchesPaperFormula) {
+  // Regression: ε must be added to √v̂ (the bias-corrected second
+  // moment), not to √v. With a constant gradient g the corrections
+  // cancel exactly — m̂ = g, v̂ = g² at every t — so each step is
+  //   lr·g / (|g| + ε) = 0.1·0.5 / 0.51 = 0.09803921…
+  // The old implementation folded the corrections into one step-size
+  // scalar while leaving √v + ε in the denominator, which rescales ε by
+  // √(1−β₂ᵗ) (~32× at t = 1) and yielded 0.061258 for this exact case.
+  Model m = tiny_mlp(17);
+  Adam opt(m, {.lr = 0.1, .beta1 = 0.9, .beta2 = 0.999, .epsilon = 0.01});
+  Param* p = m.params()[0];
+  const float w0 = p->value[0];
+  constexpr double kStep = 0.1 * 0.5 / (0.5 + 0.01);
+  for (std::size_t t = 1; t <= 3; ++t) {
+    m.zero_grad();
+    p->grad[0] = 0.5f;
+    opt.step();
+    EXPECT_NEAR(p->value[0], w0 - static_cast<double>(t) * kStep, 1e-4)
+        << "step " << t;
+  }
+  // Guard against ever reintroducing the folded-ε variant.
+  EXPECT_GT(w0 - p->value[0], 0.29);  // 3 × 0.098039, not 3 × 0.061258
+}
+
 TEST(Adam, RejectsBadHyperparameters) {
   Model m = tiny_mlp(14);
   EXPECT_THROW(Adam(m, {.lr = 0.0}), Error);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "cluster/distance.hpp"
@@ -155,6 +156,63 @@ TEST_P(HcProperty, ThresholdMonotonicity) {
     ASSERT_LE(k, prev);
     prev = k;
   }
+}
+
+TEST_P(HcProperty, MergeDistancesNeverInvert) {
+  // The Lance–Williams updates realized here are monotone: every merge
+  // happens at a distance no smaller than the previous one. Both the
+  // largest-gap threshold selection and the src/check dendrogram audit
+  // assume this, so probe it over several random point clouds.
+  for (const std::uint64_t seed : {101u, 202u, 303u, 404u, 505u}) {
+    Rng rng(seed);
+    std::vector<std::vector<float>> pts(11, std::vector<float>(4));
+    for (auto& p : pts) {
+      for (auto& v : p) v = static_cast<float>(rng.normal());
+    }
+    const auto dendro = cluster::agglomerative_cluster(
+        cluster::pairwise_euclidean(pts), GetParam());
+    ASSERT_EQ(dendro.merges.size(), 10u);
+    for (std::size_t m = 0; m < dendro.merges.size(); ++m) {
+      ASSERT_TRUE(std::isfinite(dendro.merges[m].distance));
+      ASSERT_GE(dendro.merges[m].distance, 0.0);
+      if (m > 0) {
+        ASSERT_GE(dendro.merges[m].distance,
+                  dendro.merges[m - 1].distance - 1e-9)
+            << cluster::to_string(GetParam()) << " seed " << seed
+            << " merge " << m;
+      }
+    }
+  }
+}
+
+TEST_P(HcProperty, ThresholdCutMatchesKCut) {
+  // Cutting between merge i and merge i+1 applies exactly the first i+1
+  // merges, so it must produce the same partition as cut_k at the
+  // implied cluster count n - (i + 1).
+  Rng rng(80);
+  std::vector<std::vector<float>> pts(11, std::vector<float>(3));
+  for (auto& p : pts) {
+    for (auto& v : p) v = static_cast<float>(rng.normal());
+  }
+  const auto dendro = cluster::agglomerative_cluster(
+      cluster::pairwise_euclidean(pts), GetParam());
+  const std::size_t n = 11;
+  for (std::size_t i = 0; i + 1 < dendro.merges.size(); ++i) {
+    const double lo = dendro.merges[i].distance;
+    const double hi = dendro.merges[i + 1].distance;
+    if (!(hi > lo)) continue;  // tied merges: no threshold separates them
+    const double mid = 0.5 * (lo + hi);
+    const std::size_t k = n - (i + 1);
+    EXPECT_EQ(dendro.cut_threshold(mid), dendro.cut_k(k))
+        << cluster::to_string(GetParam()) << " i=" << i;
+    EXPECT_EQ(dendro.clusters_at(mid), k);
+  }
+  // Extremes: below the first merge nothing joins; above the last
+  // everything does.
+  EXPECT_EQ(dendro.cut_threshold(dendro.merges.front().distance * 0.5),
+            dendro.cut_k(n));
+  EXPECT_EQ(dendro.cut_threshold(dendro.merges.back().distance + 1.0),
+            dendro.cut_k(1));
 }
 
 TEST_P(HcProperty, LabelsInvariantUnderPointRelabeling) {

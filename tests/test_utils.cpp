@@ -164,6 +164,15 @@ TEST(Table, CsvEscapesSpecialCells) {
   EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
 }
 
+TEST(Table, CsvQuotesCarriageReturn) {
+  // Regression: a bare \r (e.g. from a CRLF-sourced label) must trigger
+  // quoting just like \n, or the row splits under RFC-4180 readers.
+  TextTable t({"a"});
+  t.new_row().add("line\rbreak");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"line\rbreak\""), std::string::npos);
+}
+
 TEST(Table, WriteCsvRoundTrip) {
   TextTable t({"col"});
   t.new_row().add(7ll);
