@@ -1,8 +1,11 @@
 // Self-timed micro-benchmarks for the hot tensor kernels: blocked vs
-// naive GEMM and direct vs im2col/GEMM convolution at the LeNet-5 and
-// VGG-mini layer shapes. Prints a summary table and writes a
-// machine-readable BENCH_kernels.json (record format in
-// bench_common.hpp) so later changes can be compared against these
+// naive GEMM, direct vs im2col/GEMM convolution at the LeNet-5 and
+// VGG-mini layer shapes, the fused FedAvg aggregation kernel, and the
+// pairwise proximity-matrix build. Where the build carries a SIMD kernel
+// table, each op gains a "simd" variant row timed against the scalar
+// table inside the same binary (ops::set_simd_enabled). Prints a summary
+// table and writes a machine-readable BENCH_kernels.json (record format
+// in bench_common.hpp) so later changes can be compared against these
 // numbers. Usage: micro_kernels [output.json]
 #include <algorithm>
 #include <cstdio>
@@ -11,6 +14,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "cluster/distance.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "utils/rng.hpp"
 #include "utils/stopwatch.hpp"
@@ -56,6 +61,12 @@ KernelBenchResult make_result(std::string op, std::string variant,
   return r;
 }
 
+/// True when this binary carries a SIMD kernel table the host can run.
+bool simd_available() {
+  ops::set_simd_enabled(true);
+  return ops::simd_active();
+}
+
 void bench_matmul(std::vector<KernelBenchResult>& out) {
   struct Case {
     std::size_t m, k, n;
@@ -74,11 +85,78 @@ void bench_matmul(std::vector<KernelBenchResult>& out) {
     Tensor cn, cb;
     const double flops = 2.0 * static_cast<double>(c.m * c.k) *
                          static_cast<double>(c.n);
+    // "naive" and "blocked" pin the scalar table so the rows stay
+    // comparable with pre-SIMD baselines; "simd" is the dispatched table.
+    ops::set_simd_enabled(false);
     const double naive = time_ms([&] { ops::matmul_naive(a, b, cn); });
     const double blocked = time_ms([&] { ops::matmul(a, b, cb); });
     out.push_back(make_result("matmul", "naive", c.tag, naive, flops, naive));
     out.push_back(
         make_result("matmul", "blocked", c.tag, blocked, flops, naive));
+    if (simd_available()) {
+      const double simd = time_ms([&] { ops::matmul(a, b, cb); });
+      out.push_back(make_result("matmul", "simd", c.tag, simd, flops, naive));
+    }
+  }
+}
+
+void bench_aggregate(std::vector<KernelBenchResult>& out) {
+  // FedAvg server reduction: 16 client updates of 100k weights, the
+  // fused weighted_accumulate kernel both tables implement.
+  const std::size_t num = 16, dim = 100'000;
+  std::vector<std::vector<float>> updates(num);
+  std::vector<const float*> srcs(num);
+  std::vector<double> coeff(num, 1.0 / static_cast<double>(num));
+  for (std::size_t u = 0; u < num; ++u) {
+    Rng rng(700 + u);
+    updates[u].resize(dim);
+    for (float& x : updates[u]) x = static_cast<float>(rng.uniform(-1, 1));
+    srcs[u] = updates[u].data();
+  }
+  std::vector<float> result(dim);
+  const double flops = 2.0 * static_cast<double>(num) *
+                       static_cast<double>(dim);
+  const char* tag = "16x100000";
+  const auto run = [&](const ops::KernelTable& t) {
+    return time_ms([&] {
+      t.weighted_accumulate(srcs.data(), coeff.data(), num, result.data(), 0,
+                            dim);
+    });
+  };
+  const double scalar = run(ops::scalar_kernels());
+  out.push_back(
+      make_result("weighted_avg", "scalar", tag, scalar, flops, scalar));
+  if (simd_available()) {
+    const double simd = run(*ops::simd_kernels());
+    out.push_back(
+        make_result("weighted_avg", "simd", tag, simd, flops, scalar));
+  }
+}
+
+void bench_pairwise(std::vector<KernelBenchResult>& out) {
+  // Proximity matrix between 64 clients' 16k-float layer vectors.
+  const std::size_t num = 64, dim = 16'384;
+  std::vector<std::vector<float>> vectors(num);
+  for (std::size_t i = 0; i < num; ++i) {
+    Rng rng(800 + i);
+    vectors[i].resize(dim);
+    for (float& x : vectors[i]) x = static_cast<float>(rng.uniform(-1, 1));
+  }
+  // One dot per ordered pair under the Gram trick, plus the norm pass.
+  const double flops = 2.0 * static_cast<double>(dim) *
+                       (static_cast<double>(num * (num - 1)) / 2.0 +
+                        static_cast<double>(num));
+  const char* tag = "64x16384";
+  ops::set_simd_enabled(false);
+  const double scalar =
+      time_ms([&] { cluster::pairwise_euclidean(vectors); });
+  out.push_back(
+      make_result("pairwise_l2", "scalar", tag, scalar, flops, scalar));
+  if (simd_available()) {
+    const double simd =
+        time_ms([&] { cluster::pairwise_euclidean(vectors); });
+    out.push_back(
+        make_result("pairwise_l2", "simd", tag, simd, flops, scalar));
   }
 }
 
@@ -111,6 +189,7 @@ void bench_conv(const ConvCase& c, std::vector<KernelBenchResult>& out) {
   Tensor grad_bias(bias.shape());
   Tensor columns, pix, grad_cols;
 
+  ops::set_simd_enabled(false);  // scalar rows stay baseline-comparable
   const double fwd_direct = time_ms(
       [&] { ops::conv2d_forward(input, weight, bias, c.spec, output); });
   const double fwd_im2col = time_ms([&] {
@@ -147,6 +226,26 @@ void bench_conv(const ConvCase& c, std::vector<KernelBenchResult>& out) {
   out.push_back(make_result("conv2d_fwd_bwd", "im2col", c.tag,
                             fwd_im2col + bwd_im2col, 3.0 * flops,
                             fwd_direct + bwd_direct));
+
+  if (simd_available()) {
+    const double fwd_simd = time_ms([&] {
+      ops::conv2d_forward_im2col(input, weight, bias, c.spec, output, columns,
+                                 pix);
+    });
+    const double bwd_simd = time_ms([&] {
+      ops::conv2d_backward_params_im2col(grad_out, columns, c.spec,
+                                         grad_weight, grad_bias, pix);
+      ops::conv2d_backward_input_im2col(grad_out, weight, c.spec, grad_input,
+                                        pix, grad_cols);
+    });
+    out.push_back(make_result("conv2d_forward", "simd", c.tag, fwd_simd,
+                              flops, fwd_direct));
+    out.push_back(make_result("conv2d_backward", "simd", c.tag, bwd_simd,
+                              2.0 * flops, bwd_direct));
+    out.push_back(make_result("conv2d_fwd_bwd", "simd", c.tag,
+                              fwd_simd + bwd_simd, 3.0 * flops,
+                              fwd_direct + bwd_direct));
+  }
 }
 
 void print_results(const std::vector<KernelBenchResult>& results) {
@@ -163,8 +262,13 @@ void print_results(const std::vector<KernelBenchResult>& results) {
 int main(int argc, char** argv) {
   const std::string json_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
 
+  std::printf("kernel tables: scalar%s\n",
+              simd_available() ? " + simd (active)" : " only");
+
   std::vector<KernelBenchResult> results;
   bench_matmul(results);
+  bench_aggregate(results);
+  bench_pairwise(results);
 
   const ConvCase conv_cases[] = {
       {{3, 6, 5, 0, 1}, 32, 32, 32, "lenet5-conv1 b32 3x32x32"},

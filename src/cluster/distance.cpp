@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "tensor/kernels.hpp"
 
 namespace fedclust::cluster {
 namespace {
@@ -15,27 +18,46 @@ void check_rectangular(const std::vector<std::vector<float>>& vectors) {
   }
 }
 
+void check_proximity_invariants(const Matrix& d) {
+  // Symmetric by construction (each pair is computed once and mirrored),
+  // so any asymmetry or nonzero diagonal means memory corruption or a
+  // future edit broke the contract hierarchical clustering relies on.
+  FEDCLUST_REQUIRE(is_symmetric(d), "proximity matrix must be symmetric");
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    FEDCLUST_REQUIRE(d(i, i) == 0.0, "proximity diagonal must be zero");
+  }
+}
+
 }  // namespace
 
 Matrix pairwise_euclidean(const std::vector<std::vector<float>>& vectors) {
   check_rectangular(vectors);
   const std::size_t n = vectors.size();
   const std::size_t dim = vectors.front().size();
+  const ops::KernelTable& kt = ops::kernels();
+
+  // One pass per vector for its squared norm, then one dot product per
+  // pair: ‖a−b‖² = ‖a‖² + ‖b‖² − 2·a·b. Cuts the per-pair work from a
+  // subtract-square-accumulate loop to a single fused dot, and the norms
+  // from O(n²·dim) to O(n·dim). sqnorm is bitwise dot(x, x), so duplicate
+  // rows cancel to exactly zero; tiny negative residues from rounding
+  // are clamped before the sqrt.
+  std::vector<double> sq(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sq[i] = kt.sqnorm(vectors[i].data(), dim);
+  }
+
   Matrix d(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      double s = 0.0;
-      const float* a = vectors[i].data();
-      const float* b = vectors[j].data();
-      for (std::size_t k = 0; k < dim; ++k) {
-        const double diff = static_cast<double>(a[k]) - b[k];
-        s += diff * diff;
-      }
+      const double dp = kt.dot(vectors[i].data(), vectors[j].data(), dim);
+      const double s = std::max(0.0, sq[i] + sq[j] - 2.0 * dp);
       const double dist = std::sqrt(s);
       d(i, j) = dist;
       d(j, i) = dist;
     }
   }
+  check_proximity_invariants(d);
   return d;
 }
 
@@ -44,22 +66,16 @@ Matrix pairwise_cosine_similarity(
   check_rectangular(vectors);
   const std::size_t n = vectors.size();
   const std::size_t dim = vectors.front().size();
+  const ops::KernelTable& kt = ops::kernels();
   std::vector<double> norms(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    double s = 0.0;
-    for (float v : vectors[i]) s += static_cast<double>(v) * v;
-    norms[i] = std::sqrt(s);
+    norms[i] = std::sqrt(kt.sqnorm(vectors[i].data(), dim));
   }
   Matrix sim(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     sim(i, i) = 1.0;
     for (std::size_t j = i + 1; j < n; ++j) {
-      double dp = 0.0;
-      const float* a = vectors[i].data();
-      const float* b = vectors[j].data();
-      for (std::size_t k = 0; k < dim; ++k) {
-        dp += static_cast<double>(a[k]) * b[k];
-      }
+      const double dp = kt.dot(vectors[i].data(), vectors[j].data(), dim);
       const double denom = norms[i] * norms[j];
       const double s = denom > 0.0 ? dp / denom : 0.0;
       sim(i, j) = s;
@@ -78,6 +94,7 @@ Matrix pairwise_cosine_distance(
     }
     d(i, i) = 0.0;
   }
+  check_proximity_invariants(d);
   return d;
 }
 

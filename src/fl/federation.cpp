@@ -6,6 +6,7 @@
 #include <string>
 
 #include "check/audit.hpp"
+#include "tensor/kernels.hpp"
 
 namespace fedclust::fl {
 
@@ -222,28 +223,31 @@ std::vector<float> weighted_average(const std::vector<ClientUpdate>& updates,
   }
   const std::vector<double> coeff = aggregation_coefficients(updates);
 
-  // Fused single pass: each output element is reduced across updates in a
-  // double register and written once — no dim-sized double temporary, one
-  // sweep over every update's memory.
+  // Fused single pass through the dispatched weighted_accumulate kernel:
+  // each output element is reduced across updates in double and written
+  // once — no dim-sized double temporary, one sweep over every update's
+  // memory.
   std::vector<float> out(dim);
+  std::vector<const float*> srcs(n);
+  for (std::size_t u = 0; u < n; ++u) srcs[u] = updates[u].weights.data();
+  const ops::KernelTable* kp = &ops::kernels();
   const auto reduce_range = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      double acc = 0.0;
-      for (std::size_t u = 0; u < n; ++u) {
-        acc += coeff[u] * static_cast<double>(updates[u].weights[i]);
-      }
-      out[i] = static_cast<float>(acc);
-    }
+    kp->weighted_accumulate(srcs.data(), coeff.data(), n, out.data(), begin,
+                            end);
   };
 
-  // Chunk large models across the pool; per-element math is identical, so
-  // the result does not depend on the chunking.
+  // Chunk large models across the pool. Chunk boundaries are rounded up
+  // to ops::kChunkAlign so every element keeps the same vector-lane
+  // membership no matter how many workers split the range — the result
+  // stays bit-identical across thread counts.
   constexpr std::size_t kMinParallelDim = 1u << 15;
   const std::size_t workers = pool != nullptr ? pool->size() : 1;
   if (workers <= 1 || dim < kMinParallelDim) {
     reduce_range(0, dim);
   } else {
-    const std::size_t chunk = (dim + workers - 1) / workers;
+    std::size_t chunk = (dim + workers - 1) / workers;
+    chunk = (chunk + ops::kChunkAlign - 1) / ops::kChunkAlign *
+            ops::kChunkAlign;
     std::vector<std::future<void>> futures;
     futures.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {

@@ -76,6 +76,16 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   return c;
 }
 
+bool is_symmetric(const Matrix& m, double atol) {
+  if (m.rows() != m.cols()) return false;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = i + 1; j < m.cols(); ++j) {
+      if (std::abs(m(i, j) - m(j, i)) > atol) return false;
+    }
+  }
+  return true;
+}
+
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
   FEDCLUST_REQUIRE(a.rows() == b.rows(), "matmul_tn inner dimension mismatch");
   Matrix c(a.cols(), b.cols());

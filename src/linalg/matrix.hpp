@@ -64,4 +64,8 @@ Matrix matmul(const Matrix& a, const Matrix& b);
 /// C = Aᵀ · B.
 Matrix matmul_tn(const Matrix& a, const Matrix& b);
 
+/// True for a square matrix with |m(i,j) − m(j,i)| <= atol everywhere.
+/// Proximity matrices assert this invariant after construction.
+bool is_symmetric(const Matrix& m, double atol = 0.0);
+
 }  // namespace fedclust

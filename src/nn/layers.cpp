@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/kernels.hpp"
+
 namespace fedclust::nn {
 
 // -- Conv2d ----------------------------------------------------------------
@@ -101,9 +103,10 @@ Tensor Linear::forward(const Tensor& input, bool /*train*/) {
   cached_input_ = input;
   Tensor output;
   ops::matmul_nt(input, weight_.value, output, pool_);  // (B,in)·(out,in)ᵀ
+  const ops::KernelTable& kt = ops::kernels();
   for (std::size_t i = 0; i < output.dim(0); ++i) {
-    float* row = output.data() + i * out_features_;
-    for (std::size_t j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
+    kt.add(bias_.value.data(), output.data() + i * out_features_,
+           out_features_);
   }
   return output;
 }
@@ -117,9 +120,10 @@ Tensor Linear::backward(const Tensor& grad_output) {
   ops::matmul_tn(grad_output, cached_input_, dw, pool_);
   weight_.grad += dw;
 
+  const ops::KernelTable& kt = ops::kernels();
   for (std::size_t i = 0; i < batch; ++i) {
-    const float* row = grad_output.data() + i * out_features_;
-    for (std::size_t j = 0; j < out_features_; ++j) bias_.grad[j] += row[j];
+    kt.add(grad_output.data() + i * out_features_, bias_.grad.data(),
+           out_features_);
   }
 
   // dx = g · W  (B×out · out×in)
@@ -136,8 +140,8 @@ std::unique_ptr<Layer> Linear::clone() const {
 
 Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
   cached_input_ = input;
-  Tensor out = input;
-  for (auto& v : out.flat()) v = v > 0.0f ? v : 0.0f;
+  Tensor out(input.shape());
+  ops::kernels().relu_forward(input.data(), out.data(), out.numel());
   return out;
 }
 
@@ -145,11 +149,8 @@ Tensor ReLU::backward(const Tensor& grad_output) {
   FEDCLUST_REQUIRE(grad_output.same_shape(cached_input_),
                    "relu backward shape mismatch");
   Tensor grad = grad_output;
-  const float* in = cached_input_.data();
-  float* g = grad.data();
-  for (std::size_t i = 0; i < grad.numel(); ++i) {
-    if (in[i] <= 0.0f) g[i] = 0.0f;
-  }
+  ops::kernels().relu_backward(cached_input_.data(), grad.data(),
+                               grad.numel());
   return grad;
 }
 
@@ -276,20 +277,17 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
     x_hat_ = Tensor();  // marks eval mode for backward
   }
 
+  const ops::KernelTable& kt = ops::kernels();
   for (std::size_t c = 0; c < channels_; ++c) {
     double mean = 0.0, var = 0.0;
     if (train) {
       for (std::size_t img = 0; img < n; ++img) {
-        const float* p = input.data() + (img * channels_ + c) * plane;
-        for (std::size_t i = 0; i < plane; ++i) mean += p[i];
+        mean += kt.sum(input.data() + (img * channels_ + c) * plane, plane);
       }
       mean /= m;
       for (std::size_t img = 0; img < n; ++img) {
-        const float* p = input.data() + (img * channels_ + c) * plane;
-        for (std::size_t i = 0; i < plane; ++i) {
-          const double d = p[i] - mean;
-          var += d * d;
-        }
+        var += kt.sqdev(input.data() + (img * channels_ + c) * plane, mean,
+                        plane);
       }
       var /= m;  // biased variance, as in the original paper
       running_mean_.value[c] = static_cast<float>(
@@ -308,13 +306,14 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
     for (std::size_t img = 0; img < n; ++img) {
       const float* p = input.data() + (img * channels_ + c) * plane;
       float* o = out.data() + (img * channels_ + c) * plane;
-      float* xh = train ? x_hat_.data() + (img * channels_ + c) * plane
-                        : nullptr;
-      for (std::size_t i = 0; i < plane; ++i) {
-        const float normalized =
-            (p[i] - static_cast<float>(mean)) * inv;
-        if (xh != nullptr) xh[i] = normalized;
-        o[i] = g * normalized + b;
+      if (train) {
+        // x̂ = (x − μ)·inv kept for backward, then y = γ·x̂ + β.
+        float* xh = x_hat_.data() + (img * channels_ + c) * plane;
+        kt.sub_mul(p, xh, static_cast<float>(mean), inv, plane);
+        kt.scale_shift(xh, o, g, b, plane);
+      } else {
+        kt.sub_mul(p, o, static_cast<float>(mean), inv, plane);
+        kt.scale_shift(o, o, g, b, plane);
       }
     }
   }
@@ -332,16 +331,15 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
   const double m = static_cast<double>(n * plane);
 
   Tensor grad_input(grad_output.shape());
+  const ops::KernelTable& kt = ops::kernels();
   for (std::size_t c = 0; c < channels_; ++c) {
     // Channel-wise reductions: Σdy and Σ(dy·x̂).
     double sum_dy = 0.0, sum_dy_xhat = 0.0;
     for (std::size_t img = 0; img < n; ++img) {
       const float* dy = grad_output.data() + (img * channels_ + c) * plane;
       const float* xh = x_hat_.data() + (img * channels_ + c) * plane;
-      for (std::size_t i = 0; i < plane; ++i) {
-        sum_dy += dy[i];
-        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
-      }
+      sum_dy += kt.sum(dy, plane);
+      sum_dy_xhat += kt.dot(dy, xh, plane);
     }
     gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
     beta_.grad[c] += static_cast<float>(sum_dy);
@@ -355,10 +353,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
       const float* dy = grad_output.data() + (img * channels_ + c) * plane;
       const float* xh = x_hat_.data() + (img * channels_ + c) * plane;
       float* dx = grad_input.data() + (img * channels_ + c) * plane;
-      for (std::size_t i = 0; i < plane; ++i) {
-        dx[i] = static_cast<float>(
-            scale * (dy[i] - mean_dy - xh[i] * mean_dy_xhat));
-      }
+      kt.bn_backward_dx(dy, xh, dx, scale, mean_dy, mean_dy_xhat, plane);
     }
   }
   return grad_input;

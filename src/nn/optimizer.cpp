@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/kernels.hpp"
+
 namespace fedclust::nn {
 
 Sgd::Sgd(Model& model, SgdConfig config) : model_(model), config_(config) {
@@ -48,6 +50,13 @@ void Sgd::step() {
     const float* g = p.grad.data();
     float* v = vel.data();
     const float* ref = use_prox ? prox_reference_[pi].data() : nullptr;
+
+    // Plain SGD (the default FL client config) is a single axpy; the
+    // decorated variants keep the fused scalar loop below.
+    if (wd == 0.0f && ref == nullptr && mom == 0.0f) {
+      ops::kernels().axpy(-lr, g, w, n);
+      continue;
+    }
 
     for (std::size_t i = 0; i < n; ++i) {
       float grad = g[i];

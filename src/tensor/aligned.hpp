@@ -1,0 +1,57 @@
+// 64-byte-aligned allocator for numeric buffers.
+//
+// Tensor and (through it) ScratchArena back their storage with this
+// allocator so every buffer starts on a cache-line boundary: a 64-byte
+// alignment covers AVX2 (32 B) and AVX-512 (64 B) vector loads and keeps
+// the SIMD kernels' leading vectors from straddling cache lines. Row
+// offsets inside a tensor are still arbitrary, so kernels use unaligned
+// loads — the alignment is a performance property, not a correctness
+// contract, except that tests pin it so it cannot silently regress.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace fedclust {
+
+inline constexpr std::size_t kBufferAlignment = 64;
+
+template <typename T, std::size_t Alignment = kBufferAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+
+  static_assert(Alignment >= alignof(T), "alignment below natural");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment not pow2");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// The backing store used by Tensor: float vector on 64-byte boundaries.
+using AlignedFloatVector = std::vector<float, AlignedAllocator<float>>;
+
+}  // namespace fedclust

@@ -1,0 +1,67 @@
+// Kernel dispatch: picks the active KernelTable once at startup.
+//
+// The SIMD table participates only when (a) the build compiled
+// kernels_simd.cpp in (FEDCLUST_SIMD_KERNELS), and (b) the host passes
+// the one-time runtime ISA check — a binary carrying AVX2 kernels falls
+// back to the scalar table on a pre-AVX2 host instead of faulting.
+// set_simd_enabled() lets tests and benchmarks flip between the two
+// tables inside one binary for A/B comparisons.
+#include <atomic>
+
+#include "tensor/kernels.hpp"
+
+namespace fedclust::ops {
+
+#ifdef FEDCLUST_SIMD_KERNELS
+// Defined in kernels_simd.cpp (no header: scalar-only builds omit the TU).
+const KernelTable& simd_kernel_table();
+bool simd_kernel_table_supported();
+#endif
+
+namespace {
+
+const KernelTable* simd_table_if_supported() {
+#ifdef FEDCLUST_SIMD_KERNELS
+  static const bool supported = simd_kernel_table_supported();
+  return supported ? &simd_kernel_table() : nullptr;
+#else
+  return nullptr;
+#endif
+}
+
+std::atomic<const KernelTable*>& active_table() {
+  static std::atomic<const KernelTable*> active{[] {
+    const KernelTable* simd = simd_table_if_supported();
+    return simd ? simd : &scalar_kernels();
+  }()};
+  return active;
+}
+
+}  // namespace
+
+const KernelTable* simd_kernels() { return simd_table_if_supported(); }
+
+const KernelTable& kernels() {
+  return *active_table().load(std::memory_order_relaxed);
+}
+
+bool simd_compiled() {
+#ifdef FEDCLUST_SIMD_KERNELS
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool simd_active() {
+  const KernelTable* simd = simd_table_if_supported();
+  return simd && active_table().load(std::memory_order_relaxed) == simd;
+}
+
+void set_simd_enabled(bool enabled) {
+  const KernelTable* simd = simd_table_if_supported();
+  const KernelTable* next = (enabled && simd) ? simd : &scalar_kernels();
+  active_table().store(next, std::memory_order_relaxed);
+}
+
+}  // namespace fedclust::ops

@@ -5,6 +5,7 @@
 #include <future>
 #include <vector>
 
+#include "tensor/kernels.hpp"
 #include "utils/thread_pool.hpp"
 
 #if defined(__GNUC__) || defined(__clang__)
@@ -21,150 +22,14 @@ void check_matrix(const Tensor& t, const char* name) {
                                        << shape_to_string(t.shape()));
 }
 
-// ---------------------------------------------------------------------------
-// Raw-pointer GEMM cores.
-//
-// Each core computes a contiguous range [i0, i1) of output rows so the
-// threaded wrapper can hand disjoint row blocks to workers. Determinism:
-// for every output element the accumulation order over k depends only on
-// (i, j) — never on block boundaries, tile membership, or thread count —
-// so blocked, tiled, and threaded runs are bit-identical.
-//
-// Blocking parameters (floats): a KC×NC panel of B (256×512 = 512 KiB at
-// the defaults below, typically trimmed by the edge cases to the L2-
-// resident working set) is reused across an IR-row register tile of A,
-// and the 8-wide inner loops are written so the compiler can vectorize
-// them without reassociating float math.
-
-constexpr std::size_t kKC = 256;  ///< k-panel size (rows of B per block)
-constexpr std::size_t kNC = 512;  ///< j-panel size (B row segment in L1)
-constexpr std::size_t kIR = 4;    ///< register tile height (rows of C)
-
-/// C[i0:i1) = A(m×k) · B(k×n) for the row range; C rows are overwritten.
-void gemm_nn_rows(const float* FEDCLUST_RESTRICT pa,
-                  const float* FEDCLUST_RESTRICT pb, float* FEDCLUST_RESTRICT pc,
-                  std::size_t i0, std::size_t i1, std::size_t k,
-                  std::size_t n) {
-  std::fill(pc + i0 * n, pc + i1 * n, 0.0f);
-  for (std::size_t kc = 0; kc < k; kc += kKC) {
-    const std::size_t kend = std::min(k, kc + kKC);
-    for (std::size_t jc = 0; jc < n; jc += kNC) {
-      const std::size_t jend = std::min(n, jc + kNC);
-      std::size_t i = i0;
-      for (; i + kIR <= i1; i += kIR) {
-        for (std::size_t kk = kc; kk < kend; ++kk) {
-          const float a0 = pa[(i + 0) * k + kk];
-          const float a1 = pa[(i + 1) * k + kk];
-          const float a2 = pa[(i + 2) * k + kk];
-          const float a3 = pa[(i + 3) * k + kk];
-          const float* FEDCLUST_RESTRICT brow = pb + kk * n;
-          float* FEDCLUST_RESTRICT c0 = pc + (i + 0) * n;
-          float* FEDCLUST_RESTRICT c1 = pc + (i + 1) * n;
-          float* FEDCLUST_RESTRICT c2 = pc + (i + 2) * n;
-          float* FEDCLUST_RESTRICT c3 = pc + (i + 3) * n;
-          for (std::size_t j = jc; j < jend; ++j) {
-            c0[j] += a0 * brow[j];
-            c1[j] += a1 * brow[j];
-            c2[j] += a2 * brow[j];
-            c3[j] += a3 * brow[j];
-          }
-        }
-      }
-      for (; i < i1; ++i) {
-        for (std::size_t kk = kc; kk < kend; ++kk) {
-          const float a0 = pa[i * k + kk];
-          const float* FEDCLUST_RESTRICT brow = pb + kk * n;
-          float* FEDCLUST_RESTRICT crow = pc + i * n;
-          for (std::size_t j = jc; j < jend; ++j) crow[j] += a0 * brow[j];
-        }
-      }
-    }
-  }
-}
-
-/// C[i0:i1) = Aᵀ(k×m)·B(k×n) for the row range (A stored k-major).
-void gemm_tn_rows(const float* FEDCLUST_RESTRICT pa,
-                  const float* FEDCLUST_RESTRICT pb, float* FEDCLUST_RESTRICT pc,
-                  std::size_t i0, std::size_t i1, std::size_t k, std::size_t m,
-                  std::size_t n) {
-  std::fill(pc + i0 * n, pc + i1 * n, 0.0f);
-  for (std::size_t kc = 0; kc < k; kc += kKC) {
-    const std::size_t kend = std::min(k, kc + kKC);
-    for (std::size_t jc = 0; jc < n; jc += kNC) {
-      const std::size_t jend = std::min(n, jc + kNC);
-      std::size_t i = i0;
-      for (; i + kIR <= i1; i += kIR) {
-        for (std::size_t kk = kc; kk < kend; ++kk) {
-          const float* FEDCLUST_RESTRICT acol = pa + kk * m + i;
-          const float a0 = acol[0];
-          const float a1 = acol[1];
-          const float a2 = acol[2];
-          const float a3 = acol[3];
-          const float* FEDCLUST_RESTRICT brow = pb + kk * n;
-          float* FEDCLUST_RESTRICT c0 = pc + (i + 0) * n;
-          float* FEDCLUST_RESTRICT c1 = pc + (i + 1) * n;
-          float* FEDCLUST_RESTRICT c2 = pc + (i + 2) * n;
-          float* FEDCLUST_RESTRICT c3 = pc + (i + 3) * n;
-          for (std::size_t j = jc; j < jend; ++j) {
-            c0[j] += a0 * brow[j];
-            c1[j] += a1 * brow[j];
-            c2[j] += a2 * brow[j];
-            c3[j] += a3 * brow[j];
-          }
-        }
-      }
-      for (; i < i1; ++i) {
-        for (std::size_t kk = kc; kk < kend; ++kk) {
-          const float a0 = pa[kk * m + i];
-          const float* FEDCLUST_RESTRICT brow = pb + kk * n;
-          float* FEDCLUST_RESTRICT crow = pc + i * n;
-          for (std::size_t j = jc; j < jend; ++j) crow[j] += a0 * brow[j];
-        }
-      }
-    }
-  }
-}
-
-/// 8-accumulator dot product — the one and only reduction kernel for the
-/// NT variant, so every C element is summed in the same order no matter
-/// which tile or thread computed it.
-inline float dot8(const float* FEDCLUST_RESTRICT a,
-                  const float* FEDCLUST_RESTRICT b, std::size_t k) {
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-  float s4 = 0.0f, s5 = 0.0f, s6 = 0.0f, s7 = 0.0f;
-  std::size_t kk = 0;
-  for (; kk + 8 <= k; kk += 8) {
-    s0 += a[kk + 0] * b[kk + 0];
-    s1 += a[kk + 1] * b[kk + 1];
-    s2 += a[kk + 2] * b[kk + 2];
-    s3 += a[kk + 3] * b[kk + 3];
-    s4 += a[kk + 4] * b[kk + 4];
-    s5 += a[kk + 5] * b[kk + 5];
-    s6 += a[kk + 6] * b[kk + 6];
-    s7 += a[kk + 7] * b[kk + 7];
-  }
-  float tail = 0.0f;
-  for (; kk < k; ++kk) tail += a[kk] * b[kk];
-  return (((s0 + s4) + (s1 + s5)) + ((s2 + s6) + (s3 + s7))) + tail;
-}
-
-/// C[i0:i1) = A(m×k) · Bᵀ(n×k) for the row range. A 6-row block of A is
-/// kept hot in L1 while B streams through once per block.
-void gemm_nt_rows(const float* FEDCLUST_RESTRICT pa,
-                  const float* FEDCLUST_RESTRICT pb, float* FEDCLUST_RESTRICT pc,
-                  std::size_t i0, std::size_t i1, std::size_t k,
-                  std::size_t n) {
-  constexpr std::size_t kIB = 6;  // A rows per block: 6·k floats stay in L1
-  for (std::size_t ib = i0; ib < i1; ib += kIB) {
-    const std::size_t iend = std::min(i1, ib + kIB);
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* FEDCLUST_RESTRICT brow = pb + j * k;
-      for (std::size_t i = ib; i < iend; ++i) {
-        pc[i * n + j] = dot8(pa + i * k, brow, k);
-      }
-    }
-  }
-}
+// The GEMM row cores live in the dispatched kernel tables
+// (kernels_scalar.cpp / kernels_simd.cpp). Each core computes a
+// contiguous range [i0, i1) of output rows so the threaded wrappers can
+// hand disjoint row blocks to workers; every core accumulates each C
+// element in an order fixed by (i, j) and the problem size alone, so
+// blocked, tiled, and threaded runs are bit-identical within a build.
+// The wrappers below snapshot the active table once per call so a
+// mid-operation set_simd_enabled() cannot mix tables across workers.
 
 /// Runs `rows(i0, i1)` over [0, m), split into one contiguous block per
 /// worker when the problem is big enough to amortize the fork/join.
@@ -220,8 +85,9 @@ void matmul(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  const KernelTable* kp = &kernels();
   run_row_blocks(m, 2 * m * n * k, pool, [=](std::size_t i0, std::size_t i1) {
-    gemm_nn_rows(pa, pb, pc, i0, i1, k, n);
+    kp->gemm_nn_rows(pa, pb, pc, i0, i1, k, n);
   });
 }
 
@@ -235,8 +101,9 @@ void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  const KernelTable* kp = &kernels();
   run_row_blocks(m, 2 * m * n * k, pool, [=](std::size_t i0, std::size_t i1) {
-    gemm_tn_rows(pa, pb, pc, i0, i1, k, m, n);
+    kp->gemm_tn_rows(pa, pb, pc, i0, i1, k, m, n);
   });
 }
 
@@ -250,8 +117,9 @@ void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c, ThreadPool* pool) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  const KernelTable* kp = &kernels();
   run_row_blocks(m, 2 * m * n * k, pool, [=](std::size_t i0, std::size_t i1) {
-    gemm_nt_rows(pa, pb, pc, i0, i1, k, n);
+    kp->gemm_nt_rows(pa, pb, pc, i0, i1, k, n);
   });
 }
 
@@ -540,9 +408,10 @@ void conv2d_forward_im2col(const Tensor& input, const Tensor& weight,
   const float* pa = scratch_columns.data();
   const float* pb = weight.data();
   float* pc = scratch_pix.data();
+  const KernelTable* kp = &kernels();
   run_row_blocks(pixels, 2 * pixels * cout * ckk, pool,
                  [=](std::size_t i0, std::size_t i1) {
-                   gemm_nt_rows(pa, pb, pc, i0, i1, ckk, cout);
+                   kp->gemm_nt_rows(pa, pb, pc, i0, i1, ckk, cout);
                  });
 
   // Transpose (pixel-major × cout) into NCHW, adding bias on the way out.
@@ -583,9 +452,10 @@ void conv2d_backward_input_im2col(const Tensor& grad_output,
   const float* pa = scratch_pix.data();
   const float* pb = weight.data();
   float* pc = scratch_columns.data();
+  const KernelTable* kp = &kernels();
   run_row_blocks(pixels, 2 * pixels * cout * ckk, pool,
                  [=](std::size_t i0, std::size_t i1) {
-                   gemm_nn_rows(pa, pb, pc, i0, i1, cout, ckk);
+                   kp->gemm_nn_rows(pa, pb, pc, i0, i1, cout, ckk);
                  });
 
   col2im(scratch_columns, spec, grad_input);
@@ -619,9 +489,10 @@ void conv2d_backward_params_im2col(const Tensor& grad_output,
   const float* pa = scratch_pix.data();
   const float* pb = columns.data();
   float* pc = grad_weight.data();
+  const KernelTable* kp = &kernels();
   run_row_blocks(cout, 2 * pixels * cout * ckk, pool,
                  [=](std::size_t i0, std::size_t i1) {
-                   gemm_tn_rows(pa, pb, pc, i0, i1, pixels, cout, ckk);
+                   kp->gemm_tn_rows(pa, pb, pc, i0, i1, pixels, cout, ckk);
                  });
 
   // grad_bias[oc] = Σ over pixels of grad_pix[p, oc].
@@ -629,8 +500,7 @@ void conv2d_backward_params_im2col(const Tensor& grad_output,
   float* gb = grad_bias.data();
   const float* pix = scratch_pix.data();
   for (std::size_t p = 0; p < pixels; ++p) {
-    const float* FEDCLUST_RESTRICT row = pix + p * cout;
-    for (std::size_t oc = 0; oc < cout; ++oc) gb[oc] += row[oc];
+    kp->add(pix + p * cout, gb, cout);
   }
 }
 
@@ -742,17 +612,18 @@ void softmax_rows(const Tensor& logits, Tensor& probs) {
   FEDCLUST_REQUIRE(logits.rank() == 2, "softmax_rows needs a matrix");
   const std::size_t rows = logits.dim(0), cols = logits.dim(1);
   if (probs.shape() != logits.shape()) probs = Tensor(logits.shape());
+  const KernelTable* kp = &kernels();
   for (std::size_t i = 0; i < rows; ++i) {
     const float* in = logits.data() + i * cols;
     float* out = probs.data() + i * cols;
-    const float mx = *std::max_element(in, in + cols);
+    const float mx = kp->max(in, cols);
     double sum = 0.0;
     for (std::size_t j = 0; j < cols; ++j) {
       out[j] = std::exp(in[j] - mx);
       sum += out[j];
     }
     const float inv = static_cast<float>(1.0 / sum);
-    for (std::size_t j = 0; j < cols; ++j) out[j] *= inv;
+    kp->scale(inv, out, cols);
   }
 }
 
@@ -760,9 +631,10 @@ void logsumexp_rows(const Tensor& logits, std::vector<float>& out) {
   FEDCLUST_REQUIRE(logits.rank() == 2, "logsumexp_rows needs a matrix");
   const std::size_t rows = logits.dim(0), cols = logits.dim(1);
   out.assign(rows, 0.0f);
+  const KernelTable* kp = &kernels();
   for (std::size_t i = 0; i < rows; ++i) {
     const float* in = logits.data() + i * cols;
-    const float mx = *std::max_element(in, in + cols);
+    const float mx = kp->max(in, cols);
     double sum = 0.0;
     for (std::size_t j = 0; j < cols; ++j) sum += std::exp(in[j] - mx);
     out[i] = mx + static_cast<float>(std::log(sum));

@@ -18,7 +18,9 @@ namespace fedclust {
 
 /// A small set of reusable Tensor slots addressed by index. Slots grow to
 /// the high-water-mark shape of their use site and are then reused
-/// without touching the heap.
+/// without touching the heap. Slots are Tensors, so every workspace
+/// inherits the 64-byte-aligned backing store (tensor/aligned.hpp) the
+/// SIMD kernels expect.
 class ScratchArena {
  public:
   ScratchArena() = default;

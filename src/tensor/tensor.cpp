@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "tensor/kernels.hpp"
 #include "utils/rng.hpp"
 
 namespace fedclust {
@@ -37,8 +38,11 @@ Tensor::Tensor(Shape shape, float fill)
                    "tensors up to rank 4 supported, got rank " << shape_.size());
 }
 
+// Copies into aligned storage: the incoming vector's buffer has no
+// alignment guarantee, and the sole caller (dataset loading) pays this
+// copy once at startup.
 Tensor::Tensor(Shape shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
+    : shape_(std::move(shape)), data_(data.begin(), data.end()) {
   FEDCLUST_REQUIRE(data_.size() == shape_numel(shape_),
                    "data size " << data_.size() << " does not match shape "
                                 << shape_to_string(shape_));
@@ -115,39 +119,36 @@ void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
 Tensor& Tensor::operator+=(const Tensor& other) {
   FEDCLUST_REQUIRE(same_shape(other), "shape mismatch in +=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  ops::kernels().add(other.data_.data(), data_.data(), data_.size());
   return *this;
 }
 
 Tensor& Tensor::operator-=(const Tensor& other) {
   FEDCLUST_REQUIRE(same_shape(other), "shape mismatch in -=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  ops::kernels().sub(other.data_.data(), data_.data(), data_.size());
   return *this;
 }
 
 Tensor& Tensor::operator*=(float scalar) {
-  for (auto& v : data_) v *= scalar;
+  ops::kernels().scale(scalar, data_.data(), data_.size());
   return *this;
 }
 
 void Tensor::axpy(float alpha, const Tensor& other) {
   FEDCLUST_REQUIRE(same_shape(other), "shape mismatch in axpy");
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += alpha * other.data_[i];
-  }
+  ops::kernels().axpy(alpha, other.data_.data(), data_.data(), data_.size());
 }
 
 void Tensor::hadamard(const Tensor& other) {
   FEDCLUST_REQUIRE(same_shape(other), "shape mismatch in hadamard");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  ops::kernels().mul(other.data_.data(), data_.data(), data_.size());
 }
 
 float Tensor::sum() const {
-  // Accumulate in double: client updates can have 10^5+ elements and
-  // float accumulation drifts enough to perturb aggregated models.
-  double s = 0.0;
-  for (float v : data_) s += v;
-  return static_cast<float>(s);
+  // Kernel reductions accumulate in double: client updates can have
+  // 10^5+ elements and float accumulation drifts enough to perturb
+  // aggregated models.
+  return static_cast<float>(ops::kernels().sum(data_.data(), data_.size()));
 }
 
 float Tensor::mean() const {
@@ -162,7 +163,7 @@ float Tensor::min() const {
 
 float Tensor::max() const {
   FEDCLUST_REQUIRE(!data_.empty(), "max of empty tensor");
-  return *std::max_element(data_.begin(), data_.end());
+  return ops::kernels().max(data_.data(), data_.size());
 }
 
 std::size_t Tensor::argmax() const {
@@ -172,9 +173,8 @@ std::size_t Tensor::argmax() const {
 }
 
 float Tensor::norm() const {
-  double s = 0.0;
-  for (float v : data_) s += static_cast<double>(v) * v;
-  return static_cast<float>(std::sqrt(s));
+  return static_cast<float>(
+      std::sqrt(ops::kernels().sqnorm(data_.data(), data_.size())));
 }
 
 Tensor operator+(Tensor lhs, const Tensor& rhs) {
@@ -199,26 +199,14 @@ Tensor operator*(float scalar, Tensor rhs) {
 
 float dot(const Tensor& a, const Tensor& b) {
   FEDCLUST_REQUIRE(a.numel() == b.numel(), "dot needs equal numel");
-  double s = 0.0;
-  const float* pa = a.data();
-  const float* pb = b.data();
-  for (std::size_t i = 0; i < a.numel(); ++i) {
-    s += static_cast<double>(pa[i]) * pb[i];
-  }
-  return static_cast<float>(s);
+  return static_cast<float>(ops::kernels().dot(a.data(), b.data(), a.numel()));
 }
 
 float euclidean_distance(const Tensor& a, const Tensor& b) {
   FEDCLUST_REQUIRE(a.numel() == b.numel(),
                    "euclidean_distance needs equal numel");
-  double s = 0.0;
-  const float* pa = a.data();
-  const float* pb = b.data();
-  for (std::size_t i = 0; i < a.numel(); ++i) {
-    const double d = static_cast<double>(pa[i]) - pb[i];
-    s += d * d;
-  }
-  return static_cast<float>(std::sqrt(s));
+  return static_cast<float>(
+      std::sqrt(ops::kernels().sqdist(a.data(), b.data(), a.numel())));
 }
 
 float cosine_similarity(const Tensor& a, const Tensor& b) {

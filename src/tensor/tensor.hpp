@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/aligned.hpp"
 #include "utils/error.hpp"
 
 namespace fedclust {
@@ -49,7 +50,8 @@ class Tensor {
   /// Tensor of the given shape filled with `fill`.
   Tensor(Shape shape, float fill);
 
-  /// Adopts the provided data; data.size() must equal shape_numel(shape).
+  /// Copies the provided data into aligned storage; data.size() must
+  /// equal shape_numel(shape).
   Tensor(Shape shape, std::vector<float> data);
 
   // -- factories ----------------------------------------------------------
@@ -130,7 +132,9 @@ class Tensor {
 
  private:
   Shape shape_;
-  std::vector<float> data_;
+  // 64-byte-aligned so SIMD kernels' leading vector loads on any buffer
+  // (and ScratchArena slots, which are Tensors) sit on cache lines.
+  AlignedFloatVector data_;
 };
 
 // -- non-member arithmetic ----------------------------------------------
