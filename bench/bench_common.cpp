@@ -76,6 +76,23 @@ void write_kernel_bench_json(const std::string& path,
   out << "]\n";
 }
 
+void write_robustness_bench_json(
+    const std::string& path,
+    const std::vector<RobustnessBenchResult>& results) {
+  std::ofstream out(path);
+  FEDCLUST_REQUIRE(out.good(), "cannot open " << path << " for writing");
+  out << std::fixed << std::setprecision(4) << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RobustnessBenchResult& r = results[i];
+    out << "  {\"algorithm\": \"" << r.algorithm << "\", \"scenario\": \""
+        << r.scenario << "\", \"rule\": \"" << r.rule
+        << "\", \"acc_mean\": " << r.acc_mean << ", \"acc_std\": " << r.acc_std
+        << ", \"clean_retention\": " << r.clean_retention << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
 MeanStd mean_std(const std::vector<double>& values) {
   MeanStd out;
   if (values.empty()) return out;

@@ -74,4 +74,24 @@ struct KernelBenchResult {
 void write_kernel_bench_json(const std::string& path,
                              const std::vector<KernelBenchResult>& results);
 
+// -- robustness reporting -----------------------------------------------------
+
+/// One (algorithm, attack scenario, aggregation rule) cell of the
+/// Byzantine-robustness experiment, as emitted into BENCH_robustness.json.
+struct RobustnessBenchResult {
+  std::string algorithm;  ///< e.g. "FedAvg", "FedClust"
+  std::string scenario;   ///< "clean" or "attacked"
+  std::string rule;       ///< aggregation rule name
+  double acc_mean = 0.0;  ///< final mean per-client accuracy
+  double acc_std = 0.0;
+  /// Final accuracy as a fraction of the same algorithm's fault-free
+  /// accuracy (1.0 for the clean runs themselves).
+  double clean_retention = 1.0;
+};
+
+/// Writes robustness results as a machine-readable JSON array.
+void write_robustness_bench_json(
+    const std::string& path,
+    const std::vector<RobustnessBenchResult>& results);
+
 }  // namespace fedclust::bench

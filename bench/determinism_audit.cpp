@@ -4,7 +4,13 @@
 // nonzero on any divergence, so CI can gate on it.
 //
 //   ./determinism_audit [--rounds 3] [--clients 8] [--pool 480]
-//                       [--max-threads N]
+//                       [--max-threads N] [--faults]
+//
+// --faults layers the robustness machinery on top: client crashes,
+// stale replays, NaN-poisoned and sign-flipped uploads, with arrival
+// screening + quarantine enabled. Fault draws and strike accounting are
+// keyed functionally by (seed, round, client, attempt), so the faulted
+// trajectories must stay bit-identical across kernel-thread counts too.
 #include <cstdio>
 #include <thread>
 
@@ -24,6 +30,9 @@ int main(int argc, char** argv) {
   cli.add_int("pool", 480, "total training samples");
   cli.add_int("max-threads", 0,
               "largest kernel-thread count to test (0 = hardware)");
+  cli.add_flag("faults",
+               "inject crashes/stale replays/corrupted uploads with "
+               "validation + quarantine enabled");
   cli.parse(argc, argv);
 
   const auto rounds = static_cast<std::size_t>(cli.get_int("rounds"));
@@ -41,6 +50,15 @@ int main(int argc, char** argv) {
   base.pool_samples = static_cast<std::size_t>(cli.get_int("pool"));
   base.engine.local.epochs = 2;
   base.engine.threads = 2;
+  const bool faults = cli.get_flag("faults");
+  if (faults) {
+    base.engine.faults.enabled = true;
+    base.engine.faults.crash_prob = 0.1;
+    base.engine.faults.stale_prob = 0.1;
+    base.engine.faults.nan_prob = 0.1;
+    base.engine.faults.sign_flip_prob = 0.1;
+    base.engine.robust.validate.enabled = true;
+  }
 
   const auto make_fed = [&](std::size_t kernel_threads) {
     bench::Scenario s = base;
@@ -65,8 +83,8 @@ int main(int argc, char** argv) {
         .add(report.mismatches.empty() ? "-" : report.mismatches.front());
   }
 
-  std::printf("kernel_threads tested: 0, 1, %zu\n\n%s\n", max_threads,
-              table.to_string().c_str());
+  std::printf("kernel_threads tested: 0, 1, %zu (faults %s)\n\n%s\n",
+              max_threads, faults ? "ON" : "off", table.to_string().c_str());
   if (!all_identical) {
     std::fprintf(stderr, "determinism audit FAILED\n");
     return 1;

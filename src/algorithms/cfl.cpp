@@ -71,7 +71,7 @@ fl::RunResult Cfl::run(fl::Federation& federation, std::size_t rounds) {
       std::vector<fl::ClientUpdate> tmp;
       tmp.reserve(by_cluster[c].size());
       for (const fl::ClientUpdate* u : by_cluster[c]) tmp.push_back(*u);
-      cluster_weights[c] = federation.aggregate(tmp);
+      cluster_weights[c] = federation.aggregate(tmp, cluster_weights[c]);
     }
 
     // Split check per cluster (Sattler's eps1/eps2 criterion).

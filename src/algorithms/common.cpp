@@ -46,7 +46,8 @@ double per_cluster_fedavg_round(
   }
   for (std::size_t c = 0; c < by_cluster.size(); ++c) {
     if (!by_cluster[c].empty()) {
-      cluster_weights[c] = federation.aggregate(by_cluster[c]);
+      cluster_weights[c] = federation.aggregate(by_cluster[c],
+                                                cluster_weights[c]);
     }
   }
   return updates.empty() ? 0.0

@@ -75,7 +75,7 @@ fl::RunResult FedAvgM::run(fl::Federation& federation, std::size_t rounds) {
     // Server update: v = beta*v + (avg - w); w += v. A round in which
     // every client dropped out leaves the model untouched.
     if (!updates.empty()) {
-      const std::vector<float> averaged = federation.aggregate(updates);
+      const std::vector<float> averaged = federation.aggregate(updates, global);
       const float beta = static_cast<float>(momentum_);
       for (std::size_t i = 0; i < global.size(); ++i) {
         velocity[i] = beta * velocity[i] + (averaged[i] - global[i]);

@@ -71,7 +71,7 @@ fl::RunResult FedPer::run(fl::Federation& federation, std::size_t rounds) {
     // Aggregate the base; the heads stay personal. An all-dropout round
     // leaves the base unchanged.
     if (!updates.empty()) {
-      std::vector<float> new_global = federation.aggregate(updates);
+      std::vector<float> new_global = federation.aggregate(updates, global);
       // Restore the template head region of the global vector so the
       // global never carries any single client's head.
       std::size_t cursor = 0;

@@ -72,7 +72,7 @@ fl::RunResult Ifca::run(fl::Federation& federation, std::size_t rounds) {
     }
     for (std::size_t k = 0; k < models.size(); ++k) {
       if (!by_cluster[k].empty()) {
-        models[k] = federation.aggregate(by_cluster[k]);
+        models[k] = federation.aggregate(by_cluster[k], models[k]);
       }
     }
 

@@ -22,9 +22,17 @@ void check_proximity_invariants(const Matrix& d) {
   // Symmetric by construction (each pair is computed once and mirrored),
   // so any asymmetry or nonzero diagonal means memory corruption or a
   // future edit broke the contract hierarchical clustering relies on.
+  // Distances must also be finite: one NaN/Inf input row (a poisoned
+  // upload that slipped past screening) would silently derail every
+  // Lance–Williams merge, so reject it here at the boundary.
   FEDCLUST_REQUIRE(is_symmetric(d), "proximity matrix must be symmetric");
   for (std::size_t i = 0; i < d.rows(); ++i) {
     FEDCLUST_REQUIRE(d(i, i) == 0.0, "proximity diagonal must be zero");
+    for (std::size_t j = 0; j < d.cols(); ++j) {
+      FEDCLUST_REQUIRE(std::isfinite(d(i, j)),
+                       "non-finite proximity entry at (" << i << ", " << j
+                                                         << ")");
+    }
   }
 }
 
@@ -42,9 +50,15 @@ Matrix pairwise_euclidean(const std::vector<std::vector<float>>& vectors) {
   // from O(n²·dim) to O(n·dim). sqnorm is bitwise dot(x, x), so duplicate
   // rows cancel to exactly zero; tiny negative residues from rounding
   // are clamped before the sqrt.
+  // A NaN squared norm would be silently clamped to 0 by the max()
+  // below (NaN comparisons are false), so a poisoned row must be
+  // rejected here, not trusted to surface downstream.
   std::vector<double> sq(n);
   for (std::size_t i = 0; i < n; ++i) {
     sq[i] = kt.sqnorm(vectors[i].data(), dim);
+    FEDCLUST_REQUIRE(std::isfinite(sq[i]),
+                     "non-finite values in vector " << i
+                                                    << " (poisoned upload?)");
   }
 
   Matrix d(n, n);
@@ -70,6 +84,9 @@ Matrix pairwise_cosine_similarity(
   std::vector<double> norms(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     norms[i] = std::sqrt(kt.sqnorm(vectors[i].data(), dim));
+    FEDCLUST_REQUIRE(std::isfinite(norms[i]),
+                     "non-finite values in vector " << i
+                                                    << " (poisoned upload?)");
   }
   Matrix sim(n, n);
   for (std::size_t i = 0; i < n; ++i) {

@@ -93,6 +93,14 @@ Dendrogram agglomerative_cluster(const Matrix& distances, Linkage linkage) {
   const std::size_t n = distances.rows();
   FEDCLUST_REQUIRE(n > 0 && distances.cols() == n,
                    "distance matrix must be square and non-empty");
+  // One non-finite distance corrupts every Lance–Williams update that
+  // touches its row; reject at the boundary with attribution instead.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      FEDCLUST_REQUIRE(std::isfinite(distances(i, j)),
+                       "non-finite distance at (" << i << ", " << j << ")");
+    }
+  }
 #ifndef NDEBUG
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i; j < n; ++j) {

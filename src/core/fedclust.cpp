@@ -29,28 +29,96 @@ ClusteringOutcome FedClust::form_clusters(fl::Federation& federation,
   // The paper's formation round covers all available clients, so the
   // warmup is exempt from dropout injection — and under the simulated
   // network it runs as a reliable round that waits for every upload.
+  // With fault injection, crashed clients still go missing even here.
   const fl::NetPayloads payloads{federation.model_size(),
                                  slices_numel(slices),
                                  net::MessageKind::kPartialUpdate};
-  const std::vector<fl::ClientUpdate> updates = federation.train_clients(
-      everyone, round,
-      [&](std::size_t) { return std::span<const float>(init_weights); },
-      &warmup, /*allow_failures=*/false, &payloads);
+  const std::size_t n = federation.num_clients();
 
   ClusteringOutcome out;
-  out.partial_weights.resize(federation.num_clients());
-  for (const fl::ClientUpdate& u : updates) {
-    out.partial_weights[u.client_id] = extract_slices(u.weights, slices);
+  out.partial_weights.resize(n);
+  std::vector<bool> reported(n, false);
+  const auto record = [&](const std::vector<fl::ClientUpdate>& updates) {
+    for (const fl::ClientUpdate& u : updates) {
+      std::vector<float> partial = extract_slices(u.weights, slices);
+      // With validation off, corrupted uploads reach us unscreened; a
+      // non-finite partial would poison the proximity matrix, so treat
+      // it as missing and let the retry waves ask again.
+      bool finite = true;
+      for (const float x : partial) {
+        if (!std::isfinite(x)) {
+          finite = false;
+          break;
+        }
+      }
+      if (!finite) continue;
+      out.partial_weights[u.client_id] = std::move(partial);
+      reported[u.client_id] = true;
+    }
+  };
+  record(federation.train_clients(
+      everyone, round,
+      [&](std::size_t) { return std::span<const float>(init_weights); },
+      &warmup, /*allow_failures=*/false, &payloads));
+
+  // Bounded re-solicitation of the missing uploads. Each wave carries a
+  // fresh fault attempt, so a transiently crashed client can answer the
+  // retry; quarantined clients are not asked again.
+  for (std::size_t attempt = 1; attempt <= config_.formation_retries;
+       ++attempt) {
+    std::vector<std::size_t> missing;
+    for (std::size_t c = 0; c < n; ++c) {
+      const bool quarantined = federation.config().robust.validate.enabled &&
+                               federation.quarantine().quarantined(c);
+      if (!reported[c] && !quarantined) missing.push_back(c);
+    }
+    if (missing.empty()) break;
+    out.resolicited.push_back(missing);
+    record(federation.train_clients(
+        missing, round,
+        [&](std::size_t) { return std::span<const float>(init_weights); },
+        &warmup, /*allow_failures=*/false, &payloads, attempt));
   }
 
-  // Wire accounting: full model down (initial broadcast), partial up.
-  out.download_bytes =
-      federation.wire_bytes(federation.model_size()) * federation.num_clients();
-  out.upload_bytes =
-      federation.wire_bytes(slices_numel(slices)) * federation.num_clients();
+  for (std::size_t c = 0; c < n; ++c) {
+    (reported[c] ? out.reporters : out.deferred).push_back(c);
+  }
 
-  // Server side: proximity matrix -> HC -> cut.
-  out.proximity = cluster::pairwise_euclidean(out.partial_weights);
+  // Wire accounting: full model down per solicitation, partial up per
+  // arrived report (faults off: exactly one of each per client).
+  std::size_t solicitations = n;
+  for (const auto& wave : out.resolicited) solicitations += wave.size();
+  out.download_bytes =
+      federation.wire_bytes(federation.model_size()) * solicitations;
+  out.upload_bytes =
+      federation.wire_bytes(slices_numel(slices)) * out.reporters.size();
+
+  // Quorum gate: clustering over a sliver of the population would bake
+  // an unrepresentative partition in for the whole run.
+  const std::size_t quorum = static_cast<std::size_t>(std::ceil(
+      config_.min_formation_quorum * static_cast<double>(n)));
+  if (out.reporters.size() < quorum) {
+    FEDCLUST_CHECK(
+        config_.formation_fallback !=
+            FedClustConfig::FormationFallback::kAbort,
+        "formation quorum failed: " << out.reporters.size() << " of " << n
+                                    << " clients reported (quorum "
+                                    << quorum << ")");
+    out.labels.assign(n, 0);
+    out.fallback_global = true;
+    if (federation.config().audit) {
+      check::audit_cluster_partition(out.labels);
+    }
+    return out;
+  }
+
+  // Server side: proximity matrix -> HC -> cut, over the reporters.
+  std::vector<std::vector<float>> reporter_partials;
+  reporter_partials.reserve(out.reporters.size());
+  for (const std::size_t c : out.reporters) {
+    reporter_partials.push_back(out.partial_weights[c]);
+  }
+  out.proximity = cluster::pairwise_euclidean(reporter_partials);
   out.dendrogram = cluster::agglomerative_cluster(out.proximity,
                                                   config_.linkage);
 
@@ -82,13 +150,13 @@ ClusteringOutcome FedClust::form_clusters(fl::Federation& federation,
       out.labels = out.dendrogram.cut_threshold(out.threshold);
       break;
     case CutPolicy::kSilhouette: {
-      const std::size_t n = federation.num_clients();
+      const std::size_t m = out.reporters.size();
       const std::size_t k_max = std::max<std::size_t>(
-          2, config_.max_clusters > 0 ? config_.max_clusters : n / 2);
+          2, config_.max_clusters > 0 ? config_.max_clusters : m / 2);
       double best_score = -2.0;
-      std::vector<std::size_t> best = std::vector<std::size_t>(n, 0);
+      std::vector<std::size_t> best = std::vector<std::size_t>(m, 0);
       std::size_t best_k = 1;
-      for (std::size_t k = 2; k <= std::min(k_max, n); ++k) {
+      for (std::size_t k = 2; k <= std::min(k_max, m); ++k) {
         std::vector<std::size_t> labels = out.dendrogram.cut_k(k);
         const double score = cluster::silhouette(out.proximity, labels);
         if (score > best_score) {
@@ -99,7 +167,7 @@ ClusteringOutcome FedClust::form_clusters(fl::Federation& federation,
       }
       if (best_score < config_.min_silhouette) {
         // No clustering structure at any k: keep one cluster.
-        out.labels.assign(n, 0);
+        out.labels.assign(m, 0);
         out.threshold = out.dendrogram.merges.empty()
                             ? 0.0
                             : out.dendrogram.merges.back().distance + 1.0;
@@ -107,7 +175,7 @@ ClusteringOutcome FedClust::form_clusters(fl::Federation& federation,
         out.labels = std::move(best);
         // Report the equivalent distance cut for interpretability: the
         // distance of the first merge the cut rejected.
-        const std::size_t applied = n - best_k;
+        const std::size_t applied = m - best_k;
         out.threshold = applied < out.dendrogram.merges.size()
                             ? out.dendrogram.merges[applied].distance
                             : out.dendrogram.merges.back().distance + 1.0;
@@ -115,12 +183,24 @@ ClusteringOutcome FedClust::form_clusters(fl::Federation& federation,
       break;
     }
   }
+  // The cut above labeled the reporters (proximity rows); expand to a
+  // per-client vector. Deferred clients hold a provisional 0 until the
+  // newcomer path places them (run() does this before round 1).
+  if (out.reporters.size() != n) {
+    std::vector<std::size_t> full(n, 0);
+    for (std::size_t i = 0; i < out.reporters.size(); ++i) {
+      full[out.reporters[i]] = out.labels[i];
+    }
+    out.labels = std::move(full);
+  }
+
   if (federation.config().audit) {
     // The one-shot formation is FedClust's load-bearing step: verify the
     // uploaded slices are finite, the Lance–Williams merges never invert
     // (what the largest-gap threshold scan assumes), and the cut produced
     // a genuine partition with consecutive cluster ids.
     for (std::size_t c = 0; c < out.partial_weights.size(); ++c) {
+      if (out.partial_weights[c].empty()) continue;  // deferred client
       const std::string context =
           "formation partial weights of client " + std::to_string(c);
       check::assert_all_finite(out.partial_weights[c], context.c_str());
@@ -140,17 +220,25 @@ fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
   result.algorithm = name();
 
   // Round 0: one-shot weight-driven cluster formation. Every client
-  // downloads the full initial model and uploads only its partial slice.
+  // downloads the full initial model and uploads only its partial slice;
+  // a re-solicited client downloads once more per retry wave.
   federation.comm().begin_round(0);
   ClusteringOutcome outcome = form_clusters(federation, /*round=*/0);
   const std::size_t partial_floats = slices_numel(resolve_partial_slices(
       federation.template_model(), config_.partial_spec));
   for (std::size_t c = 0; c < federation.num_clients(); ++c) {
     federation.meter_download(c, federation.model_size());
+  }
+  for (const auto& wave : outcome.resolicited) {
+    for (const std::size_t c : wave) {
+      federation.meter_download(c, federation.model_size());
+    }
+  }
+  for (const std::size_t c : outcome.reporters) {
     federation.meter_upload(c, partial_floats);
   }
 
-  const std::vector<std::size_t>& labels = outcome.labels;
+  std::vector<std::size_t> labels = outcome.labels;
   std::vector<std::vector<float>> cluster_weights(
       cluster::num_clusters(labels),
       federation.template_model().flat_weights());
@@ -162,15 +250,21 @@ fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
         federation.template_model(), config_.partial_spec);
     const auto members = cluster::members_by_cluster(labels);
     for (std::size_t c = 0; c < members.size(); ++c) {
-      if (members[c].empty()) continue;
-      const std::size_t dim = outcome.partial_weights[members[c][0]].size();
-      std::vector<double> mean(dim, 0.0);
+      // Deferred clients have no stored upload yet — average the
+      // contributors that do.
+      std::vector<std::size_t> contributors;
       for (const std::size_t m : members[c]) {
+        if (!outcome.partial_weights[m].empty()) contributors.push_back(m);
+      }
+      if (contributors.empty()) continue;
+      const std::size_t dim = outcome.partial_weights[contributors[0]].size();
+      std::vector<double> mean(dim, 0.0);
+      for (const std::size_t m : contributors) {
         for (std::size_t i = 0; i < dim; ++i) {
           mean[i] += outcome.partial_weights[m][i];
         }
       }
-      const double inv = 1.0 / static_cast<double>(members[c].size());
+      const double inv = 1.0 / static_cast<double>(contributors.size());
       std::size_t cursor = 0;
       for (const nn::ParamSlice& s : slices) {
         for (std::size_t i = 0; i < s.size; ++i, ++cursor) {
@@ -181,6 +275,33 @@ fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
     }
   }
 
+  // Deferred clients (no formation upload after every retry) join via
+  // the newcomer path: solo warmup, nearest cluster by stored partials.
+  // This still happens inside round 0, so its traffic is metered — and
+  // simulated — before the round-0 snapshot.
+  for (const std::size_t cid : outcome.deferred) {
+    fl::LocalTrainConfig warmup = federation.config().local;
+    if (config_.warmup_epochs > 0) warmup.epochs = config_.warmup_epochs;
+    const std::vector<net::ClientOp> ops{
+        {.client = cid,
+         .download_floats = federation.model_size(),
+         .upload_floats = partial_floats,
+         .num_samples = federation.client_data(cid).train.size(),
+         .epochs = warmup.epochs,
+         .churned = false,
+         .upload_kind = net::MessageKind::kPartialUpdate}};
+    federation.simulate_network_round(0, ops, /*reliable=*/true);
+    federation.meter_download(cid, federation.model_size());
+    federation.meter_upload(cid, partial_floats);
+    std::vector<float> partial;
+    labels[cid] = assign_newcomer(
+        federation.template_model(), federation.client_data(cid).train,
+        federation.config().local, federation.client_rng(cid, 0), outcome,
+        &partial);
+    outcome.partial_weights[cid] = std::move(partial);
+    outcome.labels[cid] = labels[cid];
+  }
+
   {
     const fl::AccuracySummary acc =
         algorithms::evaluate_clustered(federation, labels, cluster_weights);
@@ -188,9 +309,28 @@ fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
         0, acc, 0.0, federation, cluster_weights.size(),
         check::weights_fingerprint(cluster_weights)));
   }
+  if (config_.checkpoint_every > 0) {
+    robust::save_checkpoint(
+        make_checkpoint(federation, /*next_round=*/1, labels, cluster_weights,
+                        outcome, result),
+        config_.checkpoint_path);
+  }
 
   // Rounds 1..R-1: FedAvg within each cluster.
-  for (std::size_t round = 1; round < rounds; ++round) {
+  run_rounds(federation, 1, rounds, labels, cluster_weights, outcome, result);
+
+  result.cluster_labels = labels;
+  last_clustering_ = std::move(outcome);
+  return result;
+}
+
+void FedClust::run_rounds(fl::Federation& federation, std::size_t first,
+                          std::size_t rounds,
+                          const std::vector<std::size_t>& labels,
+                          std::vector<std::vector<float>>& cluster_weights,
+                          const ClusteringOutcome& outcome,
+                          fl::RunResult& result) {
+  for (std::size_t round = first; round < rounds; ++round) {
     federation.comm().begin_round(round);
     const double loss = algorithms::per_cluster_fedavg_round(
         federation, round, labels, cluster_weights);
@@ -203,8 +343,119 @@ fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
           check::weights_fingerprint(cluster_weights)));
       if (last) result.final_accuracy = acc;
     }
+    if (config_.checkpoint_every > 0 &&
+        round % config_.checkpoint_every == 0) {
+      robust::save_checkpoint(
+          make_checkpoint(federation, round + 1, labels, cluster_weights,
+                          outcome, result),
+          config_.checkpoint_path);
+    }
+  }
+}
+
+robust::RunCheckpoint FedClust::make_checkpoint(
+    const fl::Federation& federation, std::size_t next_round,
+    const std::vector<std::size_t>& labels,
+    const std::vector<std::vector<float>>& cluster_weights,
+    const ClusteringOutcome& outcome, const fl::RunResult& result) const {
+  robust::RunCheckpoint ck;
+  ck.next_round = next_round;
+  ck.seed = federation.config().seed;
+  ck.labels.assign(labels.begin(), labels.end());
+  ck.cluster_weights = cluster_weights;
+  ck.partial_weights = outcome.partial_weights;
+  ck.rounds.reserve(result.rounds.size());
+  for (const fl::RoundMetrics& m : result.rounds) {
+    ck.rounds.push_back(robust::RoundRecord{
+        .round = m.round,
+        .acc_mean = m.acc_mean,
+        .acc_std = m.acc_std,
+        .train_loss = m.train_loss,
+        .cum_upload = m.cum_upload,
+        .cum_download = m.cum_download,
+        .num_clusters = m.num_clusters,
+        .sim_seconds = m.sim_seconds,
+        .weights_fp = m.weights_fp});
+  }
+  const fl::CommMeter& comm = federation.comm();
+  ck.comm.round_download = comm.round_download();
+  ck.comm.round_upload = comm.round_upload();
+  ck.comm.client_download = comm.per_client_download();
+  ck.comm.client_upload = comm.per_client_upload();
+  ck.comm.total_download = comm.total_download();
+  ck.comm.total_upload = comm.total_upload();
+  if (federation.network_enabled()) {
+    ck.net.present = true;
+    ck.net.clock = federation.network()->now();
+    ck.net.log = federation.network()->log();
+  }
+  const robust::Quarantine& q = federation.quarantine();
+  ck.quarantine_counts.assign(q.strike_counts().begin(),
+                              q.strike_counts().end());
+  ck.quarantine_max_strikes = q.max_strikes();
+  return ck;
+}
+
+fl::RunResult FedClust::resume(fl::Federation& federation,
+                               const robust::RunCheckpoint& checkpoint,
+                               std::size_t rounds) {
+  FEDCLUST_REQUIRE(checkpoint.seed == federation.config().seed,
+                   "checkpoint seed " << checkpoint.seed
+                                      << " does not match federation seed "
+                                      << federation.config().seed);
+  FEDCLUST_REQUIRE(checkpoint.labels.size() == federation.num_clients(),
+                   "checkpoint covers " << checkpoint.labels.size()
+                                        << " clients, federation has "
+                                        << federation.num_clients());
+  FEDCLUST_REQUIRE(checkpoint.next_round >= 1 && checkpoint.next_round < rounds,
+                   "cannot resume at round " << checkpoint.next_round
+                                             << " of a " << rounds
+                                             << "-round run");
+  FEDCLUST_REQUIRE(
+      checkpoint.net.present == federation.network_enabled(),
+      "checkpoint and federation disagree on the network simulator");
+
+  federation.comm().restore(checkpoint.comm.round_download,
+                            checkpoint.comm.round_upload,
+                            checkpoint.comm.client_download,
+                            checkpoint.comm.client_upload,
+                            checkpoint.comm.total_download,
+                            checkpoint.comm.total_upload);
+  FEDCLUST_REQUIRE(federation.comm().round_count() == checkpoint.next_round,
+                   "checkpoint comm series inconsistent with round index");
+  if (federation.network_enabled()) {
+    federation.network()->restore(checkpoint.net.clock, checkpoint.net.log);
+  }
+  federation.quarantine().restore(
+      std::vector<std::size_t>(checkpoint.quarantine_counts.begin(),
+                               checkpoint.quarantine_counts.end()),
+      checkpoint.quarantine_max_strikes);
+
+  fl::RunResult result;
+  result.algorithm = name();
+  result.rounds.reserve(checkpoint.rounds.size());
+  for (const robust::RoundRecord& m : checkpoint.rounds) {
+    result.rounds.push_back(fl::RoundMetrics{
+        .round = static_cast<std::size_t>(m.round),
+        .acc_mean = m.acc_mean,
+        .acc_std = m.acc_std,
+        .train_loss = m.train_loss,
+        .cum_upload = m.cum_upload,
+        .cum_download = m.cum_download,
+        .num_clusters = static_cast<std::size_t>(m.num_clusters),
+        .sim_seconds = m.sim_seconds,
+        .weights_fp = m.weights_fp});
   }
 
+  const std::vector<std::size_t> labels(checkpoint.labels.begin(),
+                                        checkpoint.labels.end());
+  std::vector<std::vector<float>> cluster_weights = checkpoint.cluster_weights;
+  ClusteringOutcome outcome;
+  outcome.partial_weights = checkpoint.partial_weights;
+  outcome.labels = labels;
+
+  run_rounds(federation, checkpoint.next_round, rounds, labels,
+             cluster_weights, outcome, result);
   result.cluster_labels = labels;
   last_clustering_ = std::move(outcome);
   return result;
@@ -236,6 +487,9 @@ std::size_t FedClust::assign_newcomer(
   std::vector<std::size_t> count(k, 0);
   for (std::size_t i = 0; i < outcome.labels.size(); ++i) {
     const std::vector<float>& member = outcome.partial_weights[i];
+    // A deferred client has no stored upload (yet); it cannot anchor a
+    // distance and is skipped.
+    if (member.empty()) continue;
     FEDCLUST_REQUIRE(member.size() == partial.size(),
                      "stored partial weights do not match newcomer slice");
     double s = 0.0;

@@ -22,6 +22,7 @@
 #include "cluster/hierarchical.hpp"
 #include "core/partial_weights.hpp"
 #include "fl/algorithm.hpp"
+#include "robust/checkpoint.hpp"
 
 namespace fedclust::core {
 
@@ -73,18 +74,54 @@ struct FedClustConfig {
   /// server already holds them), instead of the raw initialization.
   /// Costs no extra communication; ablated in bench/comm_cost.
   bool warm_start_classifier = false;
+
+  // --- Formation-round fault tolerance -----------------------------------
+  /// Re-solicitation waves for formation uploads that never arrived
+  /// (client crashed, or its upload was quarantined). Each wave re-runs
+  /// the warmup solicitation for the missing clients only, with an
+  /// independent fault draw.
+  std::size_t formation_retries = 2;
+  /// Minimum fraction of clients whose formation upload must arrive
+  /// (after retries) for clustering to proceed.
+  double min_formation_quorum = 0.5;
+  /// Below quorum: fall back to one global cluster (plain FedAvg over
+  /// whoever is alive) or abort the run with fedclust::Error.
+  enum class FormationFallback { kGlobalFedAvg, kAbort };
+  FormationFallback formation_fallback = FormationFallback::kGlobalFedAvg;
+
+  // --- Crash recovery ----------------------------------------------------
+  /// Write a robust::RunCheckpoint after every round r with
+  /// r % checkpoint_every == 0 (round 0 included); 0 = never checkpoint.
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path = "fedclust_run.ckpt";
 };
 
 /// Everything the server learns in the one-shot clustering round. Kept
 /// around to admit newcomers without re-clustering.
 struct ClusteringOutcome {
-  std::vector<std::vector<float>> partial_weights;  ///< per client
-  Matrix proximity;                                 ///< Euclidean distances
+  /// Per-client formation uploads; EMPTY vector for a deferred client
+  /// whose upload never arrived (filled in later by the newcomer path).
+  std::vector<std::vector<float>> partial_weights;
+  /// Euclidean distances over `reporters` (row i = reporters[i]). With
+  /// no faults reporters is every client, so rows = client ids as before.
+  Matrix proximity;
   cluster::Dendrogram dendrogram;
   double threshold = 0.0;  ///< the cut actually applied
+  /// Per-client cluster assignment (ALL clients; a deferred client holds
+  /// a provisional 0 until the newcomer path places it).
   std::vector<std::size_t> labels;
   std::uint64_t upload_bytes = 0;
   std::uint64_t download_bytes = 0;
+  /// Sorted ids whose formation upload arrived (possibly after retries).
+  std::vector<std::size_t> reporters;
+  /// Sorted ids still missing after every retry — run() admits them via
+  /// the newcomer path before round 1.
+  std::vector<std::size_t> deferred;
+  /// Clients solicited in each retry wave (wave w = attempt w + 1), for
+  /// download metering.
+  std::vector<std::vector<std::size_t>> resolicited;
+  /// Quorum failed: everyone was labeled 0 (global FedAvg fallback).
+  bool fallback_global = false;
 };
 
 class FedClust : public fl::Algorithm {
@@ -119,7 +156,29 @@ class FedClust : public fl::Algorithm {
                               Rng rng, const ClusteringOutcome& outcome,
                               std::vector<float>* partial_out = nullptr) const;
 
+  /// Continues a killed run from a checkpoint written by this config.
+  /// The federation must be constructed with the same data, config, and
+  /// seed as the original run; every per-(round, client) stream is
+  /// derived functionally from the seed, so the resumed trajectory is
+  /// bit-identical to the uninterrupted one (same per-round weights_fp).
+  fl::RunResult resume(fl::Federation& federation,
+                       const robust::RunCheckpoint& checkpoint,
+                       std::size_t rounds);
+
  private:
+  /// Rounds [first, rounds): per-cluster FedAvg + metrics + checkpoint
+  /// writes. Shared by run() and resume().
+  void run_rounds(fl::Federation& federation, std::size_t first,
+                  std::size_t rounds, const std::vector<std::size_t>& labels,
+                  std::vector<std::vector<float>>& cluster_weights,
+                  const ClusteringOutcome& outcome, fl::RunResult& result);
+  /// Snapshot of everything resume() needs after `next_round - 1`.
+  robust::RunCheckpoint make_checkpoint(
+      const fl::Federation& federation, std::size_t next_round,
+      const std::vector<std::size_t>& labels,
+      const std::vector<std::vector<float>>& cluster_weights,
+      const ClusteringOutcome& outcome, const fl::RunResult& result) const;
+
   FedClustConfig config_;
   std::optional<ClusteringOutcome> last_clustering_;
 };

@@ -61,4 +61,19 @@ void CommMeter::reset() {
   total_up_ = 0;
 }
 
+void CommMeter::restore(std::vector<std::uint64_t> round_down,
+                        std::vector<std::uint64_t> round_up,
+                        std::vector<std::uint64_t> client_down,
+                        std::vector<std::uint64_t> client_up,
+                        std::uint64_t total_down, std::uint64_t total_up) {
+  FEDCLUST_REQUIRE(round_down.size() == round_up.size(),
+                   "restore: per-round series must have equal length");
+  down_ = std::move(round_down);
+  up_ = std::move(round_up);
+  client_down_ = std::move(client_down);
+  client_up_ = std::move(client_up);
+  total_down_ = total_down;
+  total_up_ = total_up;
+}
+
 }  // namespace fedclust::fl

@@ -65,6 +65,14 @@ class CommMeter {
 
   void reset();
 
+  /// Restores all counters from a checkpoint snapshot, so metering can
+  /// continue with begin_round(round_count()).
+  void restore(std::vector<std::uint64_t> round_down,
+               std::vector<std::uint64_t> round_up,
+               std::vector<std::uint64_t> client_down,
+               std::vector<std::uint64_t> client_up, std::uint64_t total_down,
+               std::uint64_t total_up);
+
  private:
   std::vector<std::uint64_t> down_;
   std::vector<std::uint64_t> up_;

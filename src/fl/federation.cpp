@@ -17,6 +17,9 @@ Federation::Federation(nn::Model template_model,
       clients_(std::move(clients)),
       config_(config),
       model_size_(template_.num_weights()),
+      initial_weights_(template_.flat_weights()),
+      fault_plan_(config.faults, config.seed),
+      quarantine_(config.robust.validate.max_strikes),
       pool_(config.threads),
       kernel_pool_(config.kernel_threads > 0
                        ? std::make_unique<ThreadPool>(config.kernel_threads)
@@ -41,6 +44,9 @@ Federation::Federation(nn::Model template_model,
 void Federation::reset_comm() {
   comm_.reset();
   if (net_) net_->reset();
+  // A fresh run starts with a clean strike ledger — algorithms executed
+  // back-to-back on one federation must not inherit quarantines.
+  quarantine_ = robust::Quarantine(config_.robust.validate.max_strikes);
 }
 
 void Federation::simulate_network_round(std::size_t round,
@@ -67,14 +73,21 @@ std::vector<std::size_t> Federation::sample_clients(std::size_t round) const {
   const std::size_t want = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::lround(
              config_.participation * static_cast<double>(clients_.size()))));
+  std::vector<std::size_t> ids;
   if (want >= clients_.size()) {
-    std::vector<std::size_t> all(clients_.size());
-    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
-    return all;
+    ids.resize(clients_.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  } else {
+    Rng rng = round_rng(round);
+    ids = rng.sample_without_replacement(clients_.size(), want);
+    std::sort(ids.begin(), ids.end());
   }
-  Rng rng = round_rng(round);
-  auto ids = rng.sample_without_replacement(clients_.size(), want);
-  std::sort(ids.begin(), ids.end());
+  // The server no longer solicits quarantined clients. Sampling draws
+  // first so honest clients' selection is unperturbed by exclusions.
+  if (config_.robust.validate.enabled) {
+    std::erase_if(ids,
+                  [&](std::size_t c) { return quarantine_.quarantined(c); });
+  }
   return ids;
 }
 
@@ -90,15 +103,36 @@ std::vector<ClientUpdate> Federation::train_clients(
     const std::function<std::span<const float>(std::size_t)>&
         start_weights_for,
     const LocalTrainConfig* config_override, bool allow_failures,
-    const NetPayloads* net_payloads) {
+    const NetPayloads* net_payloads, std::size_t fault_attempt) {
   LocalTrainConfig local =
       config_override != nullptr ? *config_override : config_.local;
   if (config_.audit) local.audit = true;
 
+  // The server never solicits quarantined clients, even on explicit
+  // lists (formation re-solicitation goes through here too).
+  std::vector<std::size_t> solicited;
+  solicited.reserve(clients.size());
+  for (const std::size_t cid : clients) {
+    if (!config_.robust.validate.enabled || !quarantine_.quarantined(cid)) {
+      solicited.push_back(cid);
+    }
+  }
+
+  // Fault fate per client — functional over (round, client, attempt), so
+  // identical across thread counts. kCrash applies even to reliable
+  // rounds (a crashed client cannot answer a formation solicitation);
+  // dropout churn remains gated on allow_failures as before.
+  const auto fate = [&](std::size_t cid) {
+    return config_.faults.enabled
+               ? fault_plan_.decide(round, cid, fault_attempt)
+               : robust::FaultKind::kNone;
+  };
+
   // Decide churn up front so dropped clients cost no training time.
   std::vector<std::size_t> survivors;
-  survivors.reserve(clients.size());
-  for (const std::size_t cid : clients) {
+  survivors.reserve(solicited.size());
+  for (const std::size_t cid : solicited) {
+    if (fate(cid) == robust::FaultKind::kCrash) continue;
     if (!allow_failures || !client_fails(cid, round)) {
       survivors.push_back(cid);
     }
@@ -116,11 +150,12 @@ std::vector<ClientUpdate> Federation::train_clients(
     if (net_payloads != nullptr) payloads = *net_payloads;
     if (payloads.download_floats > 0 || payloads.upload_floats > 0) {
       std::vector<net::ClientOp> ops;
-      ops.reserve(clients.size());
-      for (const std::size_t cid : clients) {
+      ops.reserve(solicited.size());
+      for (const std::size_t cid : solicited) {
         FEDCLUST_REQUIRE(cid < clients_.size(), "client id out of range");
         const bool churned =
-            allow_failures && client_fails(cid, round);
+            (allow_failures && client_fails(cid, round)) ||
+            fate(cid) == robust::FaultKind::kCrash;
         ops.push_back(net::ClientOp{.client = cid,
                                     .download_floats = payloads.download_floats,
                                     .upload_floats = payloads.upload_floats,
@@ -135,7 +170,7 @@ std::vector<ClientUpdate> Federation::train_clients(
       accepted.reserve(report.accepted);
       for (std::size_t i = 0; i < report.arrivals.size(); ++i) {
         const net::Arrival& a = report.arrivals[i];
-        if (a.delivered && !a.late) accepted.push_back(clients[i]);
+        if (a.delivered && !a.late) accepted.push_back(solicited[i]);
       }
       survivors = std::move(accepted);
     }
@@ -145,14 +180,64 @@ std::vector<ClientUpdate> Federation::train_clients(
   pool_.parallel_for(0, survivors.size(), [&](std::size_t slot) {
     const std::size_t cid = survivors[slot];
     FEDCLUST_REQUIRE(cid < clients_.size(), "client id out of range");
+    const robust::FaultKind kind = fate(cid);
+    // A stale replay trains from the run's initial weights — the client
+    // never saw (or ignored) the current broadcast.
+    const std::span<const float> start =
+        kind == robust::FaultKind::kStaleReplay
+            ? std::span<const float>(initial_weights_)
+            : start_weights_for(cid);
     nn::Model model = template_.clone();
     model.set_thread_pool(kernel_pool_.get());
-    model.set_flat_weights(start_weights_for(cid));
+    model.set_flat_weights(start);
     const float loss = train_local(model, clients_[cid].train, local,
                                    client_rng(cid, round));
-    updates[slot] = ClientUpdate{cid, model.flat_weights(),
+    std::vector<float> weights = model.flat_weights();
+    robust::apply_payload_fault(kind, config_.faults, start, weights,
+                                fault_plan_.payload_rng(round, cid));
+    updates[slot] = ClientUpdate{cid, std::move(weights),
                                  clients_[cid].train.size(), loss};
   });
+
+  // Server-side screening: every arrived update is validated against the
+  // weights the server actually served this client. Rejections are
+  // metered (the bytes did cross the wire), charged as strikes, and
+  // dropped from the result.
+  if (config_.robust.validate.enabled && !updates.empty()) {
+    std::vector<std::span<const float>> payload_spans;
+    std::vector<std::span<const float>> start_spans;
+    std::vector<std::size_t> ids;
+    payload_spans.reserve(updates.size());
+    start_spans.reserve(updates.size());
+    ids.reserve(updates.size());
+    for (const ClientUpdate& u : updates) {
+      payload_spans.emplace_back(u.weights);
+      start_spans.push_back(start_weights_for(u.client_id));
+      ids.push_back(u.client_id);
+    }
+    const std::vector<robust::Verdict> verdicts = robust::screen_updates(
+        payload_spans, start_spans, ids, model_size_,
+        config_.robust.validate);
+    const std::size_t upload_floats =
+        net_payloads != nullptr ? net_payloads->upload_floats : model_size_;
+    std::vector<ClientUpdate> kept;
+    kept.reserve(updates.size());
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      if (verdicts[i].accepted()) {
+        kept.push_back(std::move(updates[i]));
+      } else {
+        // The rejected bytes did cross the wire; meter them here since
+        // the caller never sees the update (skipped when the caller
+        // opened no metering round, e.g. direct train_clients tests).
+        if (upload_floats > 0 && comm_.round_count() > 0) {
+          meter_upload(verdicts[i].client, upload_floats);
+        }
+        quarantine_.strike(verdicts[i].client);
+      }
+    }
+    updates = std::move(kept);
+  }
+
   if (config_.audit) {
     // Sweep after the pool joins so a violation throws on the caller's
     // thread with a precise attribution.
@@ -277,13 +362,29 @@ std::vector<double> aggregation_coefficients(
 }
 
 std::vector<float> Federation::aggregate(
-    const std::vector<ClientUpdate>& updates) {
-  std::vector<float> out = weighted_average(updates, aggregation_pool());
+    const std::vector<ClientUpdate>& updates,
+    std::span<const float> reference) {
+  if (config_.robust.rule == robust::AggregationRule::kWeightedMean) {
+    std::vector<float> out = weighted_average(updates, aggregation_pool());
+    if (config_.audit) {
+      std::vector<std::span<const float>> inputs;
+      inputs.reserve(updates.size());
+      for (const ClientUpdate& u : updates) inputs.emplace_back(u.weights);
+      check::audit_aggregation(inputs, aggregation_coefficients(updates), out);
+    }
+    return out;
+  }
+  std::vector<std::span<const float>> inputs;
+  inputs.reserve(updates.size());
+  for (const ClientUpdate& u : updates) inputs.emplace_back(u.weights);
+  std::vector<float> out = robust::robust_aggregate(
+      inputs, aggregation_coefficients(updates), config_.robust.rule,
+      config_.robust, reference, aggregation_pool());
   if (config_.audit) {
-    std::vector<std::span<const float>> inputs;
-    inputs.reserve(updates.size());
-    for (const ClientUpdate& u : updates) inputs.emplace_back(u.weights);
-    check::audit_aggregation(inputs, aggregation_coefficients(updates), out);
+    // The convex-envelope audit is specific to the weighted mean (a
+    // norm-clipped output lives in the hull of {reference, inputs}, not
+    // of the inputs alone); for robust rules check finiteness only.
+    check::assert_all_finite(out, "robust aggregation output");
   }
   return out;
 }

@@ -19,6 +19,8 @@
 #include "fl/types.hpp"
 #include "net/simulator.hpp"
 #include "nn/model.hpp"
+#include "robust/aggregate.hpp"
+#include "robust/fault.hpp"
 #include "utils/thread_pool.hpp"
 
 namespace fedclust::fl {
@@ -58,6 +60,17 @@ struct FederationConfig {
   /// fedclust::Error on violation. Off by default — audited runs pay one
   /// extra sweep over each weight vector per round.
   bool audit = false;
+  /// Deterministic fault injection (client crashes, stale replays,
+  /// corrupted uploads). Disabled by default. Note that injected
+  /// non-finite corruption reaching the aggregator will — correctly —
+  /// trip the `audit` finite sweep unless `robust.validate` screens it
+  /// out first. Declared last: the member name shadows namespace
+  /// `robust` for later declarations in this scope.
+  robust::FaultConfig faults{};
+  /// Robust aggregation rule + server-side update validation/quarantine.
+  /// Default = plain weighted mean, no validation: the engine is then
+  /// bit-identical to the pre-robustness engine.
+  robust::RobustConfig robust{};
 };
 
 /// Per-direction payload sizes, in float32 values, of one simulated
@@ -116,8 +129,9 @@ class Federation {
     comm_.upload(wire_bytes(num_floats), client);
   }
 
-  /// Resets communication accounting AND the network simulator's clock,
-  /// log, and reports. Algorithms call this at run() entry.
+  /// Resets communication accounting, the network simulator's clock,
+  /// log, and reports, AND the quarantine strike ledger. Algorithms call
+  /// this at run() entry.
   void reset_comm();
 
   /// Simulates a round the engine does not train (e.g. PACFL's formation,
@@ -139,7 +153,9 @@ class Federation {
   Rng round_rng(std::size_t round) const;
 
   /// Clients participating in `round` (sorted ids). With participation
-  /// 1.0 this is everyone.
+  /// 1.0 this is everyone. Quarantined clients are excluded — the server
+  /// stops soliciting them (identity when validation is off or no client
+  /// has been quarantined).
   std::vector<std::size_t> sample_clients(std::size_t round) const;
 
   /// Trains the listed clients in parallel, each starting from
@@ -163,12 +179,22 @@ class Federation {
   /// `net_payloads` sizes the transfers (defaults to a full model each
   /// way); a formation step (allow_failures = false) is simulated as a
   /// reliable round that waits for everyone.
+  /// With config().faults enabled, the fault plan is consulted per
+  /// solicited client: crashed clients are dropped like churn, stale
+  /// replays train from the run's initial weights, and corrupted uploads
+  /// are mutated after training. With config().robust.validate enabled,
+  /// every arrived update is screened (shape / finite / norm envelope);
+  /// rejections are dropped from the result, metered as received
+  /// traffic, and charged as quarantine strikes. `fault_attempt`
+  /// distinguishes re-solicitations of the same round (formation
+  /// hardening) so their fault draws are independent.
   std::vector<ClientUpdate> train_clients(
       const std::vector<std::size_t>& clients, std::size_t round,
       const std::function<std::span<const float>(std::size_t)>&
           start_weights_for,
       const LocalTrainConfig* config_override = nullptr,
-      bool allow_failures = true, const NetPayloads* net_payloads = nullptr);
+      bool allow_failures = true, const NetPayloads* net_payloads = nullptr,
+      std::size_t fault_attempt = 0);
 
   /// Whether a given client drops out of a given round under the
   /// configured dropout probability (deterministic).
@@ -182,12 +208,24 @@ class Federation {
   /// to borrow whenever no train_clients call is in flight.
   ThreadPool* aggregation_pool() const { return &pool_; }
 
-  /// weighted_average over the aggregation pool, plus — under
-  /// config().audit — verification that the coefficients conserve mass
-  /// and every output coordinate stays inside the inputs' convex
-  /// envelope (check::audit_aggregation). Algorithms aggregate through
-  /// this instead of calling weighted_average directly.
-  std::vector<float> aggregate(const std::vector<ClientUpdate>& updates);
+  /// Aggregation seam every algorithm goes through. Under the default
+  /// kWeightedMean rule this is weighted_average over the aggregation
+  /// pool, plus — under config().audit — verification that the
+  /// coefficients conserve mass and every output coordinate stays inside
+  /// the inputs' convex envelope (check::audit_aggregation). Other rules
+  /// dispatch to robust::robust_aggregate; `reference` is the pre-round
+  /// model anchoring kNormClip deltas (ignored by the other rules, may
+  /// be empty).
+  std::vector<float> aggregate(const std::vector<ClientUpdate>& updates,
+                               std::span<const float> reference = {});
+
+  /// The run's fault-injection plan (inert unless config().faults is
+  /// enabled).
+  const robust::FaultPlan& fault_plan() const { return fault_plan_; }
+  /// Server-side strike ledger (only fed when config().robust.validate
+  /// is enabled).
+  robust::Quarantine& quarantine() { return quarantine_; }
+  const robust::Quarantine& quarantine() const { return quarantine_; }
 
   /// Loss/accuracy of a weight vector on one client's local test split.
   EvalResult evaluate_client(std::size_t client,
@@ -210,6 +248,10 @@ class Federation {
   std::vector<ClientData> clients_;
   FederationConfig config_;
   std::size_t model_size_ = 0;
+  /// The template's flat weights — what a stale-replay fault trains from.
+  std::vector<float> initial_weights_;
+  robust::FaultPlan fault_plan_;
+  robust::Quarantine quarantine_;
   mutable ThreadPool pool_;
   std::unique_ptr<ThreadPool> kernel_pool_;
   CommMeter comm_;

@@ -3,13 +3,15 @@
 #include <cstring>
 
 #include "nn/serialize.hpp"
+#include "utils/crc32.hpp"
 #include "utils/error.hpp"
 
 namespace fedclust::net {
 namespace {
 
 constexpr char kMagic[4] = {'F', 'C', 'M', 'G'};
-constexpr std::uint16_t kVersion = 1;
+// Version 2 added the payload CRC-32 field to the frame header.
+constexpr std::uint16_t kVersion = 2;
 
 }  // namespace
 
@@ -36,7 +38,18 @@ std::vector<std::uint8_t> encode(const Message& m) {
   nn::wire::put_u32(buf, m.header.round);
   nn::wire::put_u32(buf, m.header.sender);
   nn::wire::put_u64(buf, static_cast<std::uint64_t>(m.payload.size()));
+  // Checksum the payload exactly as it goes on the wire: encode it first,
+  // CRC the encoded bytes, then splice the checksum into the header slot.
+  const std::size_t crc_pos = buf.size();
+  nn::wire::put_u32(buf, 0);
+  const std::size_t payload_pos = buf.size();
   nn::wire::put_f32(buf, m.payload);
+  const std::uint32_t crc =
+      crc32(buf.data() + payload_pos, buf.size() - payload_pos);
+  buf[crc_pos] = static_cast<std::uint8_t>(crc & 0xff);
+  buf[crc_pos + 1] = static_cast<std::uint8_t>((crc >> 8) & 0xff);
+  buf[crc_pos + 2] = static_cast<std::uint8_t>((crc >> 16) & 0xff);
+  buf[crc_pos + 3] = static_cast<std::uint8_t>((crc >> 24) & 0xff);
   return buf;
 }
 
@@ -60,10 +73,18 @@ Message decode(std::span<const std::uint8_t> buf) {
   m.header.round = r.u32();
   m.header.sender = r.u32();
   m.header.payload_floats = r.u64();
+  m.header.payload_crc = r.u32();
   FEDCLUST_CHECK(r.remaining() == m.header.payload_floats * 4,
                  "message payload length mismatch: header says "
                      << m.header.payload_floats * 4 << " bytes, buffer has "
                      << r.remaining());
+  const std::uint32_t actual_crc =
+      crc32(buf.data() + r.position(), r.remaining());
+  FEDCLUST_CHECK(actual_crc == m.header.payload_crc,
+                 "message payload checksum mismatch: header says 0x"
+                     << std::hex << m.header.payload_crc << ", payload hashes "
+                     << "to 0x" << actual_crc
+                     << " — frame corrupted in transit");
   m.payload.resize(m.header.payload_floats);
   r.f32(m.payload);
   return m;

@@ -3,13 +3,17 @@
 // Every transfer between server and clients is a framed message:
 //
 //   magic "FCMG" | u16 version | u16 kind | u32 round | u32 sender |
-//   u64 payload_floats | payload: packed little-endian float32
+//   u64 payload_floats | u32 crc32(payload) | payload: packed
+//   little-endian float32
 //
-// The 24-byte header is charged on every simulated transfer, so byte
+// The 28-byte header is charged on every simulated transfer, so byte
 // accounting under the network layer reflects framed traffic instead of
 // the bare `num_floats * 4` the CommMeter used historically. Payloads
 // are weight vectors serialized through the nn/serialize wire codec;
-// decode() rejects bad magic, unknown versions, and truncated payloads.
+// decode() rejects bad magic, unknown versions, truncated payloads, and
+// — since version 2 — payload bytes whose CRC-32 disagrees with the
+// header, so wire corruption surfaces at decode instead of as silently
+// poisoned weights downstream.
 #pragma once
 
 #include <cstdint>
@@ -32,8 +36,9 @@ const char* to_string(MessageKind kind);
 /// Sender id used for server-originated messages.
 inline constexpr std::uint32_t kServerId = 0xffffffffu;
 
-/// magic(4) + version(2) + kind(2) + round(4) + sender(4) + length(8).
-inline constexpr std::size_t kHeaderBytes = 24;
+/// magic(4) + version(2) + kind(2) + round(4) + sender(4) + length(8) +
+/// crc32(4).
+inline constexpr std::size_t kHeaderBytes = 28;
 
 /// Framed size on the wire of a message carrying `payload_floats`
 /// float32 values.
@@ -46,6 +51,9 @@ struct MessageHeader {
   std::uint32_t round = 0;
   std::uint32_t sender = kServerId;
   std::uint64_t payload_floats = 0;
+  /// CRC-32 of the encoded payload bytes; encode() fills it in, decode()
+  /// verifies it.
+  std::uint32_t payload_crc = 0;
 };
 
 struct Message {
@@ -54,12 +62,13 @@ struct Message {
 };
 
 /// Frames `m` (header + payload) into a byte buffer; sets the header's
-/// payload_floats from the payload size.
+/// payload_floats and payload_crc from the payload.
 std::vector<std::uint8_t> encode(const Message& m);
 
 /// Parses a frame produced by encode(). Throws fedclust::Error on bad
 /// magic, unsupported version, unknown kind, a payload length that
-/// disagrees with the buffer, or trailing garbage.
+/// disagrees with the buffer, a payload checksum mismatch (wire
+/// corruption), or trailing garbage.
 Message decode(std::span<const std::uint8_t> buf);
 
 }  // namespace fedclust::net

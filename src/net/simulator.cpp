@@ -215,6 +215,12 @@ void NetworkSimulator::reset() {
   reports_.clear();
 }
 
+void NetworkSimulator::restore(double clock, std::vector<Event> log) {
+  clock_ = clock;
+  log_ = std::move(log);
+  reports_.clear();
+}
+
 DeliveredBytes delivered_bytes(const std::vector<Event>& log) {
   DeliveredBytes out;
   for (const Event& e : log) {

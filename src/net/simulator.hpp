@@ -110,6 +110,12 @@ class NetworkSimulator {
   /// Clears the clock, log, and reports (pairs with CommMeter::reset).
   void reset();
 
+  /// Restores the virtual clock and event log from a checkpoint. Reports
+  /// are per-run diagnostics and start empty; every future draw is keyed
+  /// functionally by (seed, round, client, attempt), so no RNG state
+  /// needs restoring.
+  void restore(double clock, std::vector<Event> log);
+
  private:
   Rng draw(std::uint64_t purpose, std::size_t round, std::size_t client,
            std::size_t attempt) const;

@@ -32,6 +32,10 @@ void put_f32(std::vector<std::uint8_t>& buf, std::span<const float> values) {
   }
 }
 
+void put_f64(std::vector<std::uint8_t>& buf, double v) {
+  put_u64(buf, std::bit_cast<std::uint64_t>(v));
+}
+
 void put_bytes(std::vector<std::uint8_t>& buf, const void* data,
                std::size_t n) {
   const auto* p = static_cast<const std::uint8_t*>(data);
@@ -77,6 +81,8 @@ void Reader::f32(std::span<float> out) {
     f = std::bit_cast<float>(u32());
   }
 }
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
 
 void Reader::raw(void* out, std::size_t n) {
   need(n);

@@ -37,6 +37,8 @@ void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v);
 void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v);
 /// Appends `values` as packed little-endian float32.
 void put_f32(std::vector<std::uint8_t>& buf, std::span<const float> values);
+/// Appends one little-endian IEEE-754 float64.
+void put_f64(std::vector<std::uint8_t>& buf, double v);
 /// Appends raw bytes verbatim.
 void put_bytes(std::vector<std::uint8_t>& buf, const void* data,
                std::size_t n);
@@ -53,6 +55,7 @@ class Reader {
   std::uint64_t u64();
   /// Fills `out` with packed little-endian float32 values.
   void f32(std::span<float> out);
+  double f64();
   /// Copies `n` raw bytes into `out`.
   void raw(void* out, std::size_t n);
 

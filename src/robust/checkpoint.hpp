@@ -1,0 +1,87 @@
+// Crash-recoverable run checkpoints.
+//
+// A RunCheckpoint captures everything the FedClust round loop needs to
+// continue bit-identically after a process kill: the next round index,
+// the per-cluster server models, the formation artifacts the newcomer
+// path depends on, the metric/comm/network trajectory so far, and the
+// quarantine ledger. RNG state is deliberately ABSENT — every stream in
+// the engine is derived functionally from (seed, purpose, round,
+// client, attempt), so "RNG position" is fully determined by the round
+// index alone.
+//
+// On-disk format (little-endian, nn::wire codec):
+//   magic "FCKP" | u32 version | body | u32 crc32(magic..body)
+// The trailing CRC makes torn or bit-flipped files fail loudly at load
+// time instead of silently resuming a corrupted run.
+//
+// This header mirrors fl::RoundMetrics and fl::CommMeter state as plain
+// structs instead of including fl/ headers: robust/ sits below fl/ in
+// the library stack and must not depend on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/event.hpp"
+
+namespace fedclust::robust {
+
+/// Plain mirror of fl::RoundMetrics (field-for-field) so the metrics
+/// trajectory can round-trip through a checkpoint without a dependency
+/// on fl/.
+struct RoundRecord {
+  std::uint64_t round = 0;
+  double acc_mean = 0.0;
+  double acc_std = 0.0;
+  double train_loss = 0.0;
+  std::uint64_t cum_upload = 0;
+  std::uint64_t cum_download = 0;
+  std::uint64_t num_clusters = 1;
+  double sim_seconds = 0.0;
+  std::uint64_t weights_fp = 0;
+};
+
+/// Full state of a CommMeter (per-round + per-client series + totals).
+struct CommSnapshot {
+  std::vector<std::uint64_t> round_download;
+  std::vector<std::uint64_t> round_upload;
+  std::vector<std::uint64_t> client_download;
+  std::vector<std::uint64_t> client_upload;
+  std::uint64_t total_download = 0;
+  std::uint64_t total_upload = 0;
+};
+
+/// Network simulator state: virtual clock + full event log. `present`
+/// distinguishes "simulator disabled" from "enabled with empty log".
+struct NetSnapshot {
+  bool present = false;
+  double clock = 0.0;
+  std::vector<net::Event> log;
+};
+
+/// Everything needed to resume a FedClust run after `next_round - 1`
+/// completed.
+struct RunCheckpoint {
+  std::uint64_t next_round = 0;  ///< first round still to execute
+  std::uint64_t seed = 0;        ///< federation seed (verified on resume)
+  std::vector<std::uint64_t> labels;  ///< per-client cluster assignment
+  std::vector<std::vector<float>> cluster_weights;
+  /// Formation-round partial uploads (index = client; empty vector for
+  /// deferred clients) — the newcomer path measures against these.
+  std::vector<std::vector<float>> partial_weights;
+  std::vector<RoundRecord> rounds;  ///< metrics emitted so far
+  CommSnapshot comm;
+  NetSnapshot net;
+  std::vector<std::uint64_t> quarantine_counts;  ///< index = client id
+  std::uint64_t quarantine_max_strikes = 0;
+};
+
+/// Serializes `ck` to `path` ("FCKP" format with CRC32 trailer).
+void save_checkpoint(const RunCheckpoint& ck, const std::string& path);
+
+/// Loads a checkpoint; throws fedclust::Error on a missing, truncated,
+/// corrupted (CRC mismatch), or wrong-version file.
+RunCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace fedclust::robust

@@ -1,0 +1,126 @@
+#include "robust/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "utils/error.hpp"
+
+namespace fedclust::robust {
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kAccepted:
+      return "accepted";
+    case RejectReason::kBadShape:
+      return "bad_shape";
+    case RejectReason::kNonFinite:
+      return "non_finite";
+    case RejectReason::kNormEnvelope:
+      return "norm_envelope";
+  }
+  return "unknown";
+}
+
+std::vector<Verdict> screen_updates(
+    const std::vector<std::span<const float>>& updates,
+    const std::vector<std::span<const float>>& starts,
+    const std::vector<std::size_t>& clients, std::size_t expected_dim,
+    const ValidationPolicy& policy) {
+  FEDCLUST_REQUIRE(updates.size() == starts.size() &&
+                       updates.size() == clients.size(),
+                   "screen_updates: inputs must align");
+  std::vector<Verdict> verdicts(updates.size());
+
+  // Pass 1: shape + finite sweep, and delta norms for the survivors.
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    Verdict& v = verdicts[i];
+    v.client = clients[i];
+    const std::span<const float> w = updates[i];
+    if (w.size() != expected_dim || starts[i].size() != expected_dim) {
+      v.reason = RejectReason::kBadShape;
+      continue;
+    }
+    double sq = 0.0;
+    bool finite = true;
+    for (std::size_t d = 0; d < expected_dim; ++d) {
+      const float x = w[d];
+      if (!std::isfinite(x)) {
+        finite = false;
+        break;
+      }
+      const double diff =
+          static_cast<double>(x) - static_cast<double>(starts[i][d]);
+      sq += diff * diff;
+    }
+    if (!finite) {
+      v.reason = RejectReason::kNonFinite;
+      continue;
+    }
+    v.delta_norm = std::sqrt(sq);
+  }
+
+  // Pass 2: norm envelope against the cohort median of the still-valid
+  // updates. The median is robust as long as attackers are a minority —
+  // the same assumption every robust aggregation rule makes.
+  if (policy.envelope_factor > 0.0) {
+    std::vector<double> norms;
+    norms.reserve(verdicts.size());
+    for (const Verdict& v : verdicts) {
+      if (v.accepted()) norms.push_back(v.delta_norm);
+    }
+    if (norms.size() >= 3) {  // an envelope over 1-2 samples is noise
+      const std::size_t mid = norms.size() / 2;
+      std::nth_element(norms.begin(), norms.begin() + mid, norms.end());
+      double median = norms[mid];
+      if (norms.size() % 2 == 0) {
+        const double lower =
+            *std::max_element(norms.begin(), norms.begin() + mid);
+        median = 0.5 * (lower + median);
+      }
+      const double envelope = policy.envelope_factor *
+                              std::max(median, policy.min_envelope);
+      for (Verdict& v : verdicts) {
+        if (v.accepted() && v.delta_norm > envelope) {
+          v.reason = RejectReason::kNormEnvelope;
+        }
+      }
+    }
+  }
+  return verdicts;
+}
+
+bool Quarantine::strike(std::size_t client) {
+  if (client >= counts_.size()) counts_.resize(client + 1, 0);
+  ++counts_[client];
+  return counts_[client] == max_strikes_;
+}
+
+bool Quarantine::quarantined(std::size_t client) const {
+  return strikes(client) >= max_strikes_;
+}
+
+std::size_t Quarantine::strikes(std::size_t client) const {
+  return client < counts_.size() ? counts_[client] : 0;
+}
+
+std::vector<std::size_t> Quarantine::quarantined_clients() const {
+  std::vector<std::size_t> out;
+  for (std::size_t c = 0; c < counts_.size(); ++c) {
+    if (counts_[c] >= max_strikes_) out.push_back(c);
+  }
+  return out;
+}
+
+std::size_t Quarantine::total_strikes() const {
+  std::size_t total = 0;
+  for (std::size_t c : counts_) total += c;
+  return total;
+}
+
+void Quarantine::restore(std::vector<std::size_t> counts,
+                         std::size_t max_strikes) {
+  counts_ = std::move(counts);
+  max_strikes_ = max_strikes;
+}
+
+}  // namespace fedclust::robust

@@ -1,0 +1,96 @@
+// Server-side update validation and client quarantine.
+//
+// Every payload that reaches the aggregator is screened: shape, finite
+// values, and a norm envelope — the update's delta norm (distance from
+// the weights the client downloaded) must stay within a factor of the
+// cohort's MEDIAN delta norm, so a majority of honest clients defines
+// "normal" and blown-up Byzantine updates stand out regardless of
+// scale. Each rejection is a strike; a client that accumulates
+// max_strikes strikes is quarantined and excluded from later rounds
+// (the server stops soliciting it). Screening never modifies surviving
+// payloads, so with honest clients an enabled validator is
+// trajectory-neutral.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fedclust::robust {
+
+/// Validation knobs, part of robust::RobustConfig. Disabled by default.
+struct ValidationPolicy {
+  bool enabled = false;
+  /// Reject an update whose ||w - start|| exceeds envelope_factor x the
+  /// cohort median delta norm. <= 0 disables the norm check (finite and
+  /// shape checks still run).
+  double envelope_factor = 5.0;
+  /// Absolute floor for the envelope, so a cohort of near-zero deltas
+  /// (converged run) does not reject benign numerical noise.
+  double min_envelope = 1e-3;
+  /// Strikes before a client is quarantined for the rest of the run.
+  std::size_t max_strikes = 2;
+};
+
+/// Why an update was rejected.
+enum class RejectReason : std::uint8_t {
+  kAccepted = 0,
+  kBadShape,
+  kNonFinite,
+  kNormEnvelope,
+};
+
+const char* to_string(RejectReason reason);
+
+/// Verdict for one screened update, in input order.
+struct Verdict {
+  std::size_t client = 0;
+  RejectReason reason = RejectReason::kAccepted;
+  double delta_norm = 0.0;  ///< ||w - start|| (0 when shape was wrong)
+  bool accepted() const { return reason == RejectReason::kAccepted; }
+};
+
+/// Screens a batch of arrived updates against their per-client start
+/// weights. `updates[i]` pairs with `starts[i]` and `clients[i]`;
+/// `expected_dim` is the model size every update must match. Pure
+/// function — strike accounting is the caller's (Quarantine's) job.
+std::vector<Verdict> screen_updates(
+    const std::vector<std::span<const float>>& updates,
+    const std::vector<std::span<const float>>& starts,
+    const std::vector<std::size_t>& clients, std::size_t expected_dim,
+    const ValidationPolicy& policy);
+
+/// Per-client strike ledger with exclusion. Deterministic: state is a
+/// pure fold over the strike sequence, so identical runs produce
+/// identical quarantine sets (and checkpoints can serialize it as plain
+/// counters).
+class Quarantine {
+ public:
+  explicit Quarantine(std::size_t max_strikes = 2)
+      : max_strikes_(max_strikes) {}
+
+  /// Records one strike against `client`; returns true if this strike
+  /// tipped it into quarantine.
+  bool strike(std::size_t client);
+
+  bool quarantined(std::size_t client) const;
+  std::size_t strikes(std::size_t client) const;
+  std::size_t max_strikes() const { return max_strikes_; }
+
+  /// Sorted ids of all quarantined clients.
+  std::vector<std::size_t> quarantined_clients() const;
+  /// Total strikes recorded across all clients.
+  std::size_t total_strikes() const;
+
+  /// Plain state view for checkpointing (index = client id).
+  const std::vector<std::size_t>& strike_counts() const { return counts_; }
+  /// Restores the ledger from checkpointed counters.
+  void restore(std::vector<std::size_t> counts, std::size_t max_strikes);
+
+ private:
+  std::vector<std::size_t> counts_;
+  std::size_t max_strikes_ = 2;
+};
+
+}  // namespace fedclust::robust

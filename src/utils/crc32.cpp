@@ -1,0 +1,35 @@
+#include "utils/crc32.hpp"
+
+#include <array>
+
+namespace fedclust {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xedb88320u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = crc ^ 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = kTable[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace fedclust

@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// checksum carried by the FCMG message frame and the RunCheckpoint
+// trailer. Software table-driven implementation: wire payloads here are
+// at most a few MB per model, far below where hardware CRC would matter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fedclust {
+
+/// CRC-32 of `n` bytes, chained from `crc` (pass the default to start a
+/// fresh checksum; feed the previous return value to continue one across
+/// split buffers). Matches zlib's crc32(): crc32 of "123456789" is
+/// 0xCBF43926.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc = 0);
+
+}  // namespace fedclust

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "cluster/distance.hpp"
 #include "cluster/kmeans.hpp"
@@ -59,6 +60,19 @@ TEST(Distance, CosineDistanceRange) {
 TEST(Distance, RejectsRaggedInput) {
   EXPECT_THROW(pairwise_euclidean({{1, 2}, {1}}), Error);
   EXPECT_THROW(pairwise_euclidean({}), Error);
+}
+
+TEST(Distance, RejectsPoisonedRows) {
+  // A NaN/Inf row (a corrupted upload that slipped past server-side
+  // screening) must be rejected at the proximity boundary — the sqnorm
+  // would otherwise be clamped to 0 by the max() in pairwise_euclidean
+  // and silently yield a finite but wrong matrix.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(pairwise_euclidean({{0, 0}, {nan, 1}, {2, 2}}), Error);
+  EXPECT_THROW(pairwise_euclidean({{0, 0}, {1, 1}, {inf, 2}}), Error);
+  EXPECT_THROW(pairwise_cosine_similarity({{1, 0}, {nan, 1}}), Error);
+  EXPECT_THROW(pairwise_cosine_distance({{1, 0}, {0, inf}}), Error);
 }
 
 // -- dendrogram ---------------------------------------------------------------
@@ -138,6 +152,20 @@ TEST(Hc, SingleLeafDegenerateCase) {
 TEST(Hc, RejectsNonSquareMatrix) {
   Matrix d(2, 3);
   EXPECT_THROW(agglomerative_cluster(d, Linkage::kAverage), Error);
+}
+
+TEST(Hc, RejectsNonFiniteDistances) {
+  // A hand-built matrix with one poisoned entry: every Lance–Williams
+  // update touching its row would propagate the NaN, so the boundary
+  // check must fire before any merge happens.
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    Matrix d(3, 3);
+    d(0, 1) = d(1, 0) = 1.0;
+    d(0, 2) = d(2, 0) = 2.0;
+    d(1, 2) = d(2, 1) = bad;
+    EXPECT_THROW(agglomerative_cluster(d, Linkage::kAverage), Error);
+  }
 }
 
 TEST(Hc, SingleVsCompleteOnChain) {

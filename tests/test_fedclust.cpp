@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+
 #include "algorithms/fedavg.hpp"
 #include "cluster/metrics.hpp"
 #include "nn/models.hpp"
@@ -247,6 +250,174 @@ TEST(FedClustRun, FixedThresholdOverridesPolicy) {
   const ClusteringOutcome out = algo.form_clusters(fed);
   EXPECT_EQ(cluster::num_clusters(out.labels), 1u);
   EXPECT_DOUBLE_EQ(out.threshold, 1e9);
+}
+
+// -- formation fault tolerance -------------------------------------------------
+
+TEST(FormationFaults, CrashesStillYieldValidPartition) {
+  // Background crash churn in the formation round: retries recover most
+  // clients, the rest are deferred, and the partition over everyone
+  // stays valid.
+  auto cfg = fast_config();
+  cfg.faults.enabled = true;
+  cfg.faults.crash_prob = 0.3;
+  auto [fed, groups] = make_grouped_federation(6, 480, 61, cfg);
+  FedClust algo({.warmup_epochs = 2, .formation_retries = 2});
+  const ClusteringOutcome out = algo.form_clusters(fed);
+
+  ASSERT_EQ(out.labels.size(), 6u);
+  EXPECT_FALSE(out.fallback_global);
+  // reporters + deferred partition the population.
+  std::vector<std::size_t> all = out.reporters;
+  all.insert(all.end(), out.deferred.begin(), out.deferred.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(out.proximity.rows(), out.reporters.size());
+  // Deferred clients hold empty partials; reporters hold real ones.
+  for (std::size_t c : out.reporters) {
+    EXPECT_FALSE(out.partial_weights[c].empty()) << c;
+  }
+  for (std::size_t c : out.deferred) {
+    EXPECT_TRUE(out.partial_weights[c].empty()) << c;
+  }
+  const std::size_t k = cluster::num_clusters(out.labels);
+  for (std::size_t l : out.labels) EXPECT_LT(l, k);
+}
+
+TEST(FormationFaults, RetriesRecoverCrashedClients) {
+  // With per-attempt fault draws, a client that crashed on attempt 0
+  // usually reports on a retry — so retries must strictly grow the
+  // reporter set versus a no-retry formation under the same seed.
+  auto cfg = fast_config();
+  cfg.faults.enabled = true;
+  cfg.faults.crash_prob = 0.5;
+  auto [fed_no, g1] = make_grouped_federation(6, 480, 62, cfg);
+  auto [fed_re, g2] = make_grouped_federation(6, 480, 62, cfg);
+  const ClusteringOutcome none =
+      FedClust({.warmup_epochs = 2, .formation_retries = 0})
+          .form_clusters(fed_no);
+  const ClusteringOutcome retried =
+      FedClust({.warmup_epochs = 2, .formation_retries = 3})
+          .form_clusters(fed_re);
+  EXPECT_LT(none.reporters.size(), 6u);  // churn actually bit
+  EXPECT_GT(retried.reporters.size(), none.reporters.size());
+  EXPECT_EQ(retried.resolicited.size(), 3u);
+}
+
+TEST(FormationFaults, DeferredClientsAdmittedDuringRun) {
+  // A full run() admits deferred clients through the newcomer path
+  // before round 1: afterwards every client holds a partial vector and
+  // a definitive label.
+  auto cfg = fast_config();
+  cfg.faults.enabled = true;
+  cfg.faults.crash_prob = 0.6;
+  auto [fed, groups] = make_grouped_federation(6, 480, 63, cfg);
+  FedClust algo({.warmup_epochs = 2, .formation_retries = 1});
+  const fl::RunResult r = algo.run(fed, 3);
+
+  ASSERT_TRUE(algo.last_clustering().has_value());
+  const ClusteringOutcome& out = *algo.last_clustering();
+  EXPECT_FALSE(out.deferred.empty());  // the scenario exercised deferral
+  for (std::size_t c = 0; c < 6; ++c) {
+    EXPECT_FALSE(out.partial_weights[c].empty()) << c;
+  }
+  EXPECT_EQ(r.cluster_labels.size(), 6u);
+  const std::size_t k = cluster::num_clusters(out.labels);
+  for (std::size_t l : r.cluster_labels) EXPECT_LT(l, k);
+}
+
+TEST(FormationFaults, QuorumFailureFallsBackToGlobal) {
+  // Every client crashes on every attempt -> no reporters -> below any
+  // quorum -> the configured fallback labels everyone 0.
+  auto cfg = fast_config();
+  cfg.faults.enabled = true;
+  cfg.faults.crash_prob = 1.0;
+  auto [fed, groups] = make_grouped_federation(4, 320, 64, cfg);
+  FedClust algo({.warmup_epochs = 2});
+  const ClusteringOutcome out = algo.form_clusters(fed);
+  EXPECT_TRUE(out.fallback_global);
+  EXPECT_TRUE(out.reporters.empty());
+  EXPECT_EQ(out.labels, (std::vector<std::size_t>(4, 0)));
+}
+
+TEST(FormationFaults, QuorumFailureCanAbort) {
+  auto cfg = fast_config();
+  cfg.faults.enabled = true;
+  cfg.faults.crash_prob = 1.0;
+  auto [fed, groups] = make_grouped_federation(4, 320, 64, cfg);
+  FedClust algo(
+      {.warmup_epochs = 2,
+       .formation_fallback = FedClustConfig::FormationFallback::kAbort});
+  EXPECT_THROW(algo.form_clusters(fed), Error);
+}
+
+// -- checkpoint / resume -------------------------------------------------------
+
+TEST(CheckpointResume, TrajectoryBitIdenticalAfterKill) {
+  // Reference: an uninterrupted 6-round run. Victim: the same run
+  // "killed" after round 3 (its last checkpoint write), then resumed on
+  // a freshly constructed federation. Every per-round fingerprint and
+  // metric must match the reference exactly.
+  const std::string path = "/tmp/fedclust_resume_test.ckpt";
+  auto cfg = fast_config();
+  const FedClustConfig algo_cfg{.warmup_epochs = 2,
+                                .checkpoint_every = 3,
+                                .checkpoint_path = path};
+
+  auto [fed_ref, g1] = make_grouped_federation(6, 480, 65, cfg);
+  const fl::RunResult ref =
+      FedClust({.warmup_epochs = 2}).run(fed_ref, 6);
+
+  auto [fed_victim, g2] = make_grouped_federation(6, 480, 65, cfg);
+  FedClust(algo_cfg).run(fed_victim, 4);  // checkpoints at rounds 0 and 3
+
+  const robust::RunCheckpoint ck = robust::load_checkpoint(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(ck.next_round, 4u);
+  EXPECT_EQ(ck.seed, 65u);
+
+  auto [fed_resumed, g3] = make_grouped_federation(6, 480, 65, cfg);
+  FedClust algo(algo_cfg);
+  const fl::RunResult resumed = algo.resume(fed_resumed, ck, 6);
+
+  ASSERT_EQ(resumed.rounds.size(), ref.rounds.size());
+  for (std::size_t i = 0; i < ref.rounds.size(); ++i) {
+    EXPECT_EQ(resumed.rounds[i].weights_fp, ref.rounds[i].weights_fp) << i;
+    EXPECT_EQ(resumed.rounds[i].acc_mean, ref.rounds[i].acc_mean) << i;
+    EXPECT_EQ(resumed.rounds[i].acc_std, ref.rounds[i].acc_std) << i;
+    EXPECT_EQ(resumed.rounds[i].train_loss, ref.rounds[i].train_loss) << i;
+    EXPECT_EQ(resumed.rounds[i].cum_upload, ref.rounds[i].cum_upload) << i;
+    EXPECT_EQ(resumed.rounds[i].cum_download, ref.rounds[i].cum_download)
+        << i;
+    EXPECT_EQ(resumed.rounds[i].num_clusters, ref.rounds[i].num_clusters)
+        << i;
+  }
+  EXPECT_EQ(resumed.final_accuracy.mean, ref.final_accuracy.mean);
+  EXPECT_EQ(resumed.cluster_labels, ref.cluster_labels);
+  ASSERT_TRUE(algo.last_clustering().has_value());
+}
+
+TEST(CheckpointResume, RejectsMismatchedFederation) {
+  const std::string path = "/tmp/fedclust_resume_reject_test.ckpt";
+  auto cfg = fast_config();
+  const FedClustConfig algo_cfg{.warmup_epochs = 2,
+                                .checkpoint_every = 2,
+                                .checkpoint_path = path};
+  auto [fed, g1] = make_grouped_federation(4, 320, 66, cfg);
+  FedClust(algo_cfg).run(fed, 3);
+  const robust::RunCheckpoint ck = robust::load_checkpoint(path);
+  std::filesystem::remove(path);
+
+  FedClust algo(algo_cfg);
+  // Different seed -> different stream universe -> refuse to resume.
+  auto [fed_seed, g2] = make_grouped_federation(4, 320, 67, cfg);
+  EXPECT_THROW(algo.resume(fed_seed, ck, 6), Error);
+  // Different population size.
+  auto [fed_size, g3] = make_grouped_federation(6, 480, 66, cfg);
+  EXPECT_THROW(algo.resume(fed_size, ck, 6), Error);
+  // Nothing left to run.
+  auto [fed_done, g4] = make_grouped_federation(4, 320, 66, cfg);
+  EXPECT_THROW(algo.resume(fed_done, ck, ck.next_round), Error);
 }
 
 // -- newcomers -----------------------------------------------------------------

@@ -70,6 +70,27 @@ TEST(Message, RejectsTrailingGarbage) {
   EXPECT_THROW(decode(buf), Error);
 }
 
+TEST(Message, CrcDetectsCorruptedPayload) {
+  // Every frame carries crc32(payload) in its header; a bit flipped in
+  // transit must fail the decode loudly instead of feeding a silently
+  // corrupted update to the aggregator.
+  Message m;
+  m.payload = {1.5f, -2.25f, 0.75f};
+  const std::vector<std::uint8_t> good = encode(m);
+
+  std::vector<std::uint8_t> bad_payload = good;
+  bad_payload[kHeaderBytes + 2] ^= 0x01;
+  EXPECT_THROW(decode(bad_payload), Error);
+
+  // Corrupting the stored CRC itself must also be caught.
+  std::vector<std::uint8_t> bad_crc = good;
+  bad_crc[kHeaderBytes - 1] ^= 0x80;
+  EXPECT_THROW(decode(bad_crc), Error);
+
+  // The untouched frame still round-trips.
+  EXPECT_EQ(decode(good).payload, m.payload);
+}
+
 TEST(Message, RejectsBadMagicAndUnknownKind) {
   Message m;
   m.payload = {1.0f};
@@ -171,7 +192,8 @@ std::vector<ClientLink> ideal_links(std::size_t n, double latency = 1.0,
 
 TEST(Simulator, RoundTimingMatchesHandComputation) {
   NetworkSimulator sim(ideal_config(), ideal_links(2), /*seed=*/1);
-  // 10 floats each way = 64 framed bytes; 100 samples x 1 epoch = 1 s.
+  // 10 floats each way = kHeaderBytes + 40 framed bytes; 100 samples x
+  // 1 epoch = 1 s.
   const std::vector<ClientOp> ops{
       {.client = 0, .download_floats = 10, .upload_floats = 10,
        .num_samples = 100, .epochs = 1},
@@ -179,7 +201,8 @@ TEST(Simulator, RoundTimingMatchesHandComputation) {
        .num_samples = 200, .epochs = 1},
   };
   const RoundReport report = sim.run_round(0, ops);
-  const double transfer = 1.0 + 64.0 / 1000.0;
+  const double transfer =
+      1.0 + static_cast<double>(kHeaderBytes + 40) / 1000.0;
   EXPECT_NEAR(report.arrivals[0].time, transfer + 1.0 + transfer, 1e-12);
   EXPECT_NEAR(report.arrivals[1].time, transfer + 2.0 + transfer, 1e-12);
   EXPECT_EQ(report.accepted, 2u);
@@ -436,6 +459,49 @@ TEST(FederationNet, DisabledNetworkKeepsBareByteAccounting) {
   const std::uint64_t model_bytes = fl::CommMeter::float_bytes(fed.model_size());
   EXPECT_EQ(fed.comm().total_download(), model_bytes * 8);
   EXPECT_EQ(fed.comm().total_upload(), model_bytes * 8);
+}
+
+TEST(FederationNet, FaultTrajectoryBitIdenticalAcrossKernelThreads) {
+  // Fault injection + screening layered on top of dropout, stragglers,
+  // and the simulated network must not disturb the determinism
+  // contract: the whole trajectory (weights fingerprints, metrics,
+  // event log, quarantine ledger) is a function of the seed alone.
+  auto faulted = [](std::size_t kernel_threads) {
+    fl::FederationConfig cfg = net_config(2);
+    cfg.kernel_threads = kernel_threads;
+    cfg.dropout = 0.1;
+    cfg.faults.enabled = true;
+    cfg.faults.crash_prob = 0.1;
+    cfg.faults.stale_prob = 0.1;
+    cfg.faults.nan_prob = 0.15;
+    cfg.faults.sign_flip_prob = 0.1;
+    cfg.robust.validate.enabled = true;
+    return cfg;
+  };
+  auto [fed0, g0] = make_grouped_federation(6, 480, 25, faulted(0));
+  auto [fed1, g1] = make_grouped_federation(6, 480, 25, faulted(1));
+  auto [fed4, g4] = make_grouped_federation(6, 480, 25, faulted(4));
+
+  algorithms::FedAvg algo;
+  const fl::RunResult r0 = algo.run(fed0, 4);
+  const fl::RunResult r1 = algo.run(fed1, 4);
+  const fl::RunResult r4 = algo.run(fed4, 4);
+
+  for (const fl::RunResult* r : {&r1, &r4}) {
+    ASSERT_EQ(r0.rounds.size(), r->rounds.size());
+    for (std::size_t i = 0; i < r0.rounds.size(); ++i) {
+      EXPECT_EQ(r0.rounds[i].weights_fp, r->rounds[i].weights_fp) << i;
+      EXPECT_EQ(r0.rounds[i].acc_mean, r->rounds[i].acc_mean) << i;
+      EXPECT_EQ(r0.rounds[i].cum_upload, r->rounds[i].cum_upload) << i;
+    }
+  }
+  ASSERT_TRUE(fed0.network_enabled());
+  EXPECT_EQ(fed0.network()->fingerprint(), fed1.network()->fingerprint());
+  EXPECT_EQ(fed0.network()->fingerprint(), fed4.network()->fingerprint());
+  EXPECT_EQ(fed0.quarantine().strike_counts(),
+            fed1.quarantine().strike_counts());
+  EXPECT_EQ(fed0.quarantine().strike_counts(),
+            fed4.quarantine().strike_counts());
 }
 
 TEST(FederationNet, StragglersShrinkTheAggregatedCohort) {
