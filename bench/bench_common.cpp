@@ -1,6 +1,7 @@
 #include "bench_common.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 
@@ -88,6 +89,63 @@ void write_robustness_bench_json(
         << r.scenario << "\", \"rule\": \"" << r.rule
         << "\", \"acc_mean\": " << r.acc_mean << ", \"acc_std\": " << r.acc_std
         << ", \"clean_retention\": " << r.clean_retention << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+namespace {
+
+/// Reads one "<key>:   <kB> kB" line from /proc/self/status; 0 when the
+/// file or key is missing (non-Linux hosts).
+double proc_status_mb(const char* key) {
+  std::ifstream status("/proc/self/status");
+  if (!status.good()) return 0.0;
+  std::string line;
+  const std::string prefix = std::string(key) + ":";
+  while (std::getline(status, line)) {
+    if (line.rfind(prefix, 0) == 0) {
+      const double kb = std::strtod(line.c_str() + prefix.size(), nullptr);
+      return kb / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double current_rss_mb() { return proc_status_mb("VmRSS"); }
+
+double peak_rss_mb() { return proc_status_mb("VmHWM"); }
+
+void require_max_rss(double limit_mb) {
+  if (limit_mb <= 0.0) return;
+  const double peak = peak_rss_mb();
+  if (peak <= 0.0) return;  // no /proc on this host — check unavailable
+  FEDCLUST_REQUIRE(peak <= limit_mb, "peak RSS " << peak << " MiB exceeds --max-rss-mb "
+                                                << limit_mb << " MiB");
+}
+
+void write_fleet_bench_json(const std::string& path,
+                            const std::vector<FleetBenchResult>& results) {
+  std::ofstream out(path);
+  FEDCLUST_REQUIRE(out.good(), "cannot open " << path << " for writing");
+  out << std::fixed << std::setprecision(4) << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const FleetBenchResult& r = results[i];
+    out << "  {\"clients\": " << r.clients << ", \"cohort\": " << r.cohort
+        << ", \"rounds\": " << r.rounds << ", \"edges\": " << r.edges
+        << ", \"round_ms_mean\": " << r.round_ms_mean
+        << ", \"acc_mean_last\": " << r.acc_mean_last
+        << ", \"vm_rss_mb\": " << r.vm_rss_mb
+        << ", \"vm_hwm_mb\": " << r.vm_hwm_mb
+        << ", \"rss_limit_mb\": " << r.rss_limit_mb
+        << ", \"upload_bytes\": " << r.upload_bytes
+        << ", \"download_bytes\": " << r.download_bytes
+        << ", \"server_link_floats\": " << r.server_link_floats
+        << ", \"flat_link_floats\": " << r.flat_link_floats
+        << ", \"weights_fp_chain\": " << r.weights_fp_chain
+        << ", \"resident_shards\": " << r.resident_shards << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "]\n";

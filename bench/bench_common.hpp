@@ -94,4 +94,41 @@ void write_robustness_bench_json(
     const std::string& path,
     const std::vector<RobustnessBenchResult>& results);
 
+// -- fleet-scale reporting ----------------------------------------------------
+
+/// Current resident set size in MiB (Linux /proc/self/status VmRSS);
+/// 0 when the file is unavailable.
+double current_rss_mb();
+/// Peak resident set size in MiB since process start (VmHWM); 0 when
+/// unavailable. Process-wide high-water mark — it never decreases.
+double peak_rss_mb();
+/// Self-check: throws fedclust::Error when the peak RSS exceeds
+/// `limit_mb`. A limit of 0 (or a host without /proc) disables the check.
+void require_max_rss(double limit_mb);
+
+/// One stage of the fleet_scale sweep, as emitted into BENCH_fleet.json.
+struct FleetBenchResult {
+  std::size_t clients = 0;        ///< fleet size
+  std::size_t cohort = 0;         ///< sampled clients per round
+  std::size_t rounds = 0;
+  std::size_t edges = 0;          ///< edge aggregators in the tree
+  double round_ms_mean = 0.0;     ///< mean round wall-clock
+  double acc_mean_last = 0.0;     ///< cohort accuracy after the last round
+  double vm_rss_mb = 0.0;         ///< resident set after the stage
+  double vm_hwm_mb = 0.0;         ///< process peak RSS at stage end
+  double rss_limit_mb = 0.0;      ///< --max-rss-mb self-check (0 = off)
+  std::uint64_t upload_bytes = 0;
+  std::uint64_t download_bytes = 0;
+  /// Root-link float32 traffic per round: edges × model (tree) vs
+  /// cohort × model (flat) — the fan-in reduction the tree buys.
+  std::uint64_t server_link_floats = 0;
+  std::uint64_t flat_link_floats = 0;
+  std::uint64_t weights_fp_chain = 0;  ///< FNV-1a chain of round fingerprints
+  std::size_t resident_shards = 0;     ///< client shards cached at stage end
+};
+
+/// Writes fleet-scale results as a machine-readable JSON array.
+void write_fleet_bench_json(const std::string& path,
+                            const std::vector<FleetBenchResult>& results);
+
 }  // namespace fedclust::bench

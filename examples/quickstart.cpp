@@ -73,7 +73,7 @@ int main() {
   for (std::size_t c = 0; c < federation.num_clients(); ++c) {
     std::printf("  client %zu -> cluster %zu   (labels: ", c,
                 result.cluster_labels[c]);
-    const auto hist = federation.client_data(c).train.label_histogram();
+    const auto hist = federation.client_data(c)->train.label_histogram();
     for (std::size_t k = 0; k < hist.size(); ++k) {
       if (hist[k] > 0) std::printf("%zu ", k);
     }

@@ -73,7 +73,7 @@ std::vector<std::size_t> Pacfl::cluster_clients(
   std::uint64_t upload_bytes = 0;
   for (std::size_t c = 0; c < n; ++c) {
     bases.push_back(
-        client_subspace_basis(federation.client_data(c).train, config_));
+        client_subspace_basis(federation.client_data(c)->train, config_));
     basis_floats[c] = bases.back().rows() * bases.back().cols();
     upload_bytes += federation.wire_bytes(basis_floats[c]);
   }
@@ -136,7 +136,7 @@ fl::RunResult Pacfl::run(fl::Federation& federation, std::size_t rounds) {
           .client = c,
           .download_floats = 0,
           .upload_floats = basis_floats[c],
-          .num_samples = federation.client_data(c).train.size(),
+          .num_samples = federation.client_train_size(c),
           .epochs = 1,
           .churned = false,
           .upload_kind = net::MessageKind::kBasisUpload});

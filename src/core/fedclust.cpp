@@ -286,7 +286,7 @@ fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
         {.client = cid,
          .download_floats = federation.model_size(),
          .upload_floats = partial_floats,
-         .num_samples = federation.client_data(cid).train.size(),
+         .num_samples = federation.client_train_size(cid),
          .epochs = warmup.epochs,
          .churned = false,
          .upload_kind = net::MessageKind::kPartialUpdate}};
@@ -295,7 +295,7 @@ fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
     federation.meter_upload(cid, partial_floats);
     std::vector<float> partial;
     labels[cid] = assign_newcomer(
-        federation.template_model(), federation.client_data(cid).train,
+        federation.template_model(), federation.client_data(cid)->train,
         federation.config().local, federation.client_rng(cid, 0), outcome,
         &partial);
     outcome.partial_weights[cid] = std::move(partial);

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 namespace fedclust::fl {
@@ -24,8 +26,24 @@ class CommMeter {
  public:
   /// Marks the beginning of round `r`. Rounds must be opened strictly in
   /// order starting at 0; anything else throws instead of mis-indexing
-  /// the per-round series.
+  /// the per-round series. Per-client attribution for rounds opened this
+  /// way goes to the legacy dense vectors (sized to the largest client
+  /// id) — unchanged behaviour for the classic 20-client benches.
   void begin_round(std::size_t round);
+
+  /// Opens round `r` in cohort-attribution mode: per-client bytes are
+  /// staged in O(cohort) slot arrays keyed by position in the (sorted,
+  /// unique) `cohort` id list and folded into a sparse, sorted
+  /// (client, bytes) ledger when the next round opens or flush_cohort()
+  /// runs. Totals and per-round series behave exactly like
+  /// begin_round(round). Fleet-scale drivers use this overload so comm
+  /// accounting stays O(cohort + clients ever attributed), never
+  /// O(fleet).
+  void begin_round(std::size_t round, std::span<const std::size_t> cohort);
+
+  /// Folds the current round's staged cohort-slot bytes into the sparse
+  /// ledger (idempotent; called automatically by the next begin_round).
+  void flush_cohort();
 
   /// Records server -> client traffic (model broadcast). The overload
   /// with `client` additionally attributes the bytes to that client.
@@ -52,15 +70,28 @@ class CommMeter {
   const std::vector<std::uint64_t>& round_upload() const { return up_; }
 
   /// Whole-run bytes attributed to one client (0 for clients never seen
-  /// by the attributing overloads).
+  /// by the attributing overloads). Sums the dense vectors, the sparse
+  /// cohort ledger, and the current round's staged slots.
   std::uint64_t client_download(std::size_t client) const;
   std::uint64_t client_upload(std::size_t client) const;
-  /// Per-client series, sized to the largest attributed client id + 1.
+  /// Dense per-client series, sized to the largest attributed client
+  /// id + 1. Covers only rounds opened WITHOUT a cohort; cohort-mode
+  /// attribution lives in the sparse ledgers below.
   const std::vector<std::uint64_t>& per_client_download() const {
     return client_down_;
   }
   const std::vector<std::uint64_t>& per_client_upload() const {
     return client_up_;
+  }
+  /// Sparse whole-run (client, bytes) ledgers from cohort-mode rounds,
+  /// sorted by client id. Excludes the current round until it flushes.
+  const std::vector<std::pair<std::size_t, std::uint64_t>>&
+  cohort_download_ledger() const {
+    return ledger_down_;
+  }
+  const std::vector<std::pair<std::size_t, std::uint64_t>>&
+  cohort_upload_ledger() const {
+    return ledger_up_;
   }
 
   void reset();
@@ -80,6 +111,14 @@ class CommMeter {
   std::vector<std::uint64_t> client_up_;
   std::uint64_t total_down_ = 0;
   std::uint64_t total_up_ = 0;
+
+  // Cohort-mode staging (current round) and sparse whole-run ledgers.
+  bool cohort_mode_ = false;
+  std::vector<std::size_t> cohort_ids_;  ///< sorted, unique
+  std::vector<std::uint64_t> slot_down_;
+  std::vector<std::uint64_t> slot_up_;
+  std::vector<std::pair<std::size_t, std::uint64_t>> ledger_down_;
+  std::vector<std::pair<std::size_t, std::uint64_t>> ledger_up_;
 };
 
 }  // namespace fedclust::fl

@@ -6,15 +6,53 @@
 #include <string>
 
 #include "check/audit.hpp"
+#include "fl/streaming.hpp"
 #include "tensor/kernels.hpp"
 
 namespace fedclust::fl {
+namespace {
+
+/// Dimension-chunked dispatch shared by the flat (weighted_accumulate)
+/// and folded (weighted_accumulate_partial) reductions. Chunk boundaries
+/// are rounded up to ops::kChunkAlign so every element keeps the same
+/// vector-lane membership no matter how many workers split the range —
+/// the result stays bit-identical across thread counts.
+template <typename ReduceRange>
+void chunked_reduce(std::size_t dim, ThreadPool* pool,
+                    const ReduceRange& reduce_range) {
+  constexpr std::size_t kMinParallelDim = 1u << 15;
+  const std::size_t workers = pool != nullptr ? pool->size() : 1;
+  if (workers <= 1 || dim < kMinParallelDim) {
+    reduce_range(0, dim);
+    return;
+  }
+  std::size_t chunk = (dim + workers - 1) / workers;
+  chunk = (chunk + ops::kChunkAlign - 1) / ops::kChunkAlign * ops::kChunkAlign;
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = std::min(dim, w * chunk);
+    const std::size_t end = std::min(dim, begin + chunk);
+    if (begin >= end) break;
+    futures.push_back(
+        pool->submit([&reduce_range, begin, end] { reduce_range(begin, end); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace
 
 Federation::Federation(nn::Model template_model,
                        std::vector<ClientData> clients,
                        FederationConfig config)
+    : Federation(std::move(template_model),
+                 std::make_shared<EagerFleet>(std::move(clients)), config) {}
+
+Federation::Federation(nn::Model template_model,
+                       std::shared_ptr<ClientSource> source,
+                       FederationConfig config)
     : template_(std::move(template_model)),
-      clients_(std::move(clients)),
+      source_(std::move(source)),
       config_(config),
       model_size_(template_.num_weights()),
       initial_weights_(template_.flat_weights()),
@@ -23,21 +61,26 @@ Federation::Federation(nn::Model template_model,
       pool_(config.threads),
       kernel_pool_(config.kernel_threads > 0
                        ? std::make_unique<ThreadPool>(config.kernel_threads)
-                       : nullptr) {
-  FEDCLUST_REQUIRE(!clients_.empty(), "federation needs at least one client");
+                       : nullptr),
+      model_pool_(template_, kernel_pool_.get()) {
+  FEDCLUST_REQUIRE(source_ != nullptr, "federation needs a client source");
+  FEDCLUST_REQUIRE(source_->num_clients() > 0,
+                   "federation needs at least one client");
   FEDCLUST_REQUIRE(model_size_ > 0, "template model has no parameters");
   FEDCLUST_REQUIRE(config_.participation > 0.0 && config_.participation <= 1.0,
                    "participation must be in (0, 1]");
   FEDCLUST_REQUIRE(config_.eval_every > 0, "eval_every must be positive");
-  for (std::size_t i = 0; i < clients_.size(); ++i) {
-    FEDCLUST_REQUIRE(!clients_[i].train.empty(),
+  // Metadata sweep only — never materializes a shard, so this stays cheap
+  // even for a million-client virtual fleet.
+  for (std::size_t i = 0; i < source_->num_clients(); ++i) {
+    FEDCLUST_REQUIRE(source_->train_size(i) > 0,
                      "client " << i << " has no training data");
   }
   if (config_.network.enabled) {
     const std::uint64_t net_seed =
         config_.network.seed != 0 ? config_.network.seed : config_.seed;
-    net_ = std::make_unique<net::NetworkSimulator>(config_.network,
-                                                  clients_.size(), net_seed);
+    net_ = std::make_unique<net::NetworkSimulator>(
+        config_.network, source_->num_clients(), net_seed);
   }
 }
 
@@ -55,9 +98,15 @@ void Federation::simulate_network_round(std::size_t round,
   if (net_) net_->run_round(round, ops, reliable);
 }
 
-const ClientData& Federation::client_data(std::size_t i) const {
-  FEDCLUST_REQUIRE(i < clients_.size(), "client id out of range");
-  return clients_[i];
+std::shared_ptr<const ClientData> Federation::client_data(
+    std::size_t i) const {
+  FEDCLUST_REQUIRE(i < source_->num_clients(), "client id out of range");
+  return source_->get(i);
+}
+
+std::size_t Federation::client_train_size(std::size_t i) const {
+  FEDCLUST_REQUIRE(i < source_->num_clients(), "client id out of range");
+  return source_->train_size(i);
 }
 
 Rng Federation::client_rng(std::size_t client, std::size_t round) const {
@@ -70,16 +119,17 @@ Rng Federation::round_rng(std::size_t round) const {
 }
 
 std::vector<std::size_t> Federation::sample_clients(std::size_t round) const {
+  const std::size_t fleet = source_->num_clients();
   const std::size_t want = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::lround(
-             config_.participation * static_cast<double>(clients_.size()))));
+             config_.participation * static_cast<double>(fleet))));
   std::vector<std::size_t> ids;
-  if (want >= clients_.size()) {
-    ids.resize(clients_.size());
+  if (want >= fleet) {
+    ids.resize(fleet);
     for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
   } else {
     Rng rng = round_rng(round);
-    ids = rng.sample_without_replacement(clients_.size(), want);
+    ids = rng.sample_without_replacement(fleet, want);
     std::sort(ids.begin(), ids.end());
   }
   // The server no longer solicits quarantined clients. Sampling draws
@@ -98,16 +148,10 @@ bool Federation::client_fails(std::size_t client, std::size_t round) const {
   return rng.bernoulli(config_.dropout);
 }
 
-std::vector<ClientUpdate> Federation::train_clients(
+std::vector<std::size_t> Federation::round_survivors(
     const std::vector<std::size_t>& clients, std::size_t round,
-    const std::function<std::span<const float>(std::size_t)>&
-        start_weights_for,
-    const LocalTrainConfig* config_override, bool allow_failures,
+    const LocalTrainConfig& local, bool allow_failures,
     const NetPayloads* net_payloads, std::size_t fault_attempt) {
-  LocalTrainConfig local =
-      config_override != nullptr ? *config_override : config_.local;
-  if (config_.audit) local.audit = true;
-
   // The server never solicits quarantined clients, even on explicit
   // lists (formation re-solicitation goes through here too).
   std::vector<std::size_t> solicited;
@@ -152,14 +196,15 @@ std::vector<ClientUpdate> Federation::train_clients(
       std::vector<net::ClientOp> ops;
       ops.reserve(solicited.size());
       for (const std::size_t cid : solicited) {
-        FEDCLUST_REQUIRE(cid < clients_.size(), "client id out of range");
+        FEDCLUST_REQUIRE(cid < source_->num_clients(),
+                         "client id out of range");
         const bool churned =
             (allow_failures && client_fails(cid, round)) ||
             fate(cid) == robust::FaultKind::kCrash;
         ops.push_back(net::ClientOp{.client = cid,
                                     .download_floats = payloads.download_floats,
                                     .upload_floats = payloads.upload_floats,
-                                    .num_samples = clients_[cid].train.size(),
+                                    .num_samples = source_->train_size(cid),
                                     .epochs = local.epochs,
                                     .churned = churned,
                                     .upload_kind = payloads.upload_kind});
@@ -175,28 +220,55 @@ std::vector<ClientUpdate> Federation::train_clients(
       survivors = std::move(accepted);
     }
   }
+  return survivors;
+}
+
+ClientUpdate Federation::train_one(
+    std::size_t cid, std::size_t round,
+    const std::function<std::span<const float>(std::size_t)>&
+        start_weights_for,
+    const LocalTrainConfig& local, std::size_t fault_attempt) const {
+  FEDCLUST_REQUIRE(cid < source_->num_clients(), "client id out of range");
+  const robust::FaultKind kind =
+      config_.faults.enabled ? fault_plan_.decide(round, cid, fault_attempt)
+                             : robust::FaultKind::kNone;
+  // A stale replay trains from the run's initial weights — the client
+  // never saw (or ignored) the current broadcast.
+  const std::span<const float> start =
+      kind == robust::FaultKind::kStaleReplay
+          ? std::span<const float>(initial_weights_)
+          : start_weights_for(cid);
+  // Materialize the shard for exactly the duration of this client's
+  // local work; the shared_ptr keeps it alive under cache eviction.
+  const std::shared_ptr<const ClientData> data = source_->get(cid);
+  ModelPool::Lease lease = model_pool_.acquire();
+  nn::Model& model = *lease;
+  model.set_flat_weights(start);
+  const float loss =
+      train_local(model, data->train, local, client_rng(cid, round));
+  std::vector<float> weights = model.flat_weights();
+  robust::apply_payload_fault(kind, config_.faults, start, weights,
+                              fault_plan_.payload_rng(round, cid));
+  return ClientUpdate{cid, std::move(weights), data->train.size(), loss};
+}
+
+std::vector<ClientUpdate> Federation::train_clients(
+    const std::vector<std::size_t>& clients, std::size_t round,
+    const std::function<std::span<const float>(std::size_t)>&
+        start_weights_for,
+    const LocalTrainConfig* config_override, bool allow_failures,
+    const NetPayloads* net_payloads, std::size_t fault_attempt) {
+  LocalTrainConfig local =
+      config_override != nullptr ? *config_override : config_.local;
+  if (config_.audit) local.audit = true;
+
+  const std::vector<std::size_t> survivors = round_survivors(
+      clients, round, local, allow_failures, net_payloads, fault_attempt);
 
   std::vector<ClientUpdate> updates(survivors.size());
   pool_.parallel_for(0, survivors.size(), [&](std::size_t slot) {
-    const std::size_t cid = survivors[slot];
-    FEDCLUST_REQUIRE(cid < clients_.size(), "client id out of range");
-    const robust::FaultKind kind = fate(cid);
-    // A stale replay trains from the run's initial weights — the client
-    // never saw (or ignored) the current broadcast.
-    const std::span<const float> start =
-        kind == robust::FaultKind::kStaleReplay
-            ? std::span<const float>(initial_weights_)
-            : start_weights_for(cid);
-    nn::Model model = template_.clone();
-    model.set_thread_pool(kernel_pool_.get());
-    model.set_flat_weights(start);
-    const float loss = train_local(model, clients_[cid].train, local,
-                                   client_rng(cid, round));
-    std::vector<float> weights = model.flat_weights();
-    robust::apply_payload_fault(kind, config_.faults, start, weights,
-                                fault_plan_.payload_rng(round, cid));
-    updates[slot] = ClientUpdate{cid, std::move(weights),
-                                 clients_[cid].train.size(), loss};
+    updates[slot] = train_one(survivors[slot], round, start_weights_for,
+                              local, fault_attempt);
   });
 
   // Server-side screening: every arrived update is validated against the
@@ -253,32 +325,142 @@ std::vector<ClientUpdate> Federation::train_clients(
   return updates;
 }
 
+Federation::FoldResult Federation::train_clients_folded(
+    const std::vector<std::size_t>& clients, std::size_t round,
+    const std::function<std::span<const float>(std::size_t)>&
+        start_weights_for,
+    const net::EdgeTopology& topology, const LocalTrainConfig* config_override,
+    const NetPayloads* net_payloads) {
+  FoldResult out;
+
+  // Robust rules and server-side screening both need the whole cohort's
+  // updates at once — gather at root (see the header's memory note).
+  if (config_.robust.rule != robust::AggregationRule::kWeightedMean ||
+      config_.robust.validate.enabled) {
+    std::vector<ClientUpdate> updates =
+        train_clients(clients, round, start_weights_for, config_override,
+                      /*allow_failures=*/true, net_payloads);
+    out.gathered = true;
+    if (updates.empty()) return out;
+    double loss_sum = 0.0;
+    out.contributors.reserve(updates.size());
+    for (const ClientUpdate& u : updates) {
+      out.contributors.push_back(u.client_id);
+      loss_sum += u.train_loss;
+    }
+    out.mean_train_loss = loss_sum / static_cast<double>(updates.size());
+    out.weights = aggregate(updates);
+    return out;
+  }
+
+  LocalTrainConfig local =
+      config_override != nullptr ? *config_override : config_.local;
+  if (config_.audit) local.audit = true;
+
+  const std::vector<std::size_t> survivors =
+      round_survivors(clients, round, local, /*allow_failures=*/true,
+                      net_payloads, /*fault_attempt=*/0);
+  out.contributors = survivors;
+  if (survivors.empty()) return out;
+  const std::size_t cohort = survivors.size();
+
+  // FedAvg coefficients over the WHOLE cohort, from the cheap train_size
+  // metadata — value-identical to aggregation_coefficients over the flat
+  // update list (ClientUpdate::num_samples is the same train size).
+  std::vector<double> coeff(cohort);
+  double total = 0.0;
+  for (std::size_t i = 0; i < cohort; ++i) {
+    const std::size_t n = source_->train_size(survivors[i]);
+    FEDCLUST_REQUIRE(n > 0, "update with zero samples");
+    total += static_cast<double>(n);
+  }
+  for (std::size_t i = 0; i < cohort; ++i) {
+    coeff[i] =
+        static_cast<double>(source_->train_size(survivors[i])) / total;
+  }
+
+  // The shared slot-ordered double accumulator: every edge folds its
+  // contiguous slot range into it in ascending slot order, in batches
+  // bounded by the training pool's width — so resident updates are
+  // O(batch × model), never O(cohort × model). Per element, the fold
+  // executes the exact operation sequence of the one-shot
+  // weighted_accumulate kernel (batch boundaries only park the
+  // accumulator in memory), which is why ANY edge count reproduces flat
+  // aggregation bit-for-bit.
+  std::vector<double> acc(model_size_, 0.0);
+  const std::size_t batch_cap = std::max<std::size_t>(2 * pool_.size(), 8);
+  const std::size_t edges = topology.clamped_edges(cohort);
+  const ops::KernelTable* kp = &ops::kernels();
+  double loss_sum = 0.0;
+  for (std::size_t e = 0; e < edges; ++e) {
+    const auto [edge_begin, edge_end] = topology.slot_range(e, cohort);
+    for (std::size_t bb = edge_begin; bb < edge_end; bb += batch_cap) {
+      const std::size_t be = std::min(edge_end, bb + batch_cap);
+      std::vector<ClientUpdate> batch(be - bb);
+      pool_.parallel_for(0, be - bb, [&](std::size_t j) {
+        batch[j] = train_one(survivors[bb + j], round, start_weights_for,
+                             local, /*fault_attempt=*/0);
+      });
+      std::vector<const float*> srcs(batch.size());
+      for (std::size_t j = 0; j < batch.size(); ++j) {
+        if (config_.audit) {
+          const std::string context =
+              "round " + std::to_string(round) + " client " +
+              std::to_string(batch[j].client_id) + " update weights";
+          check::assert_all_finite(batch[j].weights, context.c_str());
+          FEDCLUST_CHECK(std::isfinite(batch[j].train_loss),
+                         context << ": non-finite train loss "
+                                 << batch[j].train_loss);
+        }
+        loss_sum += batch[j].train_loss;
+        srcs[j] = batch[j].weights.data();
+      }
+      chunked_reduce(model_size_, aggregation_pool(),
+                     [&](std::size_t begin, std::size_t end) {
+                       kp->weighted_accumulate_partial(
+                           srcs.data(), coeff.data() + bb, batch.size(),
+                           acc.data(), begin, end);
+                     });
+    }
+  }
+  out.mean_train_loss = loss_sum / static_cast<double>(cohort);
+
+  // Finalize: the double→float cast is the same IEEE round-to-nearest
+  // the one-shot kernel's narrow/cast performs.
+  out.weights.resize(model_size_);
+  for (std::size_t i = 0; i < model_size_; ++i) {
+    out.weights[i] = static_cast<float>(acc[i]);
+  }
+  if (config_.audit) {
+    check::assert_all_finite(out.weights, "folded aggregation output");
+  }
+  return out;
+}
+
 EvalResult Federation::evaluate_client(std::size_t client,
                                        std::span<const float> weights) const {
-  FEDCLUST_REQUIRE(client < clients_.size(), "client id out of range");
-  FEDCLUST_REQUIRE(!clients_[client].test.empty(),
+  const std::shared_ptr<const ClientData> data = client_data(client);
+  FEDCLUST_REQUIRE(!data->test.empty(),
                    "client " << client << " has no test data");
-  nn::Model model = template_.clone();
-  model.set_thread_pool(kernel_pool_.get());
-  model.set_flat_weights(weights);
-  return evaluate(model, clients_[client].test);
+  ModelPool::Lease lease = model_pool_.acquire();
+  lease->set_flat_weights(weights);
+  return evaluate(*lease, data->test);
 }
 
 double Federation::client_train_loss(std::size_t client,
                                      std::span<const float> weights) const {
-  FEDCLUST_REQUIRE(client < clients_.size(), "client id out of range");
-  nn::Model model = template_.clone();
-  model.set_thread_pool(kernel_pool_.get());
-  model.set_flat_weights(weights);
-  return evaluate(model, clients_[client].train).loss;
+  const std::shared_ptr<const ClientData> data = client_data(client);
+  ModelPool::Lease lease = model_pool_.acquire();
+  lease->set_flat_weights(weights);
+  return evaluate(*lease, data->train).loss;
 }
 
 AccuracySummary Federation::evaluate_personalized(
     const std::function<std::span<const float>(std::size_t)>& weights_for)
     const {
   AccuracySummary out;
-  out.per_client.assign(clients_.size(), 0.0);
-  pool_.parallel_for(0, clients_.size(), [&](std::size_t i) {
+  out.per_client.assign(source_->num_clients(), 0.0);
+  pool_.parallel_for(0, source_->num_clients(), [&](std::size_t i) {
     out.per_client[i] = evaluate_client(i, weights_for(i)).accuracy;
   });
   double sum = 0.0;
@@ -287,6 +469,23 @@ AccuracySummary Federation::evaluate_personalized(
   double var = 0.0;
   for (double a : out.per_client) var += (a - out.mean) * (a - out.mean);
   out.std = std::sqrt(var / static_cast<double>(out.per_client.size()));
+  return out;
+}
+
+AccuracySummary Federation::evaluate_cohort(
+    const std::vector<std::size_t>& clients,
+    const std::function<std::span<const float>(std::size_t)>& weights_for)
+    const {
+  AccuracySummary out;
+  if (clients.empty()) return out;
+  std::vector<double> accs(clients.size());
+  pool_.parallel_for(0, clients.size(), [&](std::size_t i) {
+    accs[i] = evaluate_client(clients[i], weights_for(clients[i])).accuracy;
+  });
+  StreamingMoments moments;
+  for (const double a : accs) moments.add(a);
+  out.mean = moments.mean();
+  out.std = moments.std();
   return out;
 }
 
@@ -316,34 +515,10 @@ std::vector<float> weighted_average(const std::vector<ClientUpdate>& updates,
   std::vector<const float*> srcs(n);
   for (std::size_t u = 0; u < n; ++u) srcs[u] = updates[u].weights.data();
   const ops::KernelTable* kp = &ops::kernels();
-  const auto reduce_range = [&](std::size_t begin, std::size_t end) {
+  chunked_reduce(dim, pool, [&](std::size_t begin, std::size_t end) {
     kp->weighted_accumulate(srcs.data(), coeff.data(), n, out.data(), begin,
                             end);
-  };
-
-  // Chunk large models across the pool. Chunk boundaries are rounded up
-  // to ops::kChunkAlign so every element keeps the same vector-lane
-  // membership no matter how many workers split the range — the result
-  // stays bit-identical across thread counts.
-  constexpr std::size_t kMinParallelDim = 1u << 15;
-  const std::size_t workers = pool != nullptr ? pool->size() : 1;
-  if (workers <= 1 || dim < kMinParallelDim) {
-    reduce_range(0, dim);
-  } else {
-    std::size_t chunk = (dim + workers - 1) / workers;
-    chunk = (chunk + ops::kChunkAlign - 1) / ops::kChunkAlign *
-            ops::kChunkAlign;
-    std::vector<std::future<void>> futures;
-    futures.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      const std::size_t begin = std::min(dim, w * chunk);
-      const std::size_t end = std::min(dim, begin + chunk);
-      if (begin >= end) break;
-      futures.push_back(
-          pool->submit([&reduce_range, begin, end] { reduce_range(begin, end); }));
-    }
-    for (auto& f : futures) f.get();
-  }
+  });
   return out;
 }
 

@@ -15,9 +15,12 @@
 #include <vector>
 
 #include "fl/comm.hpp"
+#include "fl/fleet.hpp"
+#include "fl/model_pool.hpp"
 #include "fl/trainer.hpp"
 #include "fl/types.hpp"
 #include "net/simulator.hpp"
+#include "net/topology.hpp"
 #include "nn/model.hpp"
 #include "robust/aggregate.hpp"
 #include "robust/fault.hpp"
@@ -95,11 +98,24 @@ class Federation {
  public:
   /// `template_model` must already have initialized parameters; every
   /// algorithm clones it so all methods start from identical weights.
+  /// This overload wraps the vector in an EagerFleet — the classic fully
+  /// resident population, behaviour unchanged.
   Federation(nn::Model template_model, std::vector<ClientData> clients,
              FederationConfig config);
 
-  std::size_t num_clients() const { return clients_.size(); }
-  const ClientData& client_data(std::size_t i) const;
+  /// Virtualized population: `source` materializes shards on demand
+  /// (e.g. a VirtualFleet regenerating them from the splittable RNG), so
+  /// resident memory scales with the sampled cohort, not the fleet.
+  Federation(nn::Model template_model, std::shared_ptr<ClientSource> source,
+             FederationConfig config);
+
+  std::size_t num_clients() const { return source_->num_clients(); }
+  /// The client's train/test shard; may materialize lazily. The returned
+  /// pointer keeps the shard alive — hold it across use.
+  std::shared_ptr<const ClientData> client_data(std::size_t i) const;
+  /// Local train-set size without materializing the shard (O(1)).
+  std::size_t client_train_size(std::size_t i) const;
+  const ClientSource& source() const { return *source_; }
   const FederationConfig& config() const { return config_; }
   CommMeter& comm() { return comm_; }
   const CommMeter& comm() const { return comm_; }
@@ -196,6 +212,45 @@ class Federation {
       bool allow_failures = true, const NetPayloads* net_payloads = nullptr,
       std::size_t fault_attempt = 0);
 
+  /// Result of a trained-and-folded round (train_clients_folded).
+  struct FoldResult {
+    /// The aggregated weighted-mean model; empty when no update survived
+    /// the round (callers keep the previous model, like the flat path).
+    std::vector<float> weights;
+    /// Clients whose updates were folded, in slot (ascending solicited)
+    /// order.
+    std::vector<std::size_t> contributors;
+    /// Plain mean of the contributors' train losses.
+    double mean_train_loss = 0.0;
+    /// True when the robust-rule / validation fallback gathered all
+    /// updates at the root instead of folding.
+    bool gathered = false;
+  };
+
+  /// Cross-device round: trains the listed clients and folds their
+  /// updates through a two-level edge-aggregator tree WITHOUT ever
+  /// holding O(cohort) updates — resident updates are bounded by the
+  /// training pool's width per edge batch, and each edge contributes its
+  /// slot range to one shared slot-ordered double accumulator
+  /// (ops::weighted_accumulate_partial). Under the default kWeightedMean
+  /// rule the result is bit-identical to train_clients + aggregate for
+  /// ANY topology.num_edges (every element sees the identical operation
+  /// sequence). Churn, network fate, faults, and metering behave exactly
+  /// like train_clients (allow_failures = true).
+  ///
+  /// MEMORY NOTE: robust rules (trimmed mean / median / norm-clip) and
+  /// server-side validation need the full cohort's updates at once
+  /// (per-coordinate order statistics, cohort-median norm envelopes);
+  /// those configurations fall back to gather-at-root — O(cohort × model)
+  /// server memory, flagged by FoldResult::gathered.
+  FoldResult train_clients_folded(
+      const std::vector<std::size_t>& clients, std::size_t round,
+      const std::function<std::span<const float>(std::size_t)>&
+          start_weights_for,
+      const net::EdgeTopology& topology,
+      const LocalTrainConfig* config_override = nullptr,
+      const NetPayloads* net_payloads = nullptr);
+
   /// Whether a given client drops out of a given round under the
   /// configured dropout probability (deterministic).
   bool client_fails(std::size_t client, std::size_t round) const;
@@ -238,14 +293,46 @@ class Federation {
 
   /// Per-client test accuracy (parallel over clients) where client i is
   /// evaluated with `weights_for(i)`; cluster methods pass their cluster
-  /// model, global methods the single global model.
+  /// model, global methods the single global model. O(fleet) memory and
+  /// evaluation work — the classic small-federation path; fleet-scale
+  /// drivers use evaluate_cohort.
   AccuracySummary evaluate_personalized(
       const std::function<std::span<const float>(std::size_t)>& weights_for)
       const;
 
+  /// Accuracy mean/std over an explicit client subset via streaming
+  /// (Welford) reduction — per_client stays empty, memory O(cohort) for
+  /// the parallel scratch only.
+  AccuracySummary evaluate_cohort(
+      const std::vector<std::size_t>& clients,
+      const std::function<std::span<const float>(std::size_t)>& weights_for)
+      const;
+
+  /// The model-clone pool recycling training/evaluation clones across
+  /// rounds (diagnostics: created() is the engine's clone high-water).
+  const ModelPool& model_pool() const { return model_pool_; }
+
  private:
+  /// Shared solicitation pipeline of train_clients and
+  /// train_clients_folded: quarantine filter → fault fate → churn →
+  /// simulated network fate. Returns the clients whose updates will
+  /// arrive, in ascending solicited order.
+  std::vector<std::size_t> round_survivors(
+      const std::vector<std::size_t>& clients, std::size_t round,
+      const LocalTrainConfig& local, bool allow_failures,
+      const NetPayloads* net_payloads, std::size_t fault_attempt);
+
+  /// Trains one surviving client (pooled clone, payload faults applied) —
+  /// the single code path both flat and folded rounds go through, so
+  /// their per-client math is identical by construction.
+  ClientUpdate train_one(
+      std::size_t cid, std::size_t round,
+      const std::function<std::span<const float>(std::size_t)>&
+          start_weights_for,
+      const LocalTrainConfig& local, std::size_t fault_attempt) const;
+
   nn::Model template_;
-  std::vector<ClientData> clients_;
+  std::shared_ptr<ClientSource> source_;
   FederationConfig config_;
   std::size_t model_size_ = 0;
   /// The template's flat weights — what a stale-replay fault trains from.
@@ -254,6 +341,7 @@ class Federation {
   robust::Quarantine quarantine_;
   mutable ThreadPool pool_;
   std::unique_ptr<ThreadPool> kernel_pool_;
+  mutable ModelPool model_pool_;
   CommMeter comm_;
   std::unique_ptr<net::NetworkSimulator> net_;
 };

@@ -1,0 +1,24 @@
+#include "fl/fleet.hpp"
+
+#include "utils/error.hpp"
+
+namespace fedclust::fl {
+
+EagerFleet::EagerFleet(std::vector<ClientData> clients)
+    : clients_(std::move(clients)) {}
+
+std::size_t EagerFleet::train_size(std::size_t client) const {
+  FEDCLUST_REQUIRE(client < clients_.size(), "client id out of range");
+  return clients_[client].train.size();
+}
+
+std::shared_ptr<const ClientData> EagerFleet::get(std::size_t client) const {
+  FEDCLUST_REQUIRE(client < clients_.size(), "client id out of range");
+  // Aliasing constructor with an empty owner: non-owning view into the
+  // vector, valid for the fleet's lifetime (the Federation keeps the
+  // fleet alive for the whole run).
+  return std::shared_ptr<const ClientData>(std::shared_ptr<const void>(),
+                                           &clients_[client]);
+}
+
+}  // namespace fedclust::fl

@@ -1,0 +1,61 @@
+// Client-population abstraction: eager (fully materialized) vs lazy
+// (virtualized) fleets.
+//
+// The pre-virtualization engine owned a std::vector<ClientData> — O(fleet)
+// resident memory even though a cross-device round only ever touches a
+// ~1% cohort. ClientSource decouples "how many clients exist and how big
+// their shards are" (cheap metadata the engine reads every round) from
+// "hand me client c's actual samples" (materialized on demand, possibly
+// transiently). EagerFleet wraps the classic vector so every existing
+// construction path behaves exactly as before; VirtualFleet
+// (fl/virtual_fleet.hpp) regenerates shards from the splittable RNG.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "fl/types.hpp"
+
+namespace fedclust::fl {
+
+/// Provider of per-client datasets. Implementations must be thread-safe:
+/// the engine calls get() concurrently from its training pool.
+class ClientSource {
+ public:
+  virtual ~ClientSource() = default;
+
+  virtual std::size_t num_clients() const = 0;
+
+  /// Local train-set size WITHOUT materializing the shard. The engine
+  /// reads this for every solicited client each round (FedAvg weighting,
+  /// network ops), so it must be O(1).
+  virtual std::size_t train_size(std::size_t client) const = 0;
+
+  /// The client's train/test shard. May materialize lazily; the returned
+  /// pointer keeps the shard alive independently of any source-internal
+  /// cache eviction.
+  virtual std::shared_ptr<const ClientData> get(std::size_t client) const = 0;
+
+  /// Client shards currently resident in memory (diagnostics; fleet
+  /// benches report this to demonstrate sub-linear residency).
+  virtual std::size_t resident() const = 0;
+};
+
+/// The classic fully-materialized population. get() aliases into the
+/// owned vector — no copies, no cache, lifetime bound to the fleet (which
+/// the Federation owns for the whole run).
+class EagerFleet final : public ClientSource {
+ public:
+  explicit EagerFleet(std::vector<ClientData> clients);
+
+  std::size_t num_clients() const override { return clients_.size(); }
+  std::size_t train_size(std::size_t client) const override;
+  std::shared_ptr<const ClientData> get(std::size_t client) const override;
+  std::size_t resident() const override { return clients_.size(); }
+
+ private:
+  std::vector<ClientData> clients_;
+};
+
+}  // namespace fedclust::fl

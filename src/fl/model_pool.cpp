@@ -1,0 +1,43 @@
+#include "fl/model_pool.hpp"
+
+namespace fedclust::fl {
+
+ModelPool::ModelPool(const nn::Model& template_model, ThreadPool* kernel_pool)
+    : template_(&template_model), kernel_pool_(kernel_pool) {}
+
+ModelPool::Lease ModelPool::acquire() {
+  std::unique_ptr<nn::Model> model;
+  {
+    std::lock_guard lock(mutex_);
+    if (!free_.empty()) {
+      model = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      ++created_;
+    }
+  }
+  // Clone outside the lock — it is the expensive path and only runs while
+  // the pool is still warming up to the round's concurrency.
+  if (model == nullptr) {
+    model = std::make_unique<nn::Model>(template_->clone());
+  }
+  model->set_thread_pool(kernel_pool_);
+  return Lease(this, std::move(model));
+}
+
+void ModelPool::release(std::unique_ptr<nn::Model> model) {
+  std::lock_guard lock(mutex_);
+  free_.push_back(std::move(model));
+}
+
+std::size_t ModelPool::idle() const {
+  std::lock_guard lock(mutex_);
+  return free_.size();
+}
+
+std::size_t ModelPool::created() const {
+  std::lock_guard lock(mutex_);
+  return created_;
+}
+
+}  // namespace fedclust::fl

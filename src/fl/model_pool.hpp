@@ -1,0 +1,82 @@
+// Recycled model clones for the training/evaluation hot path.
+//
+// Before virtualization the engine cloned the template model once per
+// trained (and once per evaluated) client per round — O(cohort) fresh
+// allocations of weights, gradients, and layer scratch arenas every
+// round. ModelPool keeps returned clones on a free list so a round's
+// transient model count equals its peak concurrency (≈ the thread-pool
+// width), not the cohort size.
+//
+// Bit-safety of reuse: a leased model carries arbitrary leftover state,
+// but every engine call sequence re-establishes all of it —
+// set_flat_weights() overwrites every parameter INCLUDING BatchNorm
+// running statistics (they are registered params and live in the flat
+// vector), train_local() reseeds the dropout stream from the client RNG
+// and constructs a fresh optimizer, and gradients are zeroed per step.
+// A recycled clone therefore trains and evaluates bit-identically to a
+// fresh template.clone() — the eager-vs-lazy equivalence test pins this.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "utils/thread_pool.hpp"
+
+namespace fedclust::fl {
+
+class ModelPool {
+ public:
+  /// `template_model` must outlive the pool; `kernel_pool` (may be null)
+  /// is lent to every leased clone.
+  ModelPool(const nn::Model& template_model, ThreadPool* kernel_pool);
+
+  /// RAII lease: returns the clone to the pool on destruction.
+  class Lease {
+   public:
+    Lease(ModelPool* pool, std::unique_ptr<nn::Model> model)
+        : pool_(pool), model_(std::move(model)) {}
+    ~Lease() {
+      if (pool_ != nullptr && model_ != nullptr) {
+        pool_->release(std::move(model_));
+      }
+    }
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), model_(std::move(other.model_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    nn::Model& operator*() { return *model_; }
+    nn::Model* operator->() { return model_.get(); }
+
+   private:
+    ModelPool* pool_;
+    std::unique_ptr<nn::Model> model_;
+  };
+
+  /// A ready-to-use clone (recycled if available, freshly cloned
+  /// otherwise) with the kernel pool attached. Thread-safe.
+  Lease acquire();
+
+  /// Clones currently idle on the free list.
+  std::size_t idle() const;
+  /// Total clones ever created — the pool's high-water concurrency.
+  std::size_t created() const;
+
+ private:
+  friend class Lease;
+  void release(std::unique_ptr<nn::Model> model);
+
+  const nn::Model* template_;
+  ThreadPool* kernel_pool_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<nn::Model>> free_;
+  std::size_t created_ = 0;
+};
+
+}  // namespace fedclust::fl

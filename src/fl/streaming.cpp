@@ -1,0 +1,30 @@
+#include "fl/streaming.hpp"
+
+#include <cmath>
+
+namespace fedclust::fl {
+
+void StreamingMoments::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingMoments::std() const { return std::sqrt(variance()); }
+
+void StreamingRunStats::record(double acc, double loss, double wall_ms,
+                               std::uint64_t weights_fp) {
+  ++rounds;
+  acc_mean.add(acc);
+  train_loss.add(loss);
+  round_wall_ms.add(wall_ms);
+  last_weights_fp = weights_fp;
+  // FNV-1a over the fingerprint's 8 bytes, little-endian byte order.
+  for (std::size_t b = 0; b < 8; ++b) {
+    weights_fp_chain ^= (weights_fp >> (8 * b)) & 0xffu;
+    weights_fp_chain *= 0x100000001b3ull;
+  }
+}
+
+}  // namespace fedclust::fl

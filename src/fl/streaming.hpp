@@ -1,0 +1,53 @@
+// Streaming (O(1)-memory) metric reducers for fleet-scale runs.
+//
+// The classic RunResult keeps one RoundMetrics per evaluated round and
+// evaluate_personalized keeps one accuracy per client — fine for 20
+// clients × 50 rounds, hostile at fleet scale. StreamingMoments is a
+// Welford accumulator (numerically stable single-pass mean/variance);
+// StreamingRunStats summarizes a whole run in a handful of scalars while
+// preserving determinism checkability: it chains every round's weights_fp
+// through an order-sensitive FNV-1a fold, so two runs produced identical
+// per-round server states iff their chains match — without storing the
+// per-round history.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fedclust::fl {
+
+/// Welford single-pass mean/variance accumulator.
+class StreamingMoments {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (÷ n, matching AccuracySummary's convention).
+  double variance() const {
+    return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  double std() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Whole-run summary in O(1) memory: per-round reducers + the weights
+/// fingerprint chain.
+struct StreamingRunStats {
+  std::size_t rounds = 0;
+  StreamingMoments acc_mean;       ///< over evaluated rounds' cohort means
+  StreamingMoments train_loss;     ///< over per-round mean train losses
+  StreamingMoments round_wall_ms;  ///< real wall-clock per round
+  std::uint64_t last_weights_fp = 0;
+  /// FNV-1a fold over every recorded round's weights_fp, in order.
+  std::uint64_t weights_fp_chain = 0xcbf29ce484222325ull;
+
+  void record(double acc, double loss, double wall_ms,
+              std::uint64_t weights_fp);
+};
+
+}  // namespace fedclust::fl

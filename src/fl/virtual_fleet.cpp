@@ -1,0 +1,164 @@
+#include "fl/virtual_fleet.hpp"
+
+#include <algorithm>
+
+#include "partition/partition.hpp"
+#include "utils/error.hpp"
+
+namespace fedclust::fl {
+namespace {
+
+// Split tags for the fleet's RNG streams (independent of the engine's
+// 0x10000/0x20000/0x30000 families).
+constexpr std::uint64_t kDealStream = 0x5EED00;
+constexpr std::uint64_t kClientDataStream = 0xF1EE70;
+
+}  // namespace
+
+VirtualFleet::VirtualFleet(const VirtualFleetSpec& spec)
+    : spec_(spec), generator_(spec.dataset, spec.seed) {
+  build_histograms();
+}
+
+VirtualFleet::VirtualFleet(const VirtualFleetSpec& spec,
+                           const data::SyntheticSpec& synthetic)
+    : spec_(spec), generator_(synthetic, spec.seed) {
+  build_histograms();
+}
+
+void VirtualFleet::build_histograms() {
+  FEDCLUST_REQUIRE(spec_.num_clients > 0, "fleet needs at least one client");
+  FEDCLUST_REQUIRE(spec_.samples_per_client > 0,
+                   "samples_per_client must be positive");
+  FEDCLUST_REQUIRE(spec_.min_train_samples > 0,
+                   "min_train_samples must be positive (every client needs "
+                   "training data)");
+  FEDCLUST_REQUIRE(spec_.test_fraction >= 0.0 && spec_.test_fraction < 1.0,
+                   "test_fraction must be in [0, 1)");
+  classes_ = generator_.image_spec().classes;
+  hist_.assign(spec_.num_clients * classes_, 0);
+
+  // Deal a virtual class-balanced pool of num_clients × samples_per_client
+  // samples through the same streaming Dirichlet protocol as the eager
+  // partitioner — but only the per-client COUNTS are recorded; no index
+  // lists, no pixels.
+  const std::size_t total = spec_.num_clients * spec_.samples_per_client;
+  Rng deal_rng = Rng(spec_.seed).split(kDealStream);
+  for (std::size_t k = 0; k < classes_; ++k) {
+    const std::size_t class_size =
+        total / classes_ + (k < total % classes_ ? 1 : 0);
+    partition::dirichlet_deal_class(
+        class_size, spec_.num_clients, spec_.dirichlet_beta, deal_rng,
+        [&](std::size_t client, std::size_t /*offset*/, std::size_t count) {
+          hist_[client * classes_ + k] += static_cast<std::uint32_t>(count);
+        });
+  }
+
+  // Train totals after the stratified test share, then the deterministic
+  // top-up for starved clients (see header): bump the client's dominant
+  // class until its train split reaches the floor. A global re-draw — the
+  // eager partitioner's strategy — does not converge at fleet scale.
+  train_total_.assign(spec_.num_clients, 0);
+  for (std::size_t c = 0; c < spec_.num_clients; ++c) {
+    std::uint32_t train = 0;
+    for (std::size_t k = 0; k < classes_; ++k) {
+      train += hist_[c * classes_ + k] - test_count(c, k);
+    }
+    if (train < spec_.min_train_samples) {
+      std::size_t dominant = c % classes_;
+      std::uint32_t best = 0;
+      for (std::size_t k = 0; k < classes_; ++k) {
+        if (hist_[c * classes_ + k] > best) {
+          best = hist_[c * classes_ + k];
+          dominant = k;
+        }
+      }
+      while (train < spec_.min_train_samples) {
+        ++hist_[c * classes_ + dominant];
+        train = 0;
+        for (std::size_t k = 0; k < classes_; ++k) {
+          train += hist_[c * classes_ + k] - test_count(c, k);
+        }
+      }
+    }
+    train_total_[c] = train;
+  }
+}
+
+std::uint32_t VirtualFleet::test_count(std::size_t client,
+                                       std::size_t cls) const {
+  return static_cast<std::uint32_t>(
+      static_cast<double>(hist_[client * classes_ + cls]) *
+      spec_.test_fraction);
+}
+
+std::size_t VirtualFleet::train_size(std::size_t client) const {
+  FEDCLUST_REQUIRE(client < spec_.num_clients, "client id out of range");
+  return train_total_[client];
+}
+
+std::span<const std::uint32_t> VirtualFleet::dealt_histogram(
+    std::size_t client) const {
+  FEDCLUST_REQUIRE(client < spec_.num_clients, "client id out of range");
+  return {hist_.data() + client * classes_, classes_};
+}
+
+ClientData VirtualFleet::make_client(std::size_t client) const {
+  std::vector<std::size_t> train_counts(classes_);
+  std::vector<std::size_t> test_counts(classes_);
+  for (std::size_t k = 0; k < classes_; ++k) {
+    const std::uint32_t dealt = hist_[client * classes_ + k];
+    const std::uint32_t tc = test_count(client, k);
+    train_counts[k] = dealt - tc;
+    test_counts[k] = tc;
+  }
+  // One stream per client, consumed train-then-test: materialization is a
+  // pure function of (seed, client), never of call order or caching.
+  Rng rng = Rng(spec_.seed).split(kClientDataStream).split(client);
+  ClientData out;
+  out.train = generator_.generate_per_class(train_counts, rng);
+  out.test = generator_.generate_per_class(test_counts, rng);
+  if (out.test.empty()) out.test = out.train;  // tiny shards: test on train
+  return out;
+}
+
+std::shared_ptr<const ClientData> VirtualFleet::get(std::size_t client) const {
+  FEDCLUST_REQUIRE(client < spec_.num_clients, "client id out of range");
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = cache_.find(client);
+    if (it != cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      return it->second->second;
+    }
+  }
+  // Generate outside the lock; a concurrent miss on the same client
+  // produces identical bytes, so last-writer-wins insertion is benign.
+  auto shard = std::make_shared<const ClientData>(make_client(client));
+  std::lock_guard lock(mutex_);
+  const auto it = cache_.find(client);
+  if (it != cache_.end()) return it->second->second;
+  lru_.emplace_front(client, shard);
+  cache_[client] = lru_.begin();
+  while (lru_.size() > std::max<std::size_t>(1, spec_.cache_capacity)) {
+    cache_.erase(lru_.back().first);
+    lru_.pop_back();  // holders of the shared_ptr keep the shard alive
+  }
+  return shard;
+}
+
+std::size_t VirtualFleet::resident() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+std::vector<ClientData> VirtualFleet::materialize_all() const {
+  std::vector<ClientData> out;
+  out.reserve(spec_.num_clients);
+  for (std::size_t c = 0; c < spec_.num_clients; ++c) {
+    out.push_back(make_client(c));
+  }
+  return out;
+}
+
+}  // namespace fedclust::fl

@@ -1,0 +1,106 @@
+// Lazy million-client fleet: partition spec + per-client label
+// histograms, with shards regenerated on demand.
+//
+// Resident state is O(fleet × classes) uint32 histogram cells (~40 MB at
+// one million clients × 10 classes) plus a small bounded LRU cache of
+// materialized shards — never O(fleet × samples) pixels. Each client's
+// shard is a pure function of (spec.seed, client): the label histogram
+// comes from a streaming Dirichlet deal over a virtual class-balanced
+// pool (partition::dirichlet_deal_class, the same dealing protocol as
+// the eager dirichlet_partition), and the pixels come from the synthetic
+// generator driven by the client's split RNG stream. Materialization is
+// therefore bit-reproducible: get(c) returns identical bytes no matter
+// when, how often, in which order, or on which thread it is called —
+// the property the eager-vs-lazy equivalence tests pin down against
+// materialize_all().
+//
+// min_train_samples deviation: the eager partitioner re-draws the whole
+// partition (up to 100 attempts) until no client is starved. At 1M
+// clients with beta = 0.1 a global re-draw essentially never converges,
+// so the virtual fleet instead tops up each starved client's dominant
+// class deterministically until its train split reaches the floor. This
+// perturbs the ideal Dirichlet marginals only on starved clients.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "fl/fleet.hpp"
+
+namespace fedclust::fl {
+
+struct VirtualFleetSpec {
+  data::SyntheticKind dataset = data::SyntheticKind::kFmnist;
+  std::size_t num_clients = 1000;
+  /// Dirichlet concentration for the label skew (Table-I protocol).
+  double dirichlet_beta = 0.1;
+  /// Mean samples dealt per client; the virtual pool holds
+  /// num_clients × samples_per_client samples, class-balanced.
+  std::size_t samples_per_client = 24;
+  /// Per-(client, class) test share: floor(dealt × test_fraction) goes to
+  /// the local test split (stratified, mirroring the local skew).
+  double test_fraction = 0.25;
+  /// Floor on every client's train split (see header note on top-up).
+  std::size_t min_train_samples = 8;
+  /// Materialized shards kept hot in the LRU cache. Evicted shards stay
+  /// alive while someone holds their shared_ptr.
+  std::size_t cache_capacity = 64;
+  std::uint64_t seed = 1;
+};
+
+class VirtualFleet final : public ClientSource {
+ public:
+  /// Standard construction: generator difficulty from spec.dataset.
+  explicit VirtualFleet(const VirtualFleetSpec& spec);
+  /// Test hook: explicit generator geometry (e.g. tiny 8×8 images).
+  VirtualFleet(const VirtualFleetSpec& spec,
+               const data::SyntheticSpec& synthetic);
+
+  const VirtualFleetSpec& spec() const { return spec_; }
+  const data::ImageSpec& image_spec() const {
+    return generator_.image_spec();
+  }
+
+  std::size_t num_clients() const override { return spec_.num_clients; }
+  std::size_t train_size(std::size_t client) const override;
+  std::shared_ptr<const ClientData> get(std::size_t client) const override;
+  std::size_t resident() const override;
+
+  /// The client's dealt per-class sample counts (train + test).
+  std::span<const std::uint32_t> dealt_histogram(std::size_t client) const;
+
+  /// Materializes every client eagerly — the reference the equivalence
+  /// tests compare the lazy path against. O(fleet × samples) memory;
+  /// only sensible for small fleets.
+  std::vector<ClientData> materialize_all() const;
+
+ private:
+  void build_histograms();
+  /// Pure function of (spec_.seed, client) — the lazy/eager seam.
+  ClientData make_client(std::size_t client) const;
+  std::uint32_t test_count(std::size_t client, std::size_t cls) const;
+
+  VirtualFleetSpec spec_;
+  data::SyntheticGenerator generator_;
+  std::size_t classes_ = 0;
+  /// Flat num_clients × classes dealt counts.
+  std::vector<std::uint32_t> hist_;
+  /// Per-client train totals (dealt minus test shares), precomputed so
+  /// train_size() is O(1).
+  std::vector<std::uint32_t> train_total_;
+
+  // Bounded LRU cache over materialized shards. mutable: get() is
+  // logically const.
+  mutable std::mutex mutex_;
+  mutable std::list<std::pair<std::size_t, std::shared_ptr<const ClientData>>>
+      lru_;
+  mutable std::unordered_map<std::size_t, decltype(lru_)::iterator> cache_;
+};
+
+}  // namespace fedclust::fl

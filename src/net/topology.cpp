@@ -1,0 +1,28 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+
+#include "utils/error.hpp"
+
+namespace fedclust::net {
+
+std::size_t EdgeTopology::clamped_edges(std::size_t cohort) const {
+  FEDCLUST_REQUIRE(num_edges > 0, "topology needs at least one edge");
+  return std::max<std::size_t>(1, std::min(num_edges, cohort));
+}
+
+std::pair<std::size_t, std::size_t> EdgeTopology::slot_range(
+    std::size_t edge, std::size_t cohort) const {
+  const std::size_t edges = clamped_edges(cohort);
+  FEDCLUST_REQUIRE(edge < edges, "edge index out of range");
+  // Balanced contiguous split: edge e owns [e·n/E, (e+1)·n/E).
+  return {edge * cohort / edges, (edge + 1) * cohort / edges};
+}
+
+std::uint64_t EdgeTopology::server_link_floats(
+    std::size_t cohort, std::size_t model_floats) const {
+  if (cohort == 0) return 0;
+  return static_cast<std::uint64_t>(clamped_edges(cohort)) * model_floats;
+}
+
+}  // namespace fedclust::net

@@ -18,6 +18,33 @@ std::vector<std::vector<std::size_t>> indices_by_class(
 
 }  // namespace
 
+void dirichlet_deal_class(
+    std::size_t class_size, std::size_t num_clients, double beta, Rng& rng,
+    const std::function<void(std::size_t client, std::size_t offset,
+                             std::size_t count)>& deal) {
+  FEDCLUST_REQUIRE(num_clients > 0, "need at least one client");
+  FEDCLUST_REQUIRE(beta > 0.0, "Dirichlet beta must be positive");
+  if (class_size == 0) return;
+  const std::vector<double> props = rng.dirichlet(beta, num_clients);
+  // Deal the class's samples proportionally; cumulative rounding keeps
+  // the total exact.
+  double carry = 0.0;
+  std::size_t cursor = 0;
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    const double want = props[k] * static_cast<double>(class_size) + carry;
+    std::size_t take = static_cast<std::size_t>(want);
+    carry = want - static_cast<double>(take);
+    take = std::min(take, class_size - cursor);
+    if (take > 0) deal(k, cursor, take);
+    cursor += take;
+  }
+  // Any residue from rounding goes to the last clients.
+  for (std::size_t k = num_clients; cursor < class_size; ++k) {
+    deal(k % num_clients, cursor, 1);
+    ++cursor;
+  }
+}
+
 Partition dirichlet_partition(const data::Dataset& pool,
                               std::size_t num_clients, double beta, Rng& rng,
                               std::size_t min_samples) {
@@ -38,25 +65,13 @@ Partition dirichlet_partition(const data::Dataset& pool,
       if (cls.empty()) continue;
       std::vector<std::size_t> shuffled = cls;
       rng.shuffle(shuffled);
-      const std::vector<double> props = rng.dirichlet(beta, num_clients);
-      // Deal the class's samples proportionally; cumulative rounding keeps
-      // the total exact.
-      double carry = 0.0;
-      std::size_t cursor = 0;
-      for (std::size_t k = 0; k < num_clients; ++k) {
-        const double want =
-            props[k] * static_cast<double>(shuffled.size()) + carry;
-        std::size_t take = static_cast<std::size_t>(want);
-        carry = want - static_cast<double>(take);
-        take = std::min(take, shuffled.size() - cursor);
-        for (std::size_t t = 0; t < take; ++t) {
-          part.client_indices[k].push_back(shuffled[cursor++]);
-        }
-      }
-      // Any residue from rounding goes to the last clients.
-      for (std::size_t k = num_clients; cursor < shuffled.size(); ++k) {
-        part.client_indices[k % num_clients].push_back(shuffled[cursor++]);
-      }
+      dirichlet_deal_class(
+          shuffled.size(), num_clients, beta, rng,
+          [&](std::size_t k, std::size_t offset, std::size_t count) {
+            for (std::size_t t = 0; t < count; ++t) {
+              part.client_indices[k].push_back(shuffled[offset + t]);
+            }
+          });
     }
     const bool ok =
         std::all_of(part.client_indices.begin(), part.client_indices.end(),

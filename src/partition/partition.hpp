@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -31,6 +32,24 @@ struct Partition {
 
   std::size_t num_clients() const { return client_indices.size(); }
 };
+
+/// Streams one class's Dirichlet(beta) deal without materializing any
+/// index lists: draws ONE Dir(beta) share vector from `rng` and invokes
+/// `deal(client, offset, count)` for every client receiving a non-empty
+/// contiguous range [offset, offset+count) of the class's samples (in
+/// whatever order the caller arranged them — dirichlet_partition shuffles
+/// first, VirtualFleet deals positions of a virtual pool). Clients are
+/// visited in ascending id, then the cumulative-rounding residue is dealt
+/// round-robin one sample at a time, exactly like dirichlet_partition —
+/// the eager partitioner is a thin wrapper over this and consumes the
+/// identical RNG stream. No-op (zero RNG draws) when class_size == 0.
+/// Memory: O(num_clients) for the share vector, independent of
+/// class_size — the piece that lets a million-client fleet deal label
+/// histograms without the O(fleet × samples) assignment matrix.
+void dirichlet_deal_class(
+    std::size_t class_size, std::size_t num_clients, double beta, Rng& rng,
+    const std::function<void(std::size_t client, std::size_t offset,
+                             std::size_t count)>& deal);
 
 /// Dirichlet(beta) label-skew partition. Smaller beta = more skew.
 /// Every client is guaranteed at least `min_samples` samples (re-draws

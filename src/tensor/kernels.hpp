@@ -86,6 +86,20 @@ struct KernelTable {
   void (*weighted_accumulate)(const float* const* srcs, const double* coeff,
                               std::size_t num, float* out, std::size_t begin,
                               std::size_t end);
+  /// Streaming continuation of weighted_accumulate:
+  /// acc[i] += Σ_u coeff[u]·srcs[u][i] for i in [begin, end), where `acc`
+  /// is the caller's running double accumulator. Folding one update list
+  /// through this kernel in slot-order batches and finally casting acc to
+  /// float reproduces weighted_accumulate's output bit-for-bit for ANY
+  /// batch/edge grouping — each element sees the identical operation
+  /// sequence, only parked in memory between batches. This is what makes
+  /// hierarchical (edge-tree) weighted-mean aggregation exact against the
+  /// flat path. Same kChunkAlign chunking contract as
+  /// weighted_accumulate.
+  void (*weighted_accumulate_partial)(const float* const* srcs,
+                                      const double* coeff, std::size_t num,
+                                      double* acc, std::size_t begin,
+                                      std::size_t end);
   /// dx[i] = scale·(dy[i] − mean_dy − xh[i]·mean_dy_xhat), double math.
   void (*bn_backward_dx)(const float* dy, const float* xh, float* dx,
                          double scale, double mean_dy, double mean_dy_xhat,

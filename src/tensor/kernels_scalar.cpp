@@ -257,6 +257,21 @@ void weighted_accumulate(const float* const* srcs, const double* coeff,
   }
 }
 
+void weighted_accumulate_partial(const float* const* srcs, const double* coeff,
+                                 std::size_t num, double* acc,
+                                 std::size_t begin, std::size_t end) {
+  // Per-element expression mirrors weighted_accumulate exactly; only the
+  // accumulator's starting point (the caller's buffer instead of 0)
+  // differs, so chained batches reproduce the one-shot result bit-for-bit.
+  for (std::size_t i = begin; i < end; ++i) {
+    double a = acc[i];
+    for (std::size_t u = 0; u < num; ++u) {
+      a += coeff[u] * static_cast<double>(srcs[u][i]);
+    }
+    acc[i] = a;
+  }
+}
+
 void bn_backward_dx(const float* FEDCLUST_RESTRICT dy,
                     const float* FEDCLUST_RESTRICT xh,
                     float* FEDCLUST_RESTRICT dx, double scale, double mean_dy,
@@ -275,7 +290,7 @@ const KernelTable& scalar_kernels() {
       mul,             scale_shift,  sub_mul,      relu_forward,
       relu_backward,   sum,          dot,          sqnorm,
       sqdist,          sqdev,        max_val,      weighted_accumulate,
-      bn_backward_dx,
+      weighted_accumulate_partial,   bn_backward_dx,
   };
   return table;
 }

@@ -397,6 +397,36 @@ void weighted_accumulate(const float* const* srcs, const double* coeff,
   }
 }
 
+void weighted_accumulate_partial(const float* const* srcs, const double* coeff,
+                                 std::size_t num, double* acc,
+                                 std::size_t begin, std::size_t end) {
+  // Identical vector-block structure and per-element op sequence as
+  // weighted_accumulate; the accumulators start from (and return to) the
+  // caller's double buffer via dload2/dstore2 — a value-preserving
+  // round-trip — so chained slot-order batches reproduce the one-shot
+  // kernel bit-for-bit regardless of how the update list was batched.
+  std::size_t i = begin;
+  for (; i + W <= end; i += W) {
+    s::f64x a0, a1;
+    s::dload2(acc + i, a0, a1);
+    for (std::size_t u = 0; u < num; ++u) {
+      const s::f64x cv = s::dset1(coeff[u]);
+      s::f64x lo, hi;
+      s::widen(s::load(srcs[u] + i), lo, hi);
+      a0 = s::dfmadd(cv, lo, a0);
+      a1 = s::dfmadd(cv, hi, a1);
+    }
+    s::dstore2(acc + i, a0, a1);
+  }
+  for (; i < end; ++i) {
+    double a = acc[i];
+    for (std::size_t u = 0; u < num; ++u) {
+      a += coeff[u] * static_cast<double>(srcs[u][i]);
+    }
+    acc[i] = a;
+  }
+}
+
 void bn_backward_dx(const float* FEDCLUST_RESTRICT dy,
                     const float* FEDCLUST_RESTRICT xh,
                     float* FEDCLUST_RESTRICT dx, double scale, double mean_dy,
@@ -429,7 +459,7 @@ const KernelTable& simd_kernel_table() {
       mul,             scale_shift,  sub_mul,      relu_forward,
       relu_backward,   sum,          dot,          sqnorm,
       sqdist,          sqdev,        max_val,      weighted_accumulate,
-      bn_backward_dx,
+      weighted_accumulate_partial,   bn_backward_dx,
   };
   return table;
 }

@@ -109,6 +109,19 @@ inline double dhsum(f64x a) {
   return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
 }
 
+/// Loads/stores the kWidth doubles backing one f32x block's (lo, hi)
+/// accumulator pair — the exact memory image widen()/narrow() map onto,
+/// so a kernel can park its per-element double accumulators in a caller
+/// buffer between batches without perturbing a single bit.
+inline void dload2(const double* p, f64x& lo, f64x& hi) {
+  lo = {_mm256_loadu_pd(p)};
+  hi = {_mm256_loadu_pd(p + 4)};
+}
+inline void dstore2(double* p, f64x lo, f64x hi) {
+  _mm256_storeu_pd(p, lo.v);
+  _mm256_storeu_pd(p + 4, hi.v);
+}
+
 inline const char* isa_name() { return "avx2+fma"; }
 
 #elif defined(FEDCLUST_SIMD_NEON)
@@ -175,6 +188,18 @@ inline f32x narrow(f64x lo, f64x /*hi*/) {
 inline double dhsum(f64x a) {
   const float64x2_t s = vaddq_f64(a.lo, a.hi);
   return vgetq_lane_f64(s, 0) + vgetq_lane_f64(s, 1);
+}
+
+/// On NEON the lo vector already covers all kWidth lanes (see widen), so
+/// only lo round-trips through memory; hi stays the dead zero accumulator
+/// the width-agnostic kernel bodies expect.
+inline void dload2(const double* p, f64x& lo, f64x& hi) {
+  lo = {vld1q_f64(p), vld1q_f64(p + 2)};
+  hi = dzero();
+}
+inline void dstore2(double* p, f64x lo, f64x /*hi*/) {
+  vst1q_f64(p, lo.lo);
+  vst1q_f64(p + 2, lo.hi);
 }
 
 inline const char* isa_name() { return "neon"; }
@@ -269,6 +294,14 @@ inline f32x narrow(f64x lo, f64x /*hi*/) {
 }
 inline double dhsum(f64x a) {
   return (a.v[0] + a.v[2]) + (a.v[1] + a.v[3]);
+}
+
+inline void dload2(const double* p, f64x& lo, f64x& hi) {
+  for (std::size_t i = 0; i < 4; ++i) lo.v[i] = p[i];
+  hi = dzero();
+}
+inline void dstore2(double* p, f64x lo, f64x /*hi*/) {
+  for (std::size_t i = 0; i < 4; ++i) p[i] = lo.v[i];
 }
 
 inline const char* isa_name() { return "scalar"; }

@@ -217,7 +217,8 @@ TEST(Federation, ValidatesConstruction) {
   nn::Model model = nn::mlp({1, 8, 8, 4}, 8);
   Rng init(1);
   model.init_params(init);
-  EXPECT_THROW(fl::Federation(model.clone(), {}, {}), Error);
+  EXPECT_THROW(fl::Federation(model.clone(), std::vector<ClientData>{}, {}),
+               Error);
 
   FederationConfig bad;
   bad.participation = 0.0;
