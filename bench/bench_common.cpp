@@ -136,6 +136,9 @@ void write_fleet_bench_json(const std::string& path,
     out << "  {\"clients\": " << r.clients << ", \"cohort\": " << r.cohort
         << ", \"rounds\": " << r.rounds << ", \"edges\": " << r.edges
         << ", \"round_ms_mean\": " << r.round_ms_mean
+        << ", \"round_ms_p50\": " << r.round_ms_p50
+        << ", \"round_ms_p99\": " << r.round_ms_p99
+        << ", \"round_ms_p999\": " << r.round_ms_p999
         << ", \"acc_mean_last\": " << r.acc_mean_last
         << ", \"vm_rss_mb\": " << r.vm_rss_mb
         << ", \"vm_hwm_mb\": " << r.vm_hwm_mb
@@ -146,6 +149,25 @@ void write_fleet_bench_json(const std::string& path,
         << ", \"flat_link_floats\": " << r.flat_link_floats
         << ", \"weights_fp_chain\": " << r.weights_fp_chain
         << ", \"resident_shards\": " << r.resident_shards << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+void write_serving_bench_json(const std::string& path,
+                              const std::vector<ServingBenchResult>& results) {
+  std::ofstream out(path);
+  FEDCLUST_REQUIRE(out.good(), "cannot open " << path << " for writing");
+  out << std::fixed << std::setprecision(4) << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ServingBenchResult& r = results[i];
+    out << "  {\"mode\": \"" << r.mode << "\", \"max_batch\": " << r.max_batch
+        << ", \"workers\": " << r.workers << ", \"requests\": " << r.requests
+        << ", \"clusters\": " << r.clusters << ", \"rps\": " << r.rps
+        << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+        << ", \"p999_ms\": " << r.p999_ms
+        << ", \"mean_batch_rows\": " << r.mean_batch_rows
+        << ", \"accuracy\": " << r.accuracy << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "]\n";

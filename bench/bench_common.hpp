@@ -113,6 +113,9 @@ struct FleetBenchResult {
   std::size_t rounds = 0;
   std::size_t edges = 0;          ///< edge aggregators in the tree
   double round_ms_mean = 0.0;     ///< mean round wall-clock
+  double round_ms_p50 = 0.0;      ///< round wall-clock percentiles
+  double round_ms_p99 = 0.0;      ///< (StreamingHistogram estimates,
+  double round_ms_p999 = 0.0;     ///<  ±2% relative)
   double acc_mean_last = 0.0;     ///< cohort accuracy after the last round
   double vm_rss_mb = 0.0;         ///< resident set after the stage
   double vm_hwm_mb = 0.0;         ///< process peak RSS at stage end
@@ -130,5 +133,27 @@ struct FleetBenchResult {
 /// Writes fleet-scale results as a machine-readable JSON array.
 void write_fleet_bench_json(const std::string& path,
                             const std::vector<FleetBenchResult>& results);
+
+// -- serving reporting --------------------------------------------------------
+
+/// One (router mode, batch size) cell of the serving-throughput sweep,
+/// as emitted into BENCH_serving.json.
+struct ServingBenchResult {
+  std::string mode;            ///< "hard" | "soft" | "ensemble"
+  std::size_t max_batch = 0;   ///< batcher cap for this cell
+  std::size_t workers = 0;     ///< engine worker threads
+  std::size_t requests = 0;    ///< requests served
+  std::size_t clusters = 0;    ///< heads in the frozen snapshot
+  double rps = 0.0;            ///< requests per second (wall clock)
+  double p50_ms = 0.0;         ///< request latency percentiles
+  double p99_ms = 0.0;         ///< (submit -> fulfilled)
+  double p999_ms = 0.0;
+  double mean_batch_rows = 0.0;  ///< realized rows per forward batch
+  double accuracy = 0.0;         ///< top-1 on the served test slice
+};
+
+/// Writes serving results as a machine-readable JSON array.
+void write_serving_bench_json(const std::string& path,
+                              const std::vector<ServingBenchResult>& results);
 
 }  // namespace fedclust::bench

@@ -25,6 +25,7 @@
 #include "net/topology.hpp"
 #include "nn/models.hpp"
 #include "utils/cli.hpp"
+#include "utils/histogram.hpp"
 #include "utils/table.hpp"
 
 using namespace fedclust;
@@ -68,6 +69,7 @@ bench::FleetBenchResult run_stage(std::size_t fleet_size, std::size_t rounds,
   const net::EdgeTopology topo{edges};
   std::vector<float> global = fed.template_model().flat_weights();
   fl::StreamingRunStats stats;
+  utils::StreamingHistogram round_hist;  // wall-clock tail, not just mean
   std::uint64_t server_link = 0;
   std::uint64_t flat_link = 0;
   std::size_t last_cohort = 0;
@@ -104,6 +106,7 @@ bench::FleetBenchResult run_stage(std::size_t fleet_size, std::size_t rounds,
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     stats.record(acc.mean, fr.mean_train_loss, wall_ms,
                  check::weights_fingerprint(global));
+    round_hist.record(wall_ms);
     bench::require_max_rss(max_rss_mb);
     std::printf("  round %zu: cohort %zu, acc %.4f, loss %.4f, %.0f ms, "
                 "rss %.0f MiB\n",
@@ -117,6 +120,9 @@ bench::FleetBenchResult run_stage(std::size_t fleet_size, std::size_t rounds,
   out.rounds = rounds;
   out.edges = edges;
   out.round_ms_mean = stats.round_wall_ms.mean();
+  out.round_ms_p50 = round_hist.p50();
+  out.round_ms_p99 = round_hist.p99();
+  out.round_ms_p999 = round_hist.p999();
   out.acc_mean_last = stats.acc_mean.count() > 0
                           ? stats.acc_mean.mean()
                           : 0.0;
@@ -177,8 +183,8 @@ int main(int argc, char** argv) {
         parse_dataset(cli.get_string("dataset"))));
   }
 
-  TextTable table({"clients", "cohort", "round ms", "acc", "rss MiB",
-                   "hwm MiB", "link floats/rd (tree vs flat)"});
+  TextTable table({"clients", "cohort", "round ms", "p99 ms", "acc",
+                   "rss MiB", "hwm MiB", "link floats/rd (tree vs flat)"});
   for (const bench::FleetBenchResult& r : results) {
     const double per_round =
         r.rounds > 0 ? static_cast<double>(r.rounds) : 1.0;
@@ -190,6 +196,7 @@ int main(int argc, char** argv) {
         .add(static_cast<long long>(r.clients))
         .add(static_cast<long long>(r.cohort))
         .add(r.round_ms_mean, 1)
+        .add(r.round_ms_p99, 1)
         .add(r.acc_mean_last, 4)
         .add(r.vm_rss_mb, 0)
         .add(r.vm_hwm_mb, 0)

@@ -1,0 +1,302 @@
+// Serving throughput: requests/sec and latency tails of the batched
+// inference engine, swept over router mode × batch size on LeNet-5.
+//
+// Trains a small grouped FedClust federation, freezes the cluster
+// models into a serving snapshot, then replays a stream of synthetic
+// requests (image + the client's warmup partial weights as routing
+// features) through the BatchingEngine from several producer threads.
+// Each (mode, max_batch) cell reports throughput, p50/p99/p999 request
+// latency (StreamingHistogram), realized batch occupancy, and top-1
+// accuracy on the served stream; everything lands in BENCH_serving.json.
+//
+//   ./serving_throughput                     # full sweep
+//   ./serving_throughput --self-check        # 1k requests, parity gate
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/batching.hpp"
+#include "serve/registry.hpp"
+#include "serve/router.hpp"
+#include "utils/cli.hpp"
+#include "utils/table.hpp"
+
+using namespace fedclust;
+
+namespace {
+
+std::vector<std::size_t> parse_size_list(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(static_cast<std::size_t>(std::stoul(item)));
+  }
+  FEDCLUST_REQUIRE(!out.empty(), "empty size list '" << csv << "'");
+  return out;
+}
+
+struct RequestPool {
+  std::vector<Tensor> inputs;                // (1, C, H, W) each
+  std::vector<std::int32_t> labels;          // ground truth per input
+  std::vector<std::vector<float>> features;  // routing vector per input
+};
+
+/// Distinct samples the stream cycles through (request i uses slot
+/// i % inputs.size()). Each slot impersonates client i % num_clients:
+/// its routing features are that client's warmup upload and its image
+/// is drawn from that client's ground-truth label group — a client's
+/// serving traffic follows its own distribution, which is exactly the
+/// regime cluster models exist for.
+RequestPool make_request_pool(const bench::Scenario& s,
+                              const std::vector<std::size_t>& true_groups,
+                              const core::ClusteringOutcome& outcome,
+                              std::size_t distinct) {
+  const data::SyntheticGenerator gen(s.dataset, s.seed + 7);
+  Rng rng = Rng(s.seed).split(105);
+  const std::size_t classes = gen.image_spec().classes;
+  const std::size_t groups = 2;  // make_federation's grouped partition
+  const std::size_t per_group = classes / groups;
+
+  std::vector<data::Dataset> group_pool;
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::vector<std::size_t> counts(classes, 0);
+    for (std::size_t l = g * per_group; l < (g + 1) * per_group; ++l) {
+      counts[l] = distinct / (groups * per_group) + 1;
+    }
+    group_pool.push_back(gen.generate_per_class(counts, rng));
+  }
+
+  RequestPool out;
+  std::vector<std::size_t> cursor(groups, 0);
+  for (std::size_t i = 0; i < distinct; ++i) {
+    const std::size_t client = i % s.num_clients;
+    const std::size_t g = true_groups[client];
+    const data::Dataset& pool = group_pool[g];
+    const std::size_t idx[] = {cursor[g]++ % pool.size()};
+    out.inputs.push_back(pool.gather(idx).images);
+    out.labels.push_back(pool.label(idx[0]));
+    out.features.push_back(outcome.partial_weights[client]);
+  }
+  return out;
+}
+
+bench::ServingBenchResult run_cell(const serve::ModelRegistry& registry,
+                                   const RequestPool& pool,
+                                   serve::RouteMode mode,
+                                   std::size_t max_batch, std::size_t workers,
+                                   std::size_t producers,
+                                   std::size_t requests,
+                                   ThreadPool* kernel_pool) {
+  serve::EngineConfig cfg;
+  cfg.router.mode = mode;
+  cfg.max_batch = max_batch;
+  cfg.max_delay_ms = 0.2;
+  cfg.workers = workers;
+  cfg.kernel_pool = kernel_pool;
+  serve::BatchingEngine engine(registry, cfg);
+
+  std::vector<std::vector<std::future<serve::InferenceResult>>> futures(
+      producers);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::size_t r = p; r < requests; r += producers) {
+        const std::size_t i = r % pool.inputs.size();
+        futures[p].push_back(
+            engine.submit(r, pool.inputs[i], pool.features[i]));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::size_t correct = 0;
+  double batch_rows_sum = 0.0;
+  for (std::size_t p = 0; p < producers; ++p) {
+    for (auto& f : futures[p]) {
+      const serve::InferenceResult res = f.get();
+      const std::size_t i = res.id % pool.inputs.size();
+      std::size_t top = 0;
+      for (std::size_t j = 1; j < res.probs.size(); ++j) {
+        if (res.probs[j] > res.probs[top]) top = j;
+      }
+      if (static_cast<std::int32_t>(top) == pool.labels[i]) ++correct;
+      batch_rows_sum += static_cast<double>(res.batch_rows);
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const serve::EngineStats stats = engine.stats();
+  bench::ServingBenchResult out;
+  out.mode = serve::route_mode_name(mode);
+  out.max_batch = max_batch;
+  out.workers = workers;
+  out.requests = requests;
+  out.clusters = registry.snapshot()->num_clusters();
+  out.rps = static_cast<double>(requests) / seconds;
+  out.p50_ms = stats.latency_ms.p50();
+  out.p99_ms = stats.latency_ms.p99();
+  out.p999_ms = stats.latency_ms.p999();
+  out.mean_batch_rows = batch_rows_sum / static_cast<double>(requests);
+  out.accuracy =
+      static_cast<double>(correct) / static_cast<double>(requests);
+  return out;
+}
+
+/// Gate: every batched result must be bit-identical to the synchronous
+/// unbatched path, per mode. Throws on divergence.
+void check_parity(const serve::ModelRegistry& registry,
+                  const RequestPool& pool, serve::RouteMode mode,
+                  std::size_t sample) {
+  serve::EngineConfig ref_cfg;
+  ref_cfg.router.mode = mode;
+  serve::BatchingEngine reference(registry, ref_cfg);
+
+  serve::EngineConfig cfg = ref_cfg;
+  cfg.max_batch = 32;
+  cfg.max_delay_ms = 1.0;
+  cfg.workers = 4;
+  serve::BatchingEngine engine(registry, cfg);
+
+  std::vector<std::future<serve::InferenceResult>> futures;
+  for (std::size_t r = 0; r < sample; ++r) {
+    const std::size_t i = r % pool.inputs.size();
+    futures.push_back(engine.submit(r, pool.inputs[i], pool.features[i]));
+  }
+  for (std::size_t r = 0; r < sample; ++r) {
+    const std::size_t i = r % pool.inputs.size();
+    const serve::InferenceResult batched = futures[r].get();
+    const serve::InferenceResult unbatched =
+        reference.infer(r, pool.inputs[i], pool.features[i]);
+    FEDCLUST_REQUIRE(batched.probs == unbatched.probs &&
+                         batched.cluster == unbatched.cluster &&
+                         batched.weights == unbatched.weights,
+                     "batched result diverged from unbatched ("
+                         << serve::route_mode_name(mode) << ", request " << r
+                         << ")");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("serving_throughput",
+                "Batched cluster-model inference: requests/sec and latency "
+                "tails vs batch size and router mode (LeNet-5)");
+  cli.add_int("clients", 10, "federation clients (grouped two-cluster)");
+  cli.add_int("pool", 800, "training pool samples");
+  cli.add_int("rounds", 5, "federated training rounds before freezing");
+  cli.add_int("requests", 2000, "requests per (mode, batch) cell");
+  cli.add_int("distinct", 256, "distinct request samples cycled through");
+  cli.add_int("producers", 4, "request producer threads");
+  cli.add_int("workers", 2, "engine worker threads");
+  cli.add_int("kernel-threads", 0, "intra-op GEMM threads (0 = none)");
+  cli.add_string("batches", "1,8,32,128", "max_batch values to sweep");
+  cli.add_string("modes", "hard,soft,ensemble", "router modes to sweep");
+  cli.add_int("seed", 1, "random seed");
+  cli.add_string("out", "BENCH_serving.json", "output JSON path");
+  cli.add_flag("self-check",
+               "reduced run (1k requests, batches 1,32) that hard-fails "
+               "unless batched == unbatched bitwise and throughput is sane");
+  cli.parse(argc, argv);
+
+  const bool self_check = cli.get_flag("self-check");
+  bench::Scenario s;
+  s.dataset = data::SyntheticKind::kFmnist;
+  s.num_clients = static_cast<std::size_t>(cli.get_int("clients"));
+  s.dirichlet_beta = 0.0;  // grouped: two crisp clusters to serve
+  s.within_group_beta = 0.0;
+  s.pool_samples = static_cast<std::size_t>(cli.get_int("pool"));
+  s.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  s.engine.local.epochs = 2;
+  s.engine.local.batch_size = 32;
+  s.engine.threads = 4;
+
+  std::printf("training FedClust (%zu clients, %lld rounds) ...\n",
+              s.num_clients, static_cast<long long>(cli.get_int("rounds")));
+  std::vector<std::size_t> true_groups;
+  fl::Federation fed = bench::make_federation(s, &true_groups);
+  core::FedClust algo({.warmup_epochs = 2, .rel_factor = 0.6});
+  const fl::RunResult run =
+      algo.run(fed, static_cast<std::size_t>(cli.get_int("rounds")));
+  const core::ClusteringOutcome& outcome = *algo.last_clustering();
+
+  serve::ModelRegistry registry;
+  registry.publish(serve::freeze(fed.template_model(), run, outcome));
+  std::printf("frozen snapshot: %zu clusters, fp %016llx\n",
+              registry.snapshot()->num_clusters(),
+              static_cast<unsigned long long>(
+                  registry.snapshot()->weights_fp));
+
+  const RequestPool pool = make_request_pool(
+      s, true_groups, outcome,
+      static_cast<std::size_t>(cli.get_int("distinct")));
+
+  const std::size_t requests =
+      self_check ? 1000 : static_cast<std::size_t>(cli.get_int("requests"));
+  const std::vector<std::size_t> batches =
+      self_check ? std::vector<std::size_t>{1, 32}
+                 : parse_size_list(cli.get_string("batches"));
+  std::vector<serve::RouteMode> modes;
+  {
+    std::stringstream ss(cli.get_string("modes"));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      modes.push_back(serve::parse_route_mode(item));
+    }
+  }
+
+  const std::size_t kernel_threads =
+      static_cast<std::size_t>(cli.get_int("kernel-threads"));
+  std::unique_ptr<ThreadPool> kernel_pool;
+  if (kernel_threads > 0) {
+    kernel_pool = std::make_unique<ThreadPool>(kernel_threads);
+  }
+
+  std::vector<bench::ServingBenchResult> results;
+  for (const serve::RouteMode mode : modes) {
+    check_parity(registry, pool, mode, self_check ? 200 : 64);
+    for (const std::size_t max_batch : batches) {
+      bench::ServingBenchResult r = run_cell(
+          registry, pool, mode, max_batch,
+          static_cast<std::size_t>(cli.get_int("workers")),
+          static_cast<std::size_t>(cli.get_int("producers")), requests,
+          kernel_pool.get());
+      std::printf("  %-8s batch %3zu: %8.0f req/s, p50 %.3f ms, p99 %.3f "
+                  "ms, rows/batch %.1f, acc %.4f\n",
+                  r.mode.c_str(), r.max_batch, r.rps, r.p50_ms, r.p99_ms,
+                  r.mean_batch_rows, r.accuracy);
+      FEDCLUST_REQUIRE(!self_check || r.rps > 0.0,
+                       "self-check: throughput must be positive");
+      results.push_back(std::move(r));
+    }
+  }
+
+  TextTable table({"mode", "max batch", "req/s", "p50 ms", "p99 ms",
+                   "p99.9 ms", "rows/batch", "acc"});
+  for (const bench::ServingBenchResult& r : results) {
+    table.new_row()
+        .add(r.mode)
+        .add(static_cast<long long>(r.max_batch))
+        .add(r.rps, 0)
+        .add(r.p50_ms, 3)
+        .add(r.p99_ms, 3)
+        .add(r.p999_ms, 3)
+        .add(r.mean_batch_rows, 1)
+        .add(r.accuracy, 4);
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  bench::write_serving_bench_json(cli.get_string("out"), results);
+  std::printf("wrote %s\n", cli.get_string("out").c_str());
+  if (self_check) std::printf("self-check passed\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// End-to-end serving: train a small FedClust federation, freeze the
+// per-cluster models into a snapshot, and answer live requests through
+// the batched inference engine in every router mode — then hot-reload
+// the same model generation from an on-disk FCKP checkpoint without
+// restarting the engine.
+//
+// The demo prints, per mode, where each probe request was routed and
+// what the cluster mixture looked like, and verifies two serving
+// invariants on the spot:
+//  * hard routing sends a request exactly where FedClust's newcomer
+//    rule would have assigned that client;
+//  * the batched answers are bit-identical to the synchronous unbatched
+//    path.
+//
+// Build & run:   ./build/examples/serving_demo
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/fedclust.hpp"
+#include "robust/checkpoint.hpp"
+#include "serve/batching.hpp"
+#include "serve/registry.hpp"
+#include "serve/router.hpp"
+
+using namespace fedclust;
+
+namespace {
+
+constexpr std::size_t kClients = 10;
+constexpr std::size_t kRounds = 3;
+constexpr std::uint64_t kSeed = 29;
+constexpr const char* kCheckpointPath = "serving_demo.ckpt";
+
+}  // namespace
+
+int main() {
+  // 1. Train: grouped two-cluster population, LeNet-5, checkpointing on
+  //    so the serving tier can also boot from the FCKP file.
+  bench::Scenario s;
+  s.num_clients = kClients;
+  s.dirichlet_beta = -1.0;  // two crisp label groups
+  s.within_group_beta = 0.0;
+  s.pool_samples = 800;
+  s.seed = kSeed;
+  s.engine.local.epochs = 1;
+  s.engine.local.batch_size = 32;
+  s.engine.threads = 4;
+
+  std::printf("== training FedClust (%zu clients, %zu rounds)\n", kClients,
+              kRounds);
+  fl::Federation fed = bench::make_federation(s);
+  core::FedClust algo({.warmup_epochs = 1,
+                       .rel_factor = 0.6,
+                       .checkpoint_every = 1,
+                       .checkpoint_path = kCheckpointPath});
+  const fl::RunResult run = algo.run(fed, kRounds);
+  const core::ClusteringOutcome& outcome = *algo.last_clustering();
+  std::printf("   final acc %.4f, clusters %zu\n", run.final_accuracy.mean,
+              run.cluster_weights.size());
+
+  // 2. Freeze + publish generation 1.
+  serve::ModelRegistry registry;
+  registry.publish(serve::freeze(fed.template_model(), run, outcome));
+  std::printf("== published snapshot v%llu (fp %016llx)\n",
+              static_cast<unsigned long long>(registry.version()),
+              static_cast<unsigned long long>(
+                  registry.snapshot()->weights_fp));
+
+  // 3. Probe requests: one synthetic sample per client, routed by that
+  //    client's own warmup upload.
+  const data::SyntheticGenerator gen(s.dataset, kSeed + 7);
+  Rng rng = Rng(kSeed).split(105);
+  const data::Dataset probes = gen.generate(kClients, rng);
+
+  for (const serve::RouteMode mode :
+       {serve::RouteMode::kHard, serve::RouteMode::kSoft,
+        serve::RouteMode::kEnsemble}) {
+    serve::EngineConfig cfg;
+    cfg.router.mode = mode;
+    cfg.max_batch = 8;
+    cfg.max_delay_ms = 0.5;
+    cfg.workers = 2;
+    serve::BatchingEngine engine(registry, cfg);
+
+    std::vector<std::future<serve::InferenceResult>> futures;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      const std::size_t idx[] = {c};
+      futures.push_back(engine.submit(c, probes.gather(idx).images,
+                                      outcome.partial_weights[c]));
+    }
+    std::printf("== %s routing\n", serve::route_mode_name(mode));
+    for (std::size_t c = 0; c < kClients; ++c) {
+      const serve::InferenceResult res = futures[c].get();
+      // The batched answer must equal the unbatched reference bitwise.
+      const std::size_t idx[] = {c};
+      const serve::InferenceResult ref = engine.infer(
+          res.id, probes.gather(idx).images, outcome.partial_weights[c]);
+      FEDCLUST_REQUIRE(res.probs == ref.probs && res.cluster == ref.cluster,
+                       "batched != unbatched for client " << c);
+      if (mode == serve::RouteMode::kHard) {
+        FEDCLUST_REQUIRE(res.cluster == outcome.labels[c],
+                         "hard routing diverged from the training-time "
+                         "assignment for client " << c);
+      }
+      std::printf("   client %zu -> cluster %zu (w = [", c, res.cluster);
+      for (std::size_t k = 0; k < res.weights.size(); ++k) {
+        std::printf("%s%.3f", k == 0 ? "" : ", ", res.weights[k]);
+      }
+      std::printf("], batch rows %zu)\n", res.batch_rows);
+    }
+  }
+
+  // 4. Hot reload: freeze the SAME generation from the FCKP checkpoint
+  //    and publish it into a running engine — version moves, weights
+  //    fingerprint (and thus the served models) stay identical.
+  serve::EngineConfig cfg;
+  cfg.workers = 2;
+  serve::BatchingEngine engine(registry, cfg);
+  const std::size_t idx[] = {std::size_t{0}};
+  const serve::InferenceResult before =
+      engine.submit(0, probes.gather(idx).images, outcome.partial_weights[0])
+          .get();
+
+  const serve::ModelSnapshot from_disk = serve::freeze_checkpoint(
+      fed.template_model(), robust::load_checkpoint(kCheckpointPath));
+  const std::uint64_t fp_before = registry.snapshot()->weights_fp;
+  registry.publish(serve::ModelSnapshot(from_disk));
+  const serve::InferenceResult after =
+      engine.submit(1, probes.gather(idx).images, outcome.partial_weights[0])
+          .get();
+  FEDCLUST_REQUIRE(after.snapshot_version == before.snapshot_version + 1,
+                   "engine did not observe the new snapshot");
+  FEDCLUST_REQUIRE(registry.snapshot()->weights_fp == fp_before,
+                   "checkpoint freeze changed the served weights");
+  FEDCLUST_REQUIRE(after.probs == before.probs,
+                   "identical weights must serve identical answers");
+  std::printf("== hot reload from %s: v%llu -> v%llu, fp unchanged, "
+              "answers bit-identical\n",
+              kCheckpointPath,
+              static_cast<unsigned long long>(before.snapshot_version),
+              static_cast<unsigned long long>(after.snapshot_version));
+
+  std::filesystem::remove(kCheckpointPath);
+  std::printf("serving demo OK\n");
+  return 0;
+}

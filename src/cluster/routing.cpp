@@ -1,0 +1,86 @@
+#include "cluster/routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/kernels.hpp"
+#include "utils/error.hpp"
+
+namespace fedclust::cluster {
+
+std::vector<double> anchor_sqnorms(
+    const std::vector<std::vector<float>>& anchors) {
+  const ops::KernelTable& kt = ops::kernels();
+  std::vector<double> sq(anchors.size(), 0.0);
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    if (anchors[i].empty()) continue;
+    sq[i] = kt.sqnorm(anchors[i].data(), anchors[i].size());
+    FEDCLUST_REQUIRE(std::isfinite(sq[i]),
+                     "non-finite values in anchor " << i);
+  }
+  return sq;
+}
+
+std::vector<double> mean_cluster_distances(
+    std::span<const float> query,
+    const std::vector<std::vector<float>>& anchors,
+    const std::vector<std::size_t>& labels, std::size_t num_clusters,
+    const std::vector<double>* cached_sqnorms) {
+  FEDCLUST_REQUIRE(!query.empty(), "routing query must be non-empty");
+  FEDCLUST_REQUIRE(labels.size() == anchors.size(),
+                   "labels cover " << labels.size() << " clients, anchors "
+                                   << anchors.size());
+  FEDCLUST_REQUIRE(
+      cached_sqnorms == nullptr || cached_sqnorms->size() == anchors.size(),
+      "cached sqnorms do not match the anchor set");
+
+  const ops::KernelTable& kt = ops::kernels();
+  const double qsq = kt.sqnorm(query.data(), query.size());
+  FEDCLUST_REQUIRE(std::isfinite(qsq), "non-finite values in routing query");
+
+  std::vector<double> sum(num_clusters, 0.0);
+  std::vector<std::size_t> count(num_clusters, 0);
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    const std::vector<float>& anchor = anchors[i];
+    // A deferred client has no stored upload (yet); it cannot anchor a
+    // distance and is skipped.
+    if (anchor.empty()) continue;
+    FEDCLUST_REQUIRE(anchor.size() == query.size(),
+                     "stored anchor " << i << " has " << anchor.size()
+                                      << " floats, query " << query.size());
+    FEDCLUST_REQUIRE(labels[i] < num_clusters,
+                     "anchor " << i << " labeled " << labels[i]
+                               << " outside " << num_clusters << " clusters");
+    const double asq = cached_sqnorms != nullptr
+                           ? (*cached_sqnorms)[i]
+                           : kt.sqnorm(anchor.data(), anchor.size());
+    const double dp = kt.dot(query.data(), anchor.data(), query.size());
+    // Same clamp as pairwise_euclidean: tiny negative rounding residues
+    // must not reach the sqrt.
+    const double s = std::max(0.0, qsq + asq - 2.0 * dp);
+    sum[labels[i]] += std::sqrt(s);
+    ++count[labels[i]];
+  }
+
+  std::vector<double> mean(num_clusters,
+                           std::numeric_limits<double>::infinity());
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    if (count[c] > 0) mean[c] = sum[c] / static_cast<double>(count[c]);
+  }
+  return mean;
+}
+
+std::size_t nearest_cluster(const std::vector<double>& mean_distances) {
+  std::size_t best = 0;
+  double best_mean = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < mean_distances.size(); ++c) {
+    if (mean_distances[c] < best_mean) {
+      best_mean = mean_distances[c];
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace fedclust::cluster

@@ -1,0 +1,47 @@
+// Cluster-proximity routing — the FedClust newcomer rule as a reusable
+// primitive.
+//
+// The paper assigns a newcomer to the cluster whose members' stored
+// partial-weight uploads are nearest ON AVERAGE (Euclidean, strict
+// argmin, first cluster wins ties). The serving layer routes every
+// incoming request by exactly the same rule, so the rule lives here
+// once: core::FedClust::assign_newcomer and serve::Router both call
+// these functions, which makes training-time admission and serving-time
+// routing bit-identical by construction.
+//
+// Distances use the same Gram-trick arithmetic as pairwise_euclidean
+// (‖q−m‖² = ‖q‖² + ‖m‖² − 2·q·m with kernel-table sqnorm/dot), so the
+// per-anchor sqnorms can be computed once at freeze time and amortized
+// across every routed request.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fedclust::cluster {
+
+/// Kernel-table squared norms of each anchor vector, for caching at
+/// snapshot-freeze time. Empty anchors (deferred clients with no stored
+/// upload) get 0 — they are skipped by the distance pass anyway.
+std::vector<double> anchor_sqnorms(
+    const std::vector<std::vector<float>>& anchors);
+
+/// Mean Euclidean distance from `query` to each cluster's stored anchor
+/// vectors: mean_c = (Σ_{i: labels[i]=c} ‖query − anchors[i]‖) / |c|.
+/// Empty anchors are skipped; a cluster with no usable anchors gets
+/// +infinity. `cached_sqnorms` (from anchor_sqnorms) skips the per-anchor
+/// norm pass; pass nullptr to compute them on the fly — both paths
+/// produce identical bits.
+std::vector<double> mean_cluster_distances(
+    std::span<const float> query,
+    const std::vector<std::vector<float>>& anchors,
+    const std::vector<std::size_t>& labels, std::size_t num_clusters,
+    const std::vector<double>* cached_sqnorms = nullptr);
+
+/// The newcomer-rule argmin over mean_cluster_distances output: strictly
+/// smaller wins, the first (lowest-id) cluster is kept on ties, and
+/// +infinity entries (anchor-less clusters) are never selected. Returns
+/// 0 when every cluster is anchor-less.
+std::size_t nearest_cluster(const std::vector<double>& mean_distances);
+
+}  // namespace fedclust::cluster

@@ -8,6 +8,7 @@
 #include "check/audit.hpp"
 #include "cluster/distance.hpp"
 #include "cluster/metrics.hpp"
+#include "cluster/routing.hpp"
 #include "fl/trainer.hpp"
 
 namespace fedclust::core {
@@ -320,6 +321,7 @@ fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
   run_rounds(federation, 1, rounds, labels, cluster_weights, outcome, result);
 
   result.cluster_labels = labels;
+  result.cluster_weights = std::move(cluster_weights);
   last_clustering_ = std::move(outcome);
   return result;
 }
@@ -457,6 +459,7 @@ fl::RunResult FedClust::resume(fl::Federation& federation,
   run_rounds(federation, checkpoint.next_round, rounds, labels,
              cluster_weights, outcome, result);
   result.cluster_labels = labels;
+  result.cluster_weights = std::move(cluster_weights);
   last_clustering_ = std::move(outcome);
   return result;
 }
@@ -481,37 +484,13 @@ std::size_t FedClust::assign_newcomer(
       extract_slices(model.flat_weights(), slices);
   if (partial_out != nullptr) *partial_out = partial;
 
-  // Nearest cluster by mean Euclidean distance to stored member vectors.
+  // Nearest cluster by mean Euclidean distance to the stored member
+  // uploads. The distance/argmin pair lives in cluster/routing so the
+  // serving router applies bit-identical assignment semantics.
   const std::size_t k = cluster::num_clusters(outcome.labels);
-  std::vector<double> sum(k, 0.0);
-  std::vector<std::size_t> count(k, 0);
-  for (std::size_t i = 0; i < outcome.labels.size(); ++i) {
-    const std::vector<float>& member = outcome.partial_weights[i];
-    // A deferred client has no stored upload (yet); it cannot anchor a
-    // distance and is skipped.
-    if (member.empty()) continue;
-    FEDCLUST_REQUIRE(member.size() == partial.size(),
-                     "stored partial weights do not match newcomer slice");
-    double s = 0.0;
-    for (std::size_t d = 0; d < partial.size(); ++d) {
-      const double diff =
-          static_cast<double>(member[d]) - static_cast<double>(partial[d]);
-      s += diff * diff;
-    }
-    sum[outcome.labels[i]] += std::sqrt(s);
-    ++count[outcome.labels[i]];
-  }
-  std::size_t best = 0;
-  double best_mean = std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < k; ++c) {
-    if (count[c] == 0) continue;
-    const double mean = sum[c] / static_cast<double>(count[c]);
-    if (mean < best_mean) {
-      best_mean = mean;
-      best = c;
-    }
-  }
-  return best;
+  const std::vector<double> means = cluster::mean_cluster_distances(
+      partial, outcome.partial_weights, outcome.labels, k);
+  return cluster::nearest_cluster(means);
 }
 
 }  // namespace fedclust::core

@@ -35,6 +35,11 @@ struct RunResult {
   /// Per-client cluster assignment at the end of the run (all zeros for
   /// global methods).
   std::vector<std::size_t> cluster_labels;
+  /// Final server-side cluster models (index = cluster id), flat
+  /// weights. Populated by clustered algorithms whose end state is
+  /// servable (FedClust); empty for methods that don't keep per-cluster
+  /// models. serve::freeze() builds an inference snapshot from this.
+  std::vector<std::vector<float>> cluster_weights;
   /// Final personalized accuracy summary.
   AccuracySummary final_accuracy;
 

@@ -5,8 +5,13 @@
 // federated-learning algorithms need — they treat a model as "a thing
 // that trains locally and exposes named weight tensors".
 //
-// Contract: forward() caches whatever the subsequent backward() needs,
-// so calls must be paired (forward, then backward on the same batch).
+// Contract: a TRAIN-mode forward() caches whatever the subsequent
+// backward() needs, so train forward/backward calls must be paired on
+// the same batch. An EVAL-mode forward (train == false) is a pure
+// inference pass: it allocates no backward caches and leaves every
+// training cache untouched, so eval forwards may interleave freely with
+// train forward/backward pairs (the serving engine relies on this).
+// backward() always refers to the most recent TRAIN-mode forward.
 // Parameter gradients are ACCUMULATED by backward(); callers zero them
 // via Model::zero_grad() between optimizer steps.
 #pragma once

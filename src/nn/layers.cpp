@@ -31,15 +31,18 @@ void Conv2d::init_params(Rng& rng) {
   bias_.value.zero();
 }
 
-Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
-  cached_input_ = input;
+Tensor Conv2d::forward(const Tensor& input, bool train) {
+  if (train) cached_input_ = input;
   Tensor output;
   if (impl_ == ConvImpl::kIm2col) {
-    // The column expansion lands in slot kColumns and stays valid until
-    // the paired backward(), which reuses it for the dW GEMM.
+    // A train forward leaves the column expansion in slot kColumns for
+    // the paired backward()'s dW GEMM. An eval forward must not disturb
+    // that cache (serving interleaves eval passes with training), so it
+    // expands into a separate inference-only arena.
+    ScratchArena& arena = train ? scratch_ : eval_scratch_;
     ops::conv2d_forward_im2col(input, weight_.value, bias_.value, spec_,
-                               output, scratch_.slot(kColumns),
-                               scratch_.slot(kPix), pool_);
+                               output, arena.slot(kColumns),
+                               arena.slot(kPix), pool_);
   } else {
     ops::conv2d_forward(input, weight_.value, bias_.value, spec_, output);
   }
@@ -96,11 +99,11 @@ void Linear::init_params(Rng& rng) {
   bias_.value.zero();
 }
 
-Tensor Linear::forward(const Tensor& input, bool /*train*/) {
+Tensor Linear::forward(const Tensor& input, bool train) {
   FEDCLUST_REQUIRE(input.rank() == 2 && input.dim(1) == in_features_,
                    "linear expects (batch, " << in_features_ << "), got "
                                              << shape_to_string(input.shape()));
-  cached_input_ = input;
+  if (train) cached_input_ = input;
   Tensor output;
   ops::matmul_nt(input, weight_.value, output, pool_);  // (B,in)·(out,in)ᵀ
   const ops::KernelTable& kt = ops::kernels();
@@ -138,8 +141,8 @@ std::unique_ptr<Layer> Linear::clone() const {
 
 // -- ReLU ----------------------------------------------------------------------
 
-Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
-  cached_input_ = input;
+Tensor ReLU::forward(const Tensor& input, bool train) {
+  if (train) cached_input_ = input;
   Tensor out(input.shape());
   ops::kernels().relu_forward(input.data(), out.data(), out.numel());
   return out;
@@ -160,10 +163,10 @@ std::unique_ptr<Layer> ReLU::clone() const {
 
 // -- Tanh -----------------------------------------------------------------------
 
-Tensor Tanh::forward(const Tensor& input, bool /*train*/) {
+Tensor Tanh::forward(const Tensor& input, bool train) {
   Tensor out = input;
   for (auto& v : out.flat()) v = std::tanh(v);
-  cached_output_ = out;
+  if (train) cached_output_ = out;
   return out;
 }
 
@@ -183,10 +186,16 @@ std::unique_ptr<Layer> Tanh::clone() const {
 
 // -- Pooling ----------------------------------------------------------------------
 
-Tensor MaxPool2d::forward(const Tensor& input, bool /*train*/) {
-  cached_input_shape_ = input.shape();
+Tensor MaxPool2d::forward(const Tensor& input, bool train) {
   Tensor out;
-  ops::max_pool_forward(input, window_, out, argmax_);
+  if (train) {
+    cached_input_shape_ = input.shape();
+    ops::max_pool_forward(input, window_, out, argmax_);
+  } else {
+    // The kernel needs an argmax output either way; eval keeps its own
+    // bin so the backward routing of a pending train pass survives.
+    ops::max_pool_forward(input, window_, out, eval_argmax_);
+  }
   return out;
 }
 
@@ -200,8 +209,8 @@ std::unique_ptr<Layer> MaxPool2d::clone() const {
   return std::make_unique<MaxPool2d>(*this);
 }
 
-Tensor AvgPool2d::forward(const Tensor& input, bool /*train*/) {
-  cached_input_shape_ = input.shape();
+Tensor AvgPool2d::forward(const Tensor& input, bool train) {
+  if (train) cached_input_shape_ = input.shape();
   Tensor out;
   ops::avg_pool_forward(input, window_, out);
   return out;
@@ -219,9 +228,9 @@ std::unique_ptr<Layer> AvgPool2d::clone() const {
 
 // -- Flatten ------------------------------------------------------------------------
 
-Tensor Flatten::forward(const Tensor& input, bool /*train*/) {
+Tensor Flatten::forward(const Tensor& input, bool train) {
   FEDCLUST_REQUIRE(input.rank() >= 2, "flatten needs a batched input");
-  cached_input_shape_ = input.shape();
+  if (train) cached_input_shape_ = input.shape();
   const std::size_t batch = input.dim(0);
   return input.reshaped({batch, input.numel() / batch});
 }
@@ -269,12 +278,13 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
   const std::size_t plane = h * w;
   const double m = static_cast<double>(n * plane);
 
+  // Eval leaves x_hat_/inv_std_ alone: a pending train pass keeps its
+  // backward caches, and a model that never trained still rejects
+  // backward() (x_hat_ stays empty).
   Tensor out(input.shape());
   if (train) {
     x_hat_ = Tensor(input.shape());
     inv_std_.assign(channels_, 0.0f);
-  } else {
-    x_hat_ = Tensor();  // marks eval mode for backward
   }
 
   const ops::KernelTable& kt = ops::kernels();
@@ -370,10 +380,10 @@ Dropout::Dropout(double p, std::uint64_t seed) : p_(p), rng_(seed) {
 }
 
 Tensor Dropout::forward(const Tensor& input, bool train) {
-  if (!train || p_ == 0.0) {
-    mask_ = Tensor();  // marks eval mode for backward
-    return input;
-  }
+  // Eval is a pure identity: it neither draws from the mask stream nor
+  // clears the mask of a pending train pass, so backward() still applies
+  // the mask of the train forward it pairs with.
+  if (!train || p_ == 0.0) return input;
   mask_ = Tensor(input.shape());
   const float scale = static_cast<float>(1.0 / (1.0 - p_));
   for (auto& m : mask_.flat()) {

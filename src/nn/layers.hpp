@@ -21,9 +21,11 @@ enum class ConvImpl {
 /// 2-D convolution (square kernel, configurable stride/padding).
 /// Weight layout (out_channels, in_channels, k, k); Kaiming-uniform init.
 ///
-/// The default im2col path caches the column expansion from forward and
-/// reuses it in backward, with all temporaries held in a ScratchArena so
-/// steady-state training does zero heap allocation per batch.
+/// The default im2col path caches the column expansion from a TRAIN
+/// forward and reuses it in backward, with all temporaries held in a
+/// ScratchArena so steady-state training does zero heap allocation per
+/// batch. EVAL forwards expand into a separate inference-only arena so
+/// they never disturb a pending train cache.
 class Conv2d final : public Layer {
  public:
   Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
@@ -49,6 +51,14 @@ class Conv2d final : public Layer {
   /// Floats currently held by the scratch arena — stable across batches
   /// in steady state (kernels resize slots in place, reusing capacity).
   std::size_t scratch_footprint() const { return scratch_.footprint(); }
+  /// Same counters for the eval-only arena: eval forwards allocate here
+  /// once per shape and never touch the training arena above.
+  std::size_t eval_scratch_allocations() const {
+    return eval_scratch_.allocations();
+  }
+  std::size_t eval_scratch_footprint() const {
+    return eval_scratch_.footprint();
+  }
 
  private:
   // Scratch slot keys inside scratch_.
@@ -65,7 +75,8 @@ class Conv2d final : public Layer {
   Param weight_;
   Param bias_;
   Tensor cached_input_;
-  ScratchArena scratch_;
+  ScratchArena scratch_;       // train-mode workspaces (kColumns feeds backward)
+  ScratchArena eval_scratch_;  // eval-mode im2col workspaces (slots kColumns/kPix)
   ThreadPool* pool_ = nullptr;  // borrowed; null = single-threaded kernels
 };
 
@@ -132,7 +143,8 @@ class MaxPool2d final : public Layer {
  private:
   std::size_t window_;
   Shape cached_input_shape_;
-  std::vector<std::size_t> argmax_;
+  std::vector<std::size_t> argmax_;       // backward routing (train forward)
+  std::vector<std::size_t> eval_argmax_;  // kernel output bin for eval forwards
 };
 
 /// Non-overlapping average pooling (window == stride).

@@ -1,0 +1,306 @@
+#include "serve/batching.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <utility>
+
+#include "tensor/ops.hpp"
+#include "utils/error.hpp"
+
+namespace fedclust::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Shape of a whole batch of `rows` single-sample inputs.
+Shape batched_shape(const Shape& sample, std::size_t rows) {
+  Shape s = sample;
+  s[0] = rows;
+  return s;
+}
+
+/// Largest mixture weight, ties to the lowest cluster id.
+std::size_t argmax_weight(const std::vector<double>& w) {
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < w.size(); ++c) {
+    if (w[c] > w[best]) best = c;
+  }
+  return best;
+}
+
+}  // namespace
+
+BatchingEngine::BatchingEngine(const ModelRegistry& registry,
+                               EngineConfig config)
+    : registry_(registry), config_(config) {
+  FEDCLUST_REQUIRE(config_.max_batch > 0, "max_batch must be positive");
+  FEDCLUST_REQUIRE(config_.workers > 0, "need at least one worker");
+  FEDCLUST_REQUIRE(config_.max_delay_ms >= 0.0,
+                   "max_delay_ms must be non-negative");
+  workers_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+BatchingEngine::~BatchingEngine() { stop(); }
+
+std::future<InferenceResult> BatchingEngine::submit(
+    std::uint64_t id, Tensor input, std::vector<float> features) {
+  FEDCLUST_REQUIRE(input.rank() >= 2 && input.dim(0) == 1,
+                   "a request carries one sample: dim 0 must be 1, got "
+                       << shape_to_string(input.shape()));
+  Request req;
+  req.id = id;
+  req.input = std::move(input);
+  req.features = std::move(features);
+  req.enqueued = Clock::now();
+  std::future<InferenceResult> future = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FEDCLUST_REQUIRE(!stopping_, "submit() after stop()");
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+InferenceResult BatchingEngine::infer(std::uint64_t id, const Tensor& input,
+                                      std::span<const float> features) {
+  FEDCLUST_REQUIRE(input.rank() >= 2 && input.dim(0) == 1,
+                   "a request carries one sample: dim 0 must be 1, got "
+                       << shape_to_string(input.shape()));
+  std::vector<Request> batch(1);
+  batch[0].id = id;
+  batch[0].input = input;
+  batch[0].features.assign(features.begin(), features.end());
+  batch[0].enqueued = Clock::now();
+  std::future<InferenceResult> future = batch[0].promise.get_future();
+
+  std::lock_guard<std::mutex> lock(reference_mutex_);
+  refresh(reference_);
+  process_batch(reference_, batch);
+  return future.get();
+}
+
+void BatchingEngine::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+EngineStats BatchingEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void BatchingEngine::worker_loop() {
+  WorkerState state;
+  std::vector<Request> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to drain
+
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      const auto deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 config_.max_delay_ms));
+      while (batch.size() < config_.max_batch) {
+        if (!queue_.empty()) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+          continue;
+        }
+        // While draining for shutdown there is no point waiting for
+        // stragglers — no new producer is coming.
+        if (stopping_ || config_.max_delay_ms <= 0.0) break;
+        if (!cv_.wait_until(lock, deadline, [this] {
+              return stopping_ || !queue_.empty();
+            })) {
+          break;  // delay budget spent
+        }
+      }
+    }
+    try {
+      process_batch(state, batch);
+    } catch (...) {
+      // A bad request (shape/feature mismatch) must not kill the worker
+      // or starve its batchmates' futures.
+      const std::exception_ptr err = std::current_exception();
+      for (Request& req : batch) {
+        try {
+          req.promise.set_exception(err);
+        } catch (const std::future_error&) {
+          // already fulfilled before the throw — leave it
+        }
+      }
+    }
+    batch.clear();
+  }
+}
+
+void BatchingEngine::refresh(WorkerState& state) const {
+  std::shared_ptr<const ModelSnapshot> snap = registry_.snapshot();
+  FEDCLUST_REQUIRE(snap != nullptr,
+                   "engine received a request before the first publish()");
+  if (state.snap != nullptr && state.snap->version == snap->version) return;
+
+  state.router.emplace(snap, config_.router);
+  state.replicas.clear();
+  state.replicas.reserve(snap->num_clusters());
+  for (std::size_t c = 0; c < snap->num_clusters(); ++c) {
+    nn::Model replica = snap->template_model.clone();
+    replica.set_flat_weights(snap->cluster_weights[c]);
+    replica.set_thread_pool(config_.kernel_pool);
+    state.replicas.push_back(std::move(replica));
+  }
+  state.snap = std::move(snap);
+}
+
+void BatchingEngine::process_batch(WorkerState& state,
+                                   std::vector<Request>& batch) {
+  refresh(state);
+  const ModelSnapshot& snap = *state.snap;
+  const std::size_t k = snap.num_clusters();
+  const Shape& sample_shape = batch.front().input.shape();
+  for (const Request& req : batch) {
+    FEDCLUST_REQUIRE(req.input.shape() == sample_shape,
+                     "request " << req.id << " shape "
+                                << shape_to_string(req.input.shape())
+                                << " differs from its batch "
+                                << shape_to_string(sample_shape));
+  }
+
+  std::vector<RouteDecision> decisions(batch.size());
+  if (config_.router.mode != RouteMode::kEnsemble) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      decisions[i] = state.router->route(batch[i].features);
+    }
+  }
+
+  std::vector<InferenceResult> results(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    results[i].id = batch[i].id;
+    results[i].snapshot_version = snap.version;
+  }
+
+  if (config_.router.mode == RouteMode::kHard) {
+    // One forward per routed group: rows going to the same cluster head
+    // share a single GEMM pass.
+    std::vector<std::vector<std::size_t>> groups(k);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      groups[decisions[i].cluster].push_back(i);
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      const std::vector<std::size_t>& group = groups[c];
+      if (group.empty()) continue;
+      state.packed.resize(batched_shape(sample_shape, group.size()));
+      const std::size_t row_floats = batch.front().input.numel();
+      for (std::size_t r = 0; r < group.size(); ++r) {
+        std::copy_n(batch[group[r]].input.data(), row_floats,
+                    state.packed.data() + r * row_floats);
+      }
+      const Tensor logits = state.replicas[c].forward(state.packed, false);
+      ops::softmax_rows(logits, state.probs);
+      const std::size_t cols = state.probs.dim(1);
+      for (std::size_t r = 0; r < group.size(); ++r) {
+        InferenceResult& res = results[group[r]];
+        res.cluster = c;
+        res.weights.assign(k, 0.0);
+        res.weights[c] = 1.0;
+        res.probs.assign(state.probs.data() + r * cols,
+                         state.probs.data() + (r + 1) * cols);
+        res.batch_rows = group.size();
+      }
+    }
+  } else {
+    // Soft / ensemble: every head sees the whole batch once; mix the
+    // per-head probabilities per request. The mixture accumulates in
+    // double over clusters in index order — batch-composition-
+    // independent, so batched == unbatched bitwise.
+    state.packed.resize(batched_shape(sample_shape, batch.size()));
+    const std::size_t row_floats = batch.front().input.numel();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      std::copy_n(batch[i].input.data(), row_floats,
+                  state.packed.data() + i * row_floats);
+    }
+
+    std::vector<std::vector<float>> head_probs(k);  // k × (rows*cols)
+    std::size_t cols = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const Tensor logits = state.replicas[c].forward(state.packed, false);
+      ops::softmax_rows(logits, state.probs);
+      cols = state.probs.dim(1);
+      head_probs[c].assign(state.probs.data(),
+                           state.probs.data() + state.probs.numel());
+    }
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      InferenceResult& res = results[i];
+      if (config_.router.mode == RouteMode::kSoft) {
+        res.weights = decisions[i].weights;
+        res.cluster = decisions[i].cluster;
+      } else {
+        // Confidence weighting: each head's max softmax probability on
+        // this input, normalized across heads.
+        res.weights.assign(k, 0.0);
+        double total = 0.0;
+        for (std::size_t c = 0; c < k; ++c) {
+          const float* row = head_probs[c].data() + i * cols;
+          res.weights[c] = *std::max_element(row, row + cols);
+          total += res.weights[c];
+        }
+        for (double& w : res.weights) w /= total;
+        res.cluster = argmax_weight(res.weights);
+      }
+      res.probs.assign(cols, 0.0f);
+      for (std::size_t j = 0; j < cols; ++j) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < k; ++c) {
+          acc += res.weights[c] *
+                 static_cast<double>(head_probs[c][i * cols + j]);
+        }
+        res.probs[j] = static_cast<float>(acc);
+      }
+      res.batch_rows = batch.size();
+    }
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    results[i].latency_ms = ms_since(batch[i].enqueued);
+  }
+  record(batch, results);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(results[i]));
+  }
+}
+
+void BatchingEngine::record(const std::vector<Request>& batch,
+                            const std::vector<InferenceResult>& results) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.requests += batch.size();
+  ++stats_.batches;
+  for (const InferenceResult& res : results) {
+    stats_.latency_ms.record(res.latency_ms);
+  }
+}
+
+}  // namespace fedclust::serve

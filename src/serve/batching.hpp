@@ -1,0 +1,163 @@
+// Batched inference engine over a hot-reloadable ModelRegistry.
+//
+// Concurrent producers submit() single-sample requests into an MPMC
+// queue; worker threads drain it with a dynamic batcher (close a batch
+// at max_batch rows or max_delay_ms after its first request, whichever
+// comes first) and run ONE forward pass per cluster head for the whole
+// batch — the SIMD GEMM kernels amortize across rows instead of being
+// called once per request.
+//
+// Determinism contract: the per-request output is BIT-IDENTICAL to the
+// synchronous unbatched infer() path within a build, for any batch
+// composition and worker count. This follows from three properties:
+//  * the GEMM kernels fix each output element's accumulation order by
+//    (element index, problem size), never by row count or thread;
+//  * softmax and pooling are strictly per-row;
+//  * the cluster-mixture accumulation runs per request in double, over
+//    clusters in index order, independent of who shares the batch.
+// The concurrency tests assert this bitwise at every (batch, workers)
+// combination.
+//
+// Hot reload: each worker caches its own replica set (one nn::Model per
+// cluster, weights loaded once) and refreshes it between batches when
+// the registry's version moved — a publish() never stalls the queue.
+// Forward passes run with train=false, so no backward caches are
+// allocated anywhere on the serving path (see nn/layer.hpp).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "serve/registry.hpp"
+#include "serve/router.hpp"
+#include "tensor/tensor.hpp"
+#include "utils/histogram.hpp"
+
+namespace fedclust {
+class ThreadPool;
+}
+
+namespace fedclust::serve {
+
+struct EngineConfig {
+  RouterConfig router;
+  /// A batch closes as soon as it holds this many requests...
+  std::size_t max_batch = 32;
+  /// ...or this long after its first request was dequeued, whichever is
+  /// first. 0 = never wait: take whatever is queued right now.
+  double max_delay_ms = 0.2;
+  /// Batcher worker threads (each owns a full replica set).
+  std::size_t workers = 1;
+  /// Borrowed intra-op pool for the layer GEMMs; may be null.
+  ThreadPool* kernel_pool = nullptr;
+};
+
+/// Answer to one request.
+struct InferenceResult {
+  std::uint64_t id = 0;
+  /// Softmax class probabilities (the served mixture in soft/ensemble).
+  std::vector<float> probs;
+  /// Cluster with the largest mixture weight (ties -> lowest id). In
+  /// hard mode this is exactly the FedClust newcomer assignment.
+  std::size_t cluster = 0;
+  /// Per-cluster mixture weights, summing to 1 (one-hot in hard mode).
+  std::vector<double> weights;
+  /// Version of the snapshot that served this request.
+  std::uint64_t snapshot_version = 0;
+  /// Rows that shared this request's forward pass (its routed group in
+  /// hard mode, the whole batch otherwise; 1 on the unbatched path).
+  std::size_t batch_rows = 0;
+  /// submit() -> fulfilled, milliseconds (forward time alone for
+  /// infer()).
+  double latency_ms = 0.0;
+};
+
+/// Counters + latency distribution since construction. Returned by
+/// value; safe to read while the engine runs.
+struct EngineStats {
+  std::uint64_t requests = 0;  ///< requests answered (batched path)
+  std::uint64_t batches = 0;   ///< forward batches executed
+  utils::StreamingHistogram latency_ms;
+};
+
+class BatchingEngine {
+ public:
+  /// The registry must outlive the engine and hold a published snapshot
+  /// by the time the first request arrives.
+  BatchingEngine(const ModelRegistry& registry, EngineConfig config);
+  ~BatchingEngine();
+
+  BatchingEngine(const BatchingEngine&) = delete;
+  BatchingEngine& operator=(const BatchingEngine&) = delete;
+
+  /// Enqueues one request. `input` is a single-sample batch (dim 0 must
+  /// be 1); `features` is the routing partial-weight vector (ignored in
+  /// ensemble mode, may be empty there). Throws after stop().
+  std::future<InferenceResult> submit(std::uint64_t id, Tensor input,
+                                      std::vector<float> features);
+
+  /// Synchronous unbatched reference path: same code as the batch
+  /// workers, batch size forced to 1, on a dedicated replica set. The
+  /// batched path must match its output bit-for-bit.
+  InferenceResult infer(std::uint64_t id, const Tensor& input,
+                        std::span<const float> features);
+
+  /// Drains the queue, answers everything already submitted, then joins
+  /// the workers. Idempotent; the destructor calls it.
+  void stop();
+
+  EngineStats stats() const;
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    std::uint64_t id = 0;
+    Tensor input;
+    std::vector<float> features;
+    std::promise<InferenceResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Per-worker serving state, rebuilt when the snapshot version moves.
+  struct WorkerState {
+    std::shared_ptr<const ModelSnapshot> snap;
+    std::optional<Router> router;
+    std::vector<nn::Model> replicas;  ///< index = cluster id
+    Tensor packed;  ///< batch input buffer, reused via resize()
+    Tensor probs;   ///< per-head softmax buffer, reused
+  };
+
+  void worker_loop();
+  void refresh(WorkerState& state) const;
+  /// Routes, forwards, mixes, and fulfills every promise in `batch`.
+  void process_batch(WorkerState& state, std::vector<Request>& batch);
+  void record(const std::vector<Request>& batch,
+              const std::vector<InferenceResult>& results);
+
+  const ModelRegistry& registry_;
+  EngineConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  /// Dedicated state for the synchronous infer() reference path.
+  std::mutex reference_mutex_;
+  WorkerState reference_;
+
+  mutable std::mutex stats_mutex_;
+  EngineStats stats_;
+};
+
+}  // namespace fedclust::serve

@@ -1,0 +1,84 @@
+#include "serve/registry.hpp"
+
+#include <utility>
+
+#include "check/audit.hpp"
+#include "cluster/routing.hpp"
+#include "utils/error.hpp"
+
+namespace fedclust::serve {
+namespace {
+
+/// Shared tail of both freeze paths: validates shapes, caches anchor
+/// sqnorms, fingerprints the served weights.
+ModelSnapshot freeze_impl(const nn::Model& template_model,
+                          std::vector<std::vector<float>> cluster_weights,
+                          std::vector<std::vector<float>> partial_weights,
+                          std::vector<std::size_t> labels) {
+  FEDCLUST_REQUIRE(!cluster_weights.empty(),
+                   "cannot freeze a snapshot with zero cluster models; "
+                   "only clustered algorithms (FedClust) are servable");
+  const std::size_t n = template_model.num_weights();
+  for (std::size_t c = 0; c < cluster_weights.size(); ++c) {
+    FEDCLUST_REQUIRE(cluster_weights[c].size() == n,
+                     "cluster model " << c << " has "
+                                      << cluster_weights[c].size()
+                                      << " floats, template " << n);
+  }
+  FEDCLUST_REQUIRE(labels.size() == partial_weights.size(),
+                   "labels cover " << labels.size() << " clients, anchors "
+                                   << partial_weights.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    FEDCLUST_REQUIRE(labels[i] < cluster_weights.size(),
+                     "anchor " << i << " labeled " << labels[i]
+                               << " outside " << cluster_weights.size()
+                               << " clusters");
+  }
+
+  ModelSnapshot snap;
+  snap.template_model = template_model.clone();
+  snap.cluster_weights = std::move(cluster_weights);
+  snap.partial_weights = std::move(partial_weights);
+  snap.labels = std::move(labels);
+  snap.anchor_sqnorms = cluster::anchor_sqnorms(snap.partial_weights);
+  snap.weights_fp = check::weights_fingerprint(snap.cluster_weights);
+  return snap;
+}
+
+}  // namespace
+
+ModelSnapshot freeze(const nn::Model& template_model,
+                     const fl::RunResult& result,
+                     const core::ClusteringOutcome& outcome) {
+  return freeze_impl(template_model, result.cluster_weights,
+                     outcome.partial_weights, outcome.labels);
+}
+
+ModelSnapshot freeze_checkpoint(const nn::Model& template_model,
+                                const robust::RunCheckpoint& checkpoint) {
+  // Checkpoint labels are u64 on the wire; narrow back to size_t.
+  std::vector<std::size_t> labels(checkpoint.labels.begin(),
+                                  checkpoint.labels.end());
+  return freeze_impl(template_model, checkpoint.cluster_weights,
+                     checkpoint.partial_weights, std::move(labels));
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::uint64_t ModelRegistry::publish(ModelSnapshot snap) {
+  auto next = std::make_shared<ModelSnapshot>(std::move(snap));
+  std::lock_guard<std::mutex> lock(mutex_);
+  next->version = next_version_++;
+  current_ = std::move(next);
+  return current_->version;
+}
+
+std::uint64_t ModelRegistry::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_ ? current_->version : 0;
+}
+
+}  // namespace fedclust::serve

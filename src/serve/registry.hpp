@@ -1,0 +1,94 @@
+// Frozen per-cluster model snapshots + hot-reloadable registry.
+//
+// Training (core::FedClust) ends with K cluster models and the
+// formation-round partial uploads that anchor the newcomer rule. The
+// serving path freezes both into an immutable ModelSnapshot:
+//
+//  * the per-cluster flat weight vectors (what each cluster head serves),
+//  * the routing anchors (partial uploads + labels), and
+//  * the anchors' squared norms, precomputed once so every routed
+//    request pays one dot product per anchor instead of a full
+//    subtract-square pass (the Gram trick from cluster/distance).
+//
+// Snapshots are sealed at freeze time and never mutated; ModelRegistry
+// swaps a shared_ptr under a mutex, so readers (router/engine workers)
+// keep serving the old snapshot until they observe the new version —
+// hot reload without blocking in-flight requests.
+//
+// Snapshots freeze from either a finished fl::RunResult (live process)
+// or a robust::RunCheckpoint (FCKP file, CRC-32-verified by
+// load_checkpoint) — both paths produce bit-identical snapshots for the
+// same run state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/fedclust.hpp"
+#include "fl/metrics.hpp"
+#include "nn/model.hpp"
+#include "robust/checkpoint.hpp"
+
+namespace fedclust::serve {
+
+/// Immutable bundle of everything the serving path needs. Shared
+/// read-only between workers; built by freeze()/freeze_checkpoint().
+struct ModelSnapshot {
+  /// Assigned by ModelRegistry::publish (monotonic from 1); 0 = never
+  /// published.
+  std::uint64_t version = 0;
+  /// Architecture template; its own weights are irrelevant (workers
+  /// clone it and load a cluster's flat weights).
+  nn::Model template_model;
+  /// Per-cluster flat server models (index = cluster id).
+  std::vector<std::vector<float>> cluster_weights;
+  /// Formation-round partial uploads (index = client; empty for a
+  /// deferred client that never reported) — the routing anchors.
+  std::vector<std::vector<float>> partial_weights;
+  /// Anchor -> cluster assignment.
+  std::vector<std::size_t> labels;
+  /// kernels().sqnorm of each anchor, cached once at freeze time.
+  std::vector<double> anchor_sqnorms;
+  /// check::weights_fingerprint over cluster_weights — lets operators
+  /// verify which model generation a replica serves.
+  std::uint64_t weights_fp = 0;
+
+  std::size_t num_clusters() const { return cluster_weights.size(); }
+};
+
+/// Freezes a snapshot out of a finished run. `result` must carry
+/// cluster_weights (a clustered algorithm like FedClust); `outcome`
+/// supplies the routing anchors — typically FedClust::last_clustering().
+ModelSnapshot freeze(const nn::Model& template_model,
+                     const fl::RunResult& result,
+                     const core::ClusteringOutcome& outcome);
+
+/// Freezes from a crash-recovery checkpoint (the FCKP loader has
+/// already CRC-verified it). Equivalent run state yields a snapshot
+/// bit-identical to freeze()'s.
+ModelSnapshot freeze_checkpoint(const nn::Model& template_model,
+                                const robust::RunCheckpoint& checkpoint);
+
+/// Hot-reloadable snapshot holder. snapshot() hands out a shared_ptr to
+/// the current immutable snapshot; publish() installs a new one and
+/// bumps the version. In-flight requests keep the snapshot they started
+/// with alive through their shared_ptr.
+class ModelRegistry {
+ public:
+  /// Current snapshot; nullptr before the first publish().
+  std::shared_ptr<const ModelSnapshot> snapshot() const;
+  /// Installs `snap` as current, stamping the next version number.
+  /// Returns the assigned version (monotonic from 1).
+  std::uint64_t publish(ModelSnapshot snap);
+  /// Version of the current snapshot (0 before the first publish).
+  std::uint64_t version() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ModelSnapshot> current_;
+  std::uint64_t next_version_ = 1;
+};
+
+}  // namespace fedclust::serve

@@ -1,0 +1,109 @@
+#include "utils/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "utils/error.hpp"
+
+namespace fedclust::utils {
+
+StreamingHistogram::StreamingHistogram(double min_value, double growth)
+    : min_value_(min_value),
+      growth_(growth),
+      inv_log_growth_(1.0 / std::log(growth)) {
+  FEDCLUST_REQUIRE(min_value > 0.0, "histogram min_value must be positive");
+  FEDCLUST_REQUIRE(growth > 1.0, "histogram growth must exceed 1");
+}
+
+std::size_t StreamingHistogram::bucket_index(double value) const {
+  if (value <= min_value_) return 0;
+  // Bucket i > 0 covers (min·gⁱ⁻¹, min·gⁱ].
+  const double i = std::ceil(std::log(value / min_value_) * inv_log_growth_);
+  return static_cast<std::size_t>(std::max(1.0, i));
+}
+
+double StreamingHistogram::bucket_upper(std::size_t index) const {
+  return min_value_ * std::pow(growth_, static_cast<double>(index));
+}
+
+void StreamingHistogram::record(double value) {
+  FEDCLUST_REQUIRE(std::isfinite(value) && value >= 0.0,
+                   "histogram values must be finite and non-negative, got "
+                       << value);
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const std::size_t idx = bucket_index(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+}
+
+void StreamingHistogram::merge(const StreamingHistogram& other) {
+  FEDCLUST_REQUIRE(
+      min_value_ == other.min_value_ && growth_ == other.growth_,
+      "cannot merge histograms with different bucket geometries");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+void StreamingHistogram::clear() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double StreamingHistogram::min() const {
+  return count_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double StreamingHistogram::max() const {
+  return count_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double StreamingHistogram::mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_)
+                    : std::numeric_limits<double>::quiet_NaN();
+}
+
+double StreamingHistogram::percentile(double p) const {
+  FEDCLUST_REQUIRE(p >= 0.0 && p <= 100.0,
+                   "percentile must be in [0, 100], got " << p);
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(p% of n); its upper edge is the quantile estimate.
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::clamp(bucket_upper(i), min_, max_);
+  }
+  return max_;
+}
+
+}  // namespace fedclust::utils

@@ -18,7 +18,9 @@ Tensor random_tensor(Shape shape, std::uint64_t seed, float scale = 1.0f) {
 /// parameter grads.
 Tensor analytic_grads(Layer& layer, const Tensor& x, const Tensor& g) {
   for (Param* p : layer.params()) p->grad.zero();
-  (void)layer.forward(x, /*train=*/false);
+  // backward() pairs with a TRAIN-mode forward; eval forwards allocate
+  // no backward caches.
+  (void)layer.forward(x, /*train=*/true);
   return layer.backward(g);
 }
 
@@ -103,10 +105,10 @@ TEST(LinearLayer, GradAccumulatesAcrossBackwardCalls) {
   fc.init_params(rng);
   const Tensor x = random_tensor({2, 3}, 5);
   const Tensor g = random_tensor({2, 2}, 6);
-  (void)fc.forward(x, false);
+  (void)fc.forward(x, true);
   (void)fc.backward(g);
   const float once = fc.params()[0]->grad[0];
-  (void)fc.forward(x, false);
+  (void)fc.forward(x, true);
   (void)fc.backward(g);
   EXPECT_NEAR(fc.params()[0]->grad[0], 2.0f * once, 1e-5f);
 }
@@ -161,7 +163,7 @@ TEST(ReLULayer, ForwardClampsNegatives) {
 TEST(ReLULayer, BackwardMasksNegativeInputs) {
   ReLU relu;
   const Tensor x({4}, std::vector<float>{-1, 0.5f, 2, -3});
-  (void)relu.forward(x, false);
+  (void)relu.forward(x, true);
   const Tensor g({4}, std::vector<float>{1, 1, 1, 1});
   const Tensor dx = relu.backward(g);
   EXPECT_FLOAT_EQ(dx[0], 0.0f);
@@ -173,7 +175,7 @@ TEST(ReLULayer, BackwardMasksNegativeInputs) {
 TEST(TanhLayer, ForwardAndGradient) {
   Tanh tanh_layer;
   const Tensor x({2}, std::vector<float>{0.0f, 1.0f});
-  const Tensor y = tanh_layer.forward(x, false);
+  const Tensor y = tanh_layer.forward(x, true);
   EXPECT_FLOAT_EQ(y[0], 0.0f);
   EXPECT_NEAR(y[1], std::tanh(1.0f), 1e-6f);
 
@@ -189,7 +191,7 @@ TEST(TanhLayer, ForwardAndGradient) {
 TEST(MaxPoolLayer, RoundTripGradient) {
   MaxPool2d pool(2);
   const Tensor x = random_tensor({1, 2, 4, 4}, 11);
-  const Tensor y = pool.forward(x, false);
+  const Tensor y = pool.forward(x, true);
   EXPECT_EQ(y.shape(), (Shape{1, 2, 2, 2}));
   const Tensor g = Tensor::ones(y.shape());
   const Tensor dx = pool.backward(g);
@@ -201,7 +203,7 @@ TEST(MaxPoolLayer, RoundTripGradient) {
 TEST(AvgPoolLayer, ForwardBackwardShapes) {
   AvgPool2d pool(2);
   const Tensor x = random_tensor({2, 3, 8, 8}, 12);
-  const Tensor y = pool.forward(x, false);
+  const Tensor y = pool.forward(x, true);
   EXPECT_EQ(y.shape(), (Shape{2, 3, 4, 4}));
   const Tensor dx = pool.backward(Tensor::ones(y.shape()));
   EXPECT_EQ(dx.shape(), x.shape());
@@ -211,7 +213,7 @@ TEST(AvgPoolLayer, ForwardBackwardShapes) {
 TEST(FlattenLayer, CollapsesAndRestores) {
   Flatten flat;
   const Tensor x = random_tensor({2, 3, 4, 4}, 13);
-  const Tensor y = flat.forward(x, false);
+  const Tensor y = flat.forward(x, true);
   EXPECT_EQ(y.shape(), (Shape{2, 48}));
   const Tensor dx = flat.backward(y);
   EXPECT_EQ(dx.shape(), x.shape());
@@ -406,6 +408,148 @@ TEST(DropoutLayer, RejectsInvalidRate) {
   EXPECT_THROW(Dropout(1.0), Error);
   EXPECT_THROW(Dropout(-0.1), Error);
   EXPECT_NO_THROW(Dropout(0.0));
+}
+
+// -- eval-mode inference fast path -------------------------------------------
+//
+// forward(x, /*train=*/false) is a pure inference pass: it must produce
+// the same bits as a train forward (for deterministic layers), allocate
+// no backward caches, and leave the caches of a pending train pass
+// untouched so eval passes can interleave with training (the serving
+// engine interleaves them continuously).
+
+TEST(EvalForward, BitIdenticalToTrainForward) {
+  Conv2d conv(2, 3, 3, /*padding=*/1);
+  Rng rng(70);
+  conv.init_params(rng);
+  Linear fc(6, 4);
+  fc.init_params(rng);
+
+  const Tensor xc = random_tensor({2, 2, 6, 6}, 71);
+  const Tensor yc_train = conv.forward(xc, true);
+  const Tensor yc_eval = conv.forward(xc, false);
+  ASSERT_EQ(yc_train.numel(), yc_eval.numel());
+  for (std::size_t i = 0; i < yc_train.numel(); ++i) {
+    ASSERT_EQ(yc_train[i], yc_eval[i]) << "conv output idx " << i;
+  }
+
+  const Tensor xl = random_tensor({3, 6}, 72);
+  const Tensor yl_train = fc.forward(xl, true);
+  const Tensor yl_eval = fc.forward(xl, false);
+  for (std::size_t i = 0; i < yl_train.numel(); ++i) {
+    ASSERT_EQ(yl_train[i], yl_eval[i]) << "linear output idx " << i;
+  }
+}
+
+TEST(EvalForward, ConvAllocatesNoBackwardCaches) {
+  Conv2d conv(1, 2, 3, /*padding=*/1);
+  Rng rng(73);
+  conv.init_params(rng);
+  const Tensor x = random_tensor({2, 1, 8, 8}, 74);
+
+  (void)conv.forward(x, false);
+  // The training arena never saw the eval pass...
+  EXPECT_EQ(conv.scratch_footprint(), 0u);
+  EXPECT_EQ(conv.scratch_allocations(), 0u);
+  // ...and backward has nothing to pair with.
+  EXPECT_THROW(conv.backward(Tensor({2, 2, 8, 8})), Error);
+
+  // The eval arena reaches steady state after the first same-shape pass.
+  const std::size_t after_first = conv.eval_scratch_footprint();
+  EXPECT_GT(after_first, 0u);
+  (void)conv.forward(x, false);
+  (void)conv.forward(x, false);
+  EXPECT_EQ(conv.eval_scratch_footprint(), after_first);
+  EXPECT_EQ(conv.eval_scratch_allocations(), 0u);  // slots resize in place
+  EXPECT_EQ(conv.scratch_footprint(), 0u);
+}
+
+TEST(EvalForward, ConvLeavesTrainCachesUntouched) {
+  Conv2d conv(2, 3, 3, /*padding=*/1);
+  Rng rng(75);
+  conv.init_params(rng);
+  Conv2d control = conv;  // same params, never sees the eval pass
+
+  const Tensor x1 = random_tensor({2, 2, 6, 6}, 76);
+  const Tensor x2 = random_tensor({4, 2, 6, 6}, 77);  // different batch
+  const Tensor g = random_tensor({2, 3, 6, 6}, 78);
+
+  (void)conv.forward(x1, true);
+  (void)conv.forward(x2, false);  // interleaved inference pass
+  const Tensor dx = conv.backward(g);
+
+  (void)control.forward(x1, true);
+  const Tensor dx_control = control.backward(g);
+
+  for (std::size_t i = 0; i < dx.numel(); ++i) {
+    ASSERT_EQ(dx[i], dx_control[i]) << "dx idx " << i;
+  }
+  for (std::size_t p = 0; p < 2; ++p) {
+    const Tensor& got = conv.params()[p]->grad;
+    const Tensor& want = control.params()[p]->grad;
+    for (std::size_t i = 0; i < got.numel(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "param " << p << " grad idx " << i;
+    }
+  }
+}
+
+TEST(EvalForward, MaxPoolKeepsTrainArgmaxAcrossEvalPasses) {
+  MaxPool2d pool(2);
+  MaxPool2d control(2);
+  const Tensor x1 = random_tensor({1, 2, 4, 4}, 79);
+  Tensor x2 = x1;
+  x2 *= -1.0f;  // flips every window's argmax
+  const Tensor g = random_tensor({1, 2, 2, 2}, 80);
+
+  (void)pool.forward(x1, true);
+  (void)pool.forward(x2, false);
+  const Tensor dx = pool.backward(g);
+
+  (void)control.forward(x1, true);
+  const Tensor dx_control = control.backward(g);
+  for (std::size_t i = 0; i < dx.numel(); ++i) {
+    ASSERT_EQ(dx[i], dx_control[i]) << "dx idx " << i;
+  }
+}
+
+TEST(EvalForward, BatchNormKeepsTrainCachesAcrossEvalPasses) {
+  BatchNorm2d bn(2);
+  BatchNorm2d control = bn;
+  const Tensor x1 = random_tensor({3, 2, 2, 2}, 81);
+  const Tensor x2 = random_tensor({5, 2, 2, 2}, 82);
+  const Tensor g = random_tensor({3, 2, 2, 2}, 83);
+
+  (void)bn.forward(x1, true);
+  (void)bn.forward(x2, false);  // running-stats inference pass
+  const Tensor dx = bn.backward(g);
+
+  (void)control.forward(x1, true);
+  const Tensor dx_control = control.backward(g);
+  for (std::size_t i = 0; i < dx.numel(); ++i) {
+    ASSERT_EQ(dx[i], dx_control[i]) << "dx idx " << i;
+  }
+  // Eval must not have advanced the running statistics either.
+  for (std::size_t p = 2; p < 4; ++p) {
+    ASSERT_EQ(bn.params()[p]->value[0], control.params()[p]->value[0]);
+  }
+}
+
+TEST(EvalForward, DropoutKeepsTrainMaskAcrossEvalPasses) {
+  Dropout drop(0.4, /*seed=*/84);
+  const Tensor x = Tensor::ones({512});
+  const Tensor y_train = drop.forward(x, true);
+
+  const Tensor other = random_tensor({512}, 85);
+  const Tensor y_eval = drop.forward(other, false);
+  for (std::size_t i = 0; i < other.numel(); ++i) {
+    ASSERT_EQ(y_eval[i], other[i]);  // identity, no mask draw
+  }
+
+  // backward still applies the mask of the train forward it pairs with.
+  const Tensor dx = drop.backward(Tensor::ones({512}));
+  for (std::size_t i = 0; i < dx.numel(); ++i) {
+    ASSERT_EQ(dx[i], y_train[i]);
+  }
 }
 
 // -- clone -----------------------------------------------------------------

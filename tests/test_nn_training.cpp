@@ -27,7 +27,7 @@ TEST(ModelGradient, MatchesFiniteDifferenceThroughLoss) {
   const std::vector<std::int32_t> labels{0, 1, 2};
 
   m.zero_grad();
-  const Tensor logits = m.forward(x, false);
+  const Tensor logits = m.forward(x, true);  // backward needs a train forward
   const LossResult loss = softmax_cross_entropy(logits, labels);
   m.backward(loss.grad_logits);
   const std::vector<float> analytic = m.flat_grads();

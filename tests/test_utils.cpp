@@ -2,12 +2,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "utils/cli.hpp"
 #include "utils/error.hpp"
+#include "utils/histogram.hpp"
 #include "utils/stopwatch.hpp"
 #include "utils/table.hpp"
 #include "utils/thread_pool.hpp"
@@ -200,6 +203,81 @@ TEST(Table, FormatMeanStd) {
 }
 
 // -- stopwatch -----------------------------------------------------------
+
+// -- streaming histogram --------------------------------------------------
+
+TEST(StreamingHistogram, EmptyReportsNaN) {
+  const utils::StreamingHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+  EXPECT_TRUE(std::isnan(h.mean()));
+  EXPECT_TRUE(std::isnan(h.p50()));
+}
+
+TEST(StreamingHistogram, ExactStatsAndBoundedQuantileError) {
+  utils::StreamingHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 1000.0);
+  EXPECT_NEAR(h.mean(), 500.5, 1e-9);
+  // Geometric buckets with growth 1.02 bound relative error at 2%.
+  EXPECT_NEAR(h.p50(), 500.0, 500.0 * 0.02);
+  EXPECT_NEAR(h.p99(), 990.0, 990.0 * 0.02);
+  EXPECT_NEAR(h.p999(), 999.0, 999.0 * 0.02);
+  EXPECT_EQ(h.percentile(0.0), 1.0);
+  EXPECT_EQ(h.percentile(100.0), 1000.0);
+}
+
+TEST(StreamingHistogram, QuantilesClampIntoObservedRange) {
+  utils::StreamingHistogram h;
+  h.record(3.0);
+  // One sample: every quantile IS that sample despite bucket rounding.
+  EXPECT_EQ(h.p50(), 3.0);
+  EXPECT_EQ(h.p999(), 3.0);
+  // Values at or below the resolution floor share bucket 0.
+  utils::StreamingHistogram tiny;
+  tiny.record(0.0);
+  tiny.record(1e-6);
+  EXPECT_EQ(tiny.min(), 0.0);
+  EXPECT_LE(tiny.p50(), 1e-4);
+}
+
+TEST(StreamingHistogram, MergeEqualsCombinedRecording) {
+  utils::StreamingHistogram a, b, combined;
+  for (int i = 1; i <= 400; ++i) {
+    a.record(static_cast<double>(i));
+    combined.record(static_cast<double>(i));
+  }
+  for (int i = 401; i <= 1000; ++i) {
+    b.record(static_cast<double>(i));
+    combined.record(static_cast<double>(i));
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_EQ(a.p50(), combined.p50());
+  EXPECT_EQ(a.p99(), combined.p99());
+
+  // Mismatched geometry must be rejected, not silently mixed.
+  utils::StreamingHistogram other_geometry(1e-4, 1.5);
+  EXPECT_THROW(a.merge(other_geometry), Error);
+}
+
+TEST(StreamingHistogram, ClearResetsEverything) {
+  utils::StreamingHistogram h;
+  h.record(5.0);
+  h.record(7.0);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(std::isnan(h.p50()));
+  h.record(2.0);
+  EXPECT_EQ(h.p50(), 2.0);
+  EXPECT_THROW(h.record(-1.0), Error);
+  EXPECT_THROW(h.record(std::numeric_limits<double>::infinity()), Error);
+}
 
 TEST(Stopwatch, MeasuresElapsedTime) {
   Stopwatch sw;
