@@ -154,6 +154,26 @@ void write_fleet_bench_json(const std::string& path,
   out << "]\n";
 }
 
+void write_compress_bench_json(
+    const std::string& path, const std::vector<CompressBenchResult>& results) {
+  std::ofstream out(path);
+  FEDCLUST_REQUIRE(out.good(), "cannot open " << path << " for writing");
+  out << std::fixed << std::setprecision(4) << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CompressBenchResult& r = results[i];
+    out << "  {\"algorithm\": \"" << r.algorithm << "\", \"codec\": \""
+        << r.codec << "\", \"rounds\": " << r.rounds
+        << ", \"upload_bytes\": " << r.upload_bytes
+        << ", \"download_bytes\": " << r.download_bytes
+        << ", \"upload_reduction\": " << r.upload_reduction
+        << ", \"acc_mean\": " << r.acc_mean << ", \"acc_std\": " << r.acc_std
+        << ", \"acc_delta_pts\": " << r.acc_delta_pts
+        << ", \"pareto\": " << (r.pareto ? "true" : "false") << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
 void write_serving_bench_json(const std::string& path,
                               const std::vector<ServingBenchResult>& results) {
   std::ofstream out(path);

@@ -134,6 +134,34 @@ struct FleetBenchResult {
 void write_fleet_bench_json(const std::string& path,
                             const std::vector<FleetBenchResult>& results);
 
+// -- compression reporting ----------------------------------------------------
+
+/// One (algorithm, upload codec) cell of the bytes-vs-accuracy sweep, as
+/// emitted into BENCH_compress.json by `comm_cost --codec`.
+struct CompressBenchResult {
+  std::string algorithm;  ///< e.g. "FedAvg", "IFCA", "FedClust"
+  std::string codec;      ///< upload codec name ("identity", "int8", ...)
+  std::size_t rounds = 0;
+  std::uint64_t upload_bytes = 0;    ///< whole-run encoded upload traffic
+  std::uint64_t download_bytes = 0;  ///< whole-run download traffic
+  /// identity-codec upload bytes / this codec's upload bytes (>= 1 means
+  /// the codec saved traffic; identity itself is exactly 1).
+  double upload_reduction = 1.0;
+  double acc_mean = 0.0;  ///< final mean per-client accuracy
+  double acc_std = 0.0;
+  /// Accuracy points relative to the same algorithm's identity run
+  /// (negative = the codec cost accuracy).
+  double acc_delta_pts = 0.0;
+  /// On the per-algorithm Pareto front: no other codec for this
+  /// algorithm uploads fewer (or equal) bytes AND reaches at least this
+  /// accuracy, with one of the two strict.
+  bool pareto = false;
+};
+
+/// Writes compression results as a machine-readable JSON array.
+void write_compress_bench_json(const std::string& path,
+                               const std::vector<CompressBenchResult>& results);
+
 // -- serving reporting --------------------------------------------------------
 
 /// One (router mode, batch size) cell of the serving-throughput sweep,

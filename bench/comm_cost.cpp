@@ -12,21 +12,59 @@
 //     seconds to reach the target (time-to-accuracy) plus total
 //     simulated time — the axis where byte savings turn into speed.
 //
+// With --codec the bench switches to the update-compression sweep: every
+// (algorithm × upload codec) cell runs the standard Dirichlet benchmark
+// with the network simulator off, so the meter reports exact encoded
+// bytes, and the per-algorithm bytes-vs-accuracy Pareto front lands in
+// BENCH_compress.json (identity is always run first as the baseline).
+//
 //   ./comm_cost [--rounds 12] [--clients 20] [--target 0.6]
 //               [--profile lan|wan|cellular|heterogeneous|none|all]
 //               [--straggler 1.0]
+//   ./comm_cost --codec all [--beta 0.1] [--out BENCH_compress.json]
+//   ./comm_cost --codec int8,topk ...
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "compress/codec.hpp"
 #include "net/link.hpp"
 #include "utils/cli.hpp"
+#include "utils/error.hpp"
 #include "utils/table.hpp"
 
 using namespace fedclust;
 
 namespace {
+
+/// Parses --codec: "all", or a comma list of codec names. Identity is
+/// forced in front as the reduction/accuracy baseline row.
+std::vector<compress::CodecKind> parse_codecs(const std::string& arg) {
+  using compress::CodecKind;
+  if (arg == "all") {
+    return {CodecKind::kIdentity, CodecKind::kInt8,    CodecKind::kInt4,
+            CodecKind::kTopK,     CodecKind::kSignSgd, CodecKind::kDelta};
+  }
+  std::vector<CodecKind> codecs = {CodecKind::kIdentity};
+  std::size_t pos = 0;
+  while (pos <= arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string tok =
+        arg.substr(pos, comma == std::string::npos ? std::string::npos
+                                                   : comma - pos);
+    CodecKind kind;
+    FEDCLUST_REQUIRE(compress::codec_from_string(tok, &kind),
+                     "unknown codec '" << tok
+                                       << "' (want identity, int8, int4, "
+                                          "topk, sign, or delta)");
+    if (kind != CodecKind::kIdentity) codecs.push_back(kind);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return codecs;
+}
 
 std::string human_bytes(double b) {
   char buf[32];
@@ -55,6 +93,13 @@ int main(int argc, char** argv) {
                  "or all");
   cli.add_double("straggler", 1.0,
                  "fraction of uploads a simulated round waits for");
+  cli.add_string("codec", "none",
+                 "update-compression sweep: none, all, or a comma list of "
+                 "identity,int8,int4,topk,sign,delta");
+  cli.add_double("beta", 0.1,
+                 "Dirichlet concentration for the --codec sweep");
+  cli.add_string("out", "BENCH_compress.json",
+                 "JSON output path for the --codec sweep");
   cli.add_flag("quick", "tiny configuration for smoke runs");
   cli.parse(argc, argv);
 
@@ -76,6 +121,108 @@ int main(int argc, char** argv) {
   const auto rounds =
       quick ? std::size_t{5} : static_cast<std::size_t>(cli.get_int("rounds"));
   const double target = cli.get_double("target");
+
+  // -- update-compression sweep ---------------------------------------------
+  const std::string codec_arg = cli.get_string("codec");
+  if (codec_arg != "none") {
+    const std::vector<compress::CodecKind> codecs = parse_codecs(codec_arg);
+
+    // The standard Dirichlet benchmark, network off: CommMeter reports
+    // exact encoded bytes, trajectories match the weights_fp tests.
+    bench::Scenario sweep = s;
+    sweep.dirichlet_beta = cli.get_double("beta");
+
+    // A representative slice of the zoo: a plain averager, a proximal
+    // variant, the k-model iterative clusterer, and the paper's one-shot
+    // method. (All six algorithms route through the same transport; four
+    // keeps the 4-codec × 4-algorithm grid affordable.)
+    auto zoo = bench::make_algorithms(/*expected_clusters=*/2);
+    std::vector<std::unique_ptr<fl::Algorithm>> algos;
+    for (auto& algo : zoo) {
+      const std::string n = algo->name();
+      if (n == "FedAvg" || n == "FedProx" || n == "IFCA" || n == "FedClust") {
+        algos.push_back(std::move(algo));
+      }
+    }
+
+    TextTable table({"Method", "Codec", "Upload", "Download", "Upload redux",
+                     "Final acc (%)", "dAcc (pts)", "Pareto"});
+    std::vector<bench::CompressBenchResult> results;
+    for (auto& algo : algos) {
+      std::vector<bench::CompressBenchResult> rows;
+      std::uint64_t identity_up = 0;
+      double identity_acc = 0.0;
+      for (compress::CodecKind kind : codecs) {
+        bench::Scenario sp = sweep;
+        sp.engine.compression.enabled = true;
+        sp.engine.compression.upload = kind;
+        sp.engine.compression.download = compress::CodecKind::kIdentity;
+
+        fl::Federation fed = bench::make_federation(sp);
+        const fl::RunResult r = algo->run(fed, rounds);
+
+        bench::CompressBenchResult row;
+        row.algorithm = algo->name();
+        row.codec = compress::to_string(kind);
+        row.rounds = rounds;
+        row.upload_bytes = fed.comm().total_upload();
+        row.download_bytes = fed.comm().total_download();
+        row.acc_mean = r.final_accuracy.mean;
+        row.acc_std = r.final_accuracy.std;
+        if (kind == compress::CodecKind::kIdentity) {
+          identity_up = row.upload_bytes;
+          identity_acc = row.acc_mean;
+        }
+        row.upload_reduction =
+            row.upload_bytes == 0
+                ? 1.0
+                : static_cast<double>(identity_up) /
+                      static_cast<double>(row.upload_bytes);
+        row.acc_delta_pts = 100.0 * (row.acc_mean - identity_acc);
+        rows.push_back(row);
+        std::fprintf(stderr, "[codec] %-8s / %-8s done (%.2f%%, %s up)\n",
+                     row.algorithm.c_str(), row.codec.c_str(),
+                     100.0 * row.acc_mean,
+                     human_bytes(static_cast<double>(row.upload_bytes))
+                         .c_str());
+      }
+      // Per-algorithm Pareto front over (upload bytes down, accuracy up).
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < rows.size() && !dominated; ++j) {
+          if (j == i) continue;
+          dominated = rows[j].upload_bytes <= rows[i].upload_bytes &&
+                      rows[j].acc_mean >= rows[i].acc_mean &&
+                      (rows[j].upload_bytes < rows[i].upload_bytes ||
+                       rows[j].acc_mean > rows[i].acc_mean);
+        }
+        rows[i].pareto = !dominated;
+      }
+      for (const bench::CompressBenchResult& row : rows) {
+        table.new_row()
+            .add(row.algorithm)
+            .add(row.codec)
+            .add(human_bytes(static_cast<double>(row.upload_bytes)))
+            .add(human_bytes(static_cast<double>(row.download_bytes)))
+            .add(row.upload_reduction, 2)
+            .add(100.0 * row.acc_mean, 2)
+            .add(row.acc_delta_pts, 2)
+            .add(row.pareto ? "yes" : "");
+        results.push_back(row);
+      }
+    }
+
+    std::printf("\nUpdate compression — Dirichlet(%.2f) workload (FMNIST "
+                "stand-in), %zu clients, %zu rounds, network off (exact "
+                "encoded bytes)\n\n",
+                sweep.dirichlet_beta, sweep.num_clients, rounds);
+    std::printf("%s\n", table.to_string().c_str());
+
+    const std::string out_path = cli.get_string("out");
+    bench::write_compress_bench_json(out_path, results);
+    std::printf("wrote %zu cells to %s\n", results.size(), out_path.c_str());
+    return 0;
+  }
 
   std::vector<std::string> profiles;
   const std::string profile_arg = cli.get_string("profile");

@@ -39,6 +39,18 @@ fl::RunResult Ifca::run(fl::Federation& federation, std::size_t rounds) {
     const std::vector<std::size_t> participants =
         federation.sample_clients(round);
 
+    // Identity estimation sees each model as it arrives over the wire: when
+    // a download codec is active the broadcast is lossy, so the clients must
+    // score the decoded weights, not the server-side originals.  Zero-copy
+    // views when compression is off.
+    std::vector<std::vector<float>> decoded(models.size());
+    std::vector<std::span<const float>> delivered(models.size());
+    for (std::size_t k = 0; k < models.size(); ++k) {
+      decoded[k] = federation.download_roundtrip(models[k]);
+      delivered[k] = decoded[k].empty() ? std::span<const float>(models[k])
+                                        : std::span<const float>(decoded[k]);
+    }
+
     // Identity estimation: every participant downloads all k models and
     // evaluates them on its local training data.
     for (std::size_t cid : participants) {
@@ -46,7 +58,7 @@ fl::RunResult Ifca::run(fl::Federation& federation, std::size_t rounds) {
       double best = std::numeric_limits<double>::infinity();
       std::size_t best_k = 0;
       for (std::size_t k = 0; k < models.size(); ++k) {
-        const double loss = federation.client_train_loss(cid, models[k]);
+        const double loss = federation.client_train_loss(cid, delivered[k]);
         if (loss < best) {
           best = loss;
           best_k = k;

@@ -75,7 +75,7 @@ std::vector<std::size_t> Pacfl::cluster_clients(
     bases.push_back(
         client_subspace_basis(federation.client_data(c)->train, config_));
     basis_floats[c] = bases.back().rows() * bases.back().cols();
-    upload_bytes += federation.wire_bytes(basis_floats[c]);
+    upload_bytes += federation.upload_wire_bytes(basis_floats[c]);
   }
 
   Matrix dis(n, n);

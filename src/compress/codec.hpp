@@ -1,0 +1,154 @@
+// Pluggable update-compression codecs for FCMG model-update frames.
+//
+// A codec turns a flat float32 weight vector (a full model, or K models
+// back to back) into an opaque byte payload and back. All codecs share
+// one interface so the federation engine, the frame layer, and the
+// benchmarks can swap them freely:
+//
+//   identity  raw packed little-endian float32 (bit-exact round trip)
+//   int8      per-tensor linear quantization, scale = absmax/127
+//   int4      per-tensor linear quantization to [-7, 7] nibbles,
+//             scale = absmax/7, two values per byte
+//   topk      global magnitude sparsification: the k = round(frac·n)
+//             coordinates whose |value − reference| is largest are sent
+//             as (index, raw value) pairs; the rest decode to the
+//             reference. k = n reconstructs bit-exactly.
+//   sign      1-bit sign-SGD: per-tensor scale = mean |value − reference|
+//             plus one sign bit per coordinate; pairs with the
+//             majority-vote aggregation helper below.
+//   delta     int8 quantization of the residual (value − reference),
+//             i.e. delta encoding against the last broadcast model.
+//
+// Layout: `layout` is the span of per-tensor segment sizes (from
+// nn::Model::slices()); per-tensor codecs derive one scale per segment.
+// An empty layout means a single segment covering all n values. When a
+// payload carries K models back to back, the caller repeats the model
+// layout K times. sum(layout) must equal n.
+//
+// Reference semantics: `reference` is the last broadcast model as the
+// *receiver* knows it (decoded through the download codec, so both ends
+// agree bit-for-bit). An empty reference means "no shared state": topk /
+// sign / delta fall back to a zero reference; identity / int8 / int4
+// ignore the reference entirely.
+//
+// Determinism: encode/decode call only element-wise kernels
+// (ops::KernelTable quantize_i8 / dequantize_i8 / absmax) plus fixed-
+// order scalar passes, so results are bit-identical across kernel-thread
+// counts within a build, matching the repo-wide determinism contract.
+//
+// Non-finite inputs: encoders pre-scan each segment; any non-finite
+// value poisons that segment's scale to quiet-NaN (payload zeroed).
+// validate() rejects such frames (the robust/validate screening maps
+// that to a kCodecEnvelope quarantine strike); decode() without
+// validation reproduces NaN floats — mirroring how an unscreened
+// NaN-poisoned raw update propagates today. Structurally malformed
+// frames (wrong size, bad top-k indices) always throw fedclust::Error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fedclust::compress {
+
+/// Wire identifier of a codec; the u16 value is frozen into the FCMG v3
+/// frame header, so entries must never be renumbered.
+enum class CodecKind : std::uint16_t {
+  kIdentity = 0,
+  kInt8 = 1,
+  kInt4 = 2,
+  kTopK = 3,
+  kSignSgd = 4,
+  kDelta = 5,
+};
+
+/// Compression settings carried by FederationConfig. Disabled (the
+/// default) keeps the engine on the exact pre-codec code path — no codec
+/// objects are even constructed — so existing trajectories stay
+/// bit-identical by construction. Enabled with kIdentity exercises the
+/// full encode/frame/decode transport with a bit-exact codec, which is
+/// what the CI parity gate runs.
+struct CompressionConfig {
+  bool enabled = false;
+  CodecKind upload = CodecKind::kIdentity;    ///< client → server frames
+  CodecKind download = CodecKind::kIdentity;  ///< server → client frames
+  double topk_frac = 0.05;  ///< fraction of coordinates kept by kTopK
+};
+
+/// Abstract update codec. Implementations are stateless and
+/// thread-compatible: one instance may encode/decode concurrently from
+/// many threads.
+class UpdateCodec {
+ public:
+  virtual ~UpdateCodec() = default;
+
+  virtual CodecKind kind() const = 0;
+  virtual const char* name() const = 0;
+
+  /// Exact byte size of an encoded frame for an n-float payload with the
+  /// given layout. Value-independent, so byte metering never has to
+  /// materialise an encoding.
+  virtual std::size_t encoded_bytes(
+      std::size_t n, std::span<const std::size_t> layout) const = 0;
+
+  /// Encodes `values` (against `reference` for reference-based codecs)
+  /// into a fresh byte frame of exactly encoded_bytes() bytes.
+  virtual std::vector<std::uint8_t> encode(
+      std::span<const float> values, std::span<const float> reference,
+      std::span<const std::size_t> layout) const = 0;
+
+  /// Structural + envelope check of an encoded frame: size, scale
+  /// finiteness, top-k index bounds/ordering. Returns false (with a
+  /// human-readable reason in *why when non-null) instead of throwing,
+  /// so server-side screening can quarantine the sender.
+  virtual bool validate(std::span<const std::uint8_t> frame, std::size_t n,
+                        std::span<const std::size_t> layout,
+                        std::string* why) const = 0;
+
+  /// Decodes a frame into `out` (out.size() == n). Throws
+  /// fedclust::Error on structural corruption; NaN-poisoned scales
+  /// decode to NaN floats (see header comment).
+  virtual void decode(std::span<const std::uint8_t> frame,
+                      std::span<float> out, std::span<const float> reference,
+                      std::span<const std::size_t> layout) const = 0;
+};
+
+/// Builds a codec instance. `topk_frac` only affects kTopK.
+std::unique_ptr<UpdateCodec> make_codec(CodecKind kind,
+                                        double topk_frac = 0.05);
+
+/// Stable lowercase names ("identity", "int8", "int4", "topk", "sign",
+/// "delta") used by CLI flags and bench JSON.
+const char* to_string(CodecKind kind);
+
+/// Parses a name produced by to_string; returns false on unknown input.
+bool codec_from_string(std::string_view name, CodecKind* out);
+
+/// True iff `value` is a valid CodecKind wire id.
+bool valid_codec_id(std::uint16_t value);
+
+/// encode + decode in one step: out = decode(encode(values)). The
+/// degradation every lossy codec imposes on an update before it enters
+/// aggregation — shared by the engine's transport simulation and the
+/// property tests.
+void roundtrip(const UpdateCodec& codec, std::span<const float> values,
+               std::span<const float> reference,
+               std::span<const std::size_t> layout, std::span<float> out);
+
+/// Sign-SGD majority-vote aggregation over decoded sign updates.
+/// Per coordinate i (fixed ascending-u double accumulation, so the
+/// result is bit-identical for any caller-side chunking):
+///   vote_i  = Σ_u coeff[u] · sgn(updates[u][i] − reference[i])
+///   mag_i   = Σ_u coeff[u] · |updates[u][i] − reference[i]|
+///   out_i   = reference[i] + sgn(vote_i) · mag_i   (vote 0 → reference)
+/// coeff are the aggregation weights (summing to 1); `reference` is the
+/// pre-round model both sides encoded against.
+void signsgd_majority_vote(const float* const* updates, const double* coeff,
+                           std::size_t num, const float* reference, float* out,
+                           std::size_t n);
+
+}  // namespace fedclust::compress

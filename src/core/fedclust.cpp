@@ -90,9 +90,9 @@ ClusteringOutcome FedClust::form_clusters(fl::Federation& federation,
   std::size_t solicitations = n;
   for (const auto& wave : out.resolicited) solicitations += wave.size();
   out.download_bytes =
-      federation.wire_bytes(federation.model_size()) * solicitations;
+      federation.download_wire_bytes(federation.model_size()) * solicitations;
   out.upload_bytes =
-      federation.wire_bytes(slices_numel(slices)) * out.reporters.size();
+      federation.upload_wire_bytes(slices_numel(slices)) * out.reporters.size();
 
   // Quorum gate: clustering over a sliver of the population would bake
   // an unrepresentative partition in for the whole run.
@@ -290,7 +290,9 @@ fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
          .num_samples = federation.client_train_size(cid),
          .epochs = warmup.epochs,
          .churned = false,
-         .upload_kind = net::MessageKind::kPartialUpdate}};
+         .upload_kind = net::MessageKind::kPartialUpdate,
+         .download_bytes =
+             federation.codec_download_op_bytes(federation.model_size())}};
     federation.simulate_network_round(0, ops, /*reliable=*/true);
     federation.meter_download(cid, federation.model_size());
     federation.meter_upload(cid, partial_floats);

@@ -6,11 +6,17 @@
 // CFL's many rounds of full-model traffic — this meter is what the
 // comm_cost bench reads.
 //
-// Without the network simulator, transfers are metered at bare float32
-// width (CommMeter::float_bytes). With the simulator enabled the engine
-// meters framed wire sizes instead, and the meter's totals are exactly
-// the delivered traffic of the simulator's event log (see
+// Without the network simulator, transfers are metered at their encoded
+// size: bare float32 width (CommMeter::float_bytes) when no update codec
+// is configured, or the codec's encoded byte count when one is (see
+// Federation::download_wire_bytes / upload_wire_bytes). With the
+// simulator enabled the engine meters framed wire sizes instead — raw v2
+// frames or codec v3 frames as appropriate — and the meter's totals are
+// exactly the delivered traffic of the simulator's event log (see
 // net::delivered_bytes) — the meter is a byte-count view over that log.
+// CommMeter::float_bytes itself is only the identity/raw fallback; all
+// codec-aware sizing lives in the Federation helpers above, which every
+// metering call site routes through.
 #pragma once
 
 #include <cstdint>
@@ -53,7 +59,10 @@ class CommMeter {
   void upload(std::uint64_t bytes);
   void upload(std::uint64_t bytes, std::size_t client);
 
-  /// Bytes for a vector of `num_floats` float32 values.
+  /// Bytes for a vector of `num_floats` float32 values. This hard-codes
+  /// float32 width and is correct only for RAW (uncompressed) transfers;
+  /// codec-encoded transfers must be metered via
+  /// Federation::download_wire_bytes / upload_wire_bytes instead.
   static std::uint64_t float_bytes(std::size_t num_floats) {
     return static_cast<std::uint64_t>(num_floats) * 4;
   }

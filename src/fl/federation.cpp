@@ -40,6 +40,44 @@ void chunked_reduce(std::size_t dim, ThreadPool* pool,
   for (auto& f : futures) f.get();
 }
 
+/// decode(encode(·)) view of every distinct broadcast span the round's
+/// survivors start from — the weights the clients actually receive under
+/// the download codec (encoded with an empty reference: a broadcast
+/// carries absolute weights, not a delta against client state). Returns
+/// `start_for` unchanged when no codec applies, so the compression-off
+/// path is untouched. The cache is keyed by span data pointer — each
+/// distinct cluster/global model is round-tripped exactly once per call.
+std::function<std::span<const float>(std::size_t)> downloaded_starts(
+    const compress::UpdateCodec* down, std::span<const std::size_t> layout,
+    std::size_t model_size, const std::vector<std::size_t>& survivors,
+    std::function<std::span<const float>(std::size_t)> start_for) {
+  if (down == nullptr) return start_for;
+  auto keys = std::make_shared<std::vector<const float*>>();
+  auto vals = std::make_shared<std::vector<std::vector<float>>>();
+  for (const std::size_t cid : survivors) {
+    const std::span<const float> s = start_for(cid);
+    FEDCLUST_CHECK(s.size() == model_size,
+                   "download codec expects whole-model broadcasts, got "
+                       << s.size() << " floats");
+    bool seen = false;
+    for (const float* k : *keys) seen = seen || k == s.data();
+    if (seen) continue;
+    keys->push_back(s.data());
+    std::vector<float> rt(s.size());
+    compress::roundtrip(*down, s, {}, layout, rt);
+    vals->push_back(std::move(rt));
+  }
+  return [keys, vals, start_for = std::move(start_for)](
+             std::size_t cid) -> std::span<const float> {
+    const std::span<const float> s = start_for(cid);
+    for (std::size_t i = 0; i < keys->size(); ++i) {
+      if ((*keys)[i] == s.data()) return (*vals)[i];
+    }
+    FEDCLUST_CHECK(false, "client start span was not pre-decoded");
+    return {};
+  };
+}
+
 }  // namespace
 
 Federation::Federation(nn::Model template_model,
@@ -82,6 +120,70 @@ Federation::Federation(nn::Model template_model,
     net_ = std::make_unique<net::NetworkSimulator>(
         config_.network, source_->num_clients(), net_seed);
   }
+  if (config_.compression.enabled) {
+    up_codec_ = compress::make_codec(config_.compression.upload,
+                                     config_.compression.topk_frac);
+    down_codec_ = compress::make_codec(config_.compression.download,
+                                       config_.compression.topk_frac);
+    layout_.reserve(template_.slices().size());
+    for (const auto& slice : template_.slices()) {
+      layout_.push_back(slice.size);
+    }
+  }
+}
+
+std::uint64_t Federation::encoded_payload_bytes(
+    const compress::UpdateCodec& codec, std::size_t num_floats) const {
+  const std::size_t reps = num_floats / model_size_;
+  if (reps <= 1) return codec.encoded_bytes(num_floats, layout_);
+  // Multi-model payload (IFCA's k-model broadcast): the model layout
+  // repeats, so every model gets its own per-tensor scales.
+  std::vector<std::size_t> repeated;
+  repeated.reserve(layout_.size() * reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    repeated.insert(repeated.end(), layout_.begin(), layout_.end());
+  }
+  return codec.encoded_bytes(num_floats, repeated);
+}
+
+std::uint64_t Federation::download_wire_bytes(std::size_t num_floats) const {
+  if (down_codec_ != nullptr && codec_applies(num_floats)) {
+    const std::uint64_t enc = encoded_payload_bytes(*down_codec_, num_floats);
+    return net_ ? net::wire_bytes_encoded(enc) : enc;
+  }
+  return wire_bytes(num_floats);
+}
+
+std::uint64_t Federation::upload_wire_bytes(std::size_t num_floats) const {
+  if (up_codec_ != nullptr && codec_applies(num_floats)) {
+    const std::uint64_t enc = encoded_payload_bytes(*up_codec_, num_floats);
+    return net_ ? net::wire_bytes_encoded(enc) : enc;
+  }
+  return wire_bytes(num_floats);
+}
+
+std::uint64_t Federation::codec_download_op_bytes(std::size_t num_floats) const {
+  return down_codec_ != nullptr && codec_applies(num_floats)
+             ? net::wire_bytes_encoded(
+                   encoded_payload_bytes(*down_codec_, num_floats))
+             : 0;
+}
+
+std::uint64_t Federation::codec_upload_op_bytes(std::size_t num_floats) const {
+  return up_codec_ != nullptr && codec_applies(num_floats)
+             ? net::wire_bytes_encoded(
+                   encoded_payload_bytes(*up_codec_, num_floats))
+             : 0;
+}
+
+std::vector<float> Federation::download_roundtrip(
+    std::span<const float> server_weights) const {
+  if (down_codec_ == nullptr) return {};
+  FEDCLUST_REQUIRE(server_weights.size() == model_size_,
+                   "download_roundtrip expects one whole model");
+  std::vector<float> out(server_weights.size());
+  compress::roundtrip(*down_codec_, server_weights, {}, layout_, out);
+  return out;
 }
 
 void Federation::reset_comm() {
@@ -201,13 +303,16 @@ std::vector<std::size_t> Federation::round_survivors(
         const bool churned =
             (allow_failures && client_fails(cid, round)) ||
             fate(cid) == robust::FaultKind::kCrash;
-        ops.push_back(net::ClientOp{.client = cid,
-                                    .download_floats = payloads.download_floats,
-                                    .upload_floats = payloads.upload_floats,
-                                    .num_samples = source_->train_size(cid),
-                                    .epochs = local.epochs,
-                                    .churned = churned,
-                                    .upload_kind = payloads.upload_kind});
+        ops.push_back(net::ClientOp{
+            .client = cid,
+            .download_floats = payloads.download_floats,
+            .upload_floats = payloads.upload_floats,
+            .num_samples = source_->train_size(cid),
+            .epochs = local.epochs,
+            .churned = churned,
+            .upload_kind = payloads.upload_kind,
+            .download_bytes = codec_download_op_bytes(payloads.download_floats),
+            .upload_bytes = codec_upload_op_bytes(payloads.upload_floats)});
       }
       const net::RoundReport report =
           net_->run_round(round, ops, /*reliable=*/!allow_failures);
@@ -265,10 +370,39 @@ std::vector<ClientUpdate> Federation::train_clients(
   const std::vector<std::size_t> survivors = round_survivors(
       clients, round, local, allow_failures, net_payloads, fault_attempt);
 
+  // Codec transport applies only to whole-model transfers this round
+  // actually makes: the download leg when the broadcast is one or more
+  // full models (every client then trains from decode(encode(server
+  // weights))), the upload leg when the update payload is the full model
+  // (sub-model side channels like FedClust's formation slice ship raw).
+  NetPayloads payloads{model_size_, model_size_,
+                       net::MessageKind::kModelUpdate};
+  if (net_payloads != nullptr) payloads = *net_payloads;
+  const compress::UpdateCodec* down =
+      down_codec_ != nullptr && codec_applies(payloads.download_floats)
+          ? down_codec_.get()
+          : nullptr;
+  const bool transport_uploads =
+      up_codec_ != nullptr && payloads.upload_floats == model_size_;
+  const std::function<std::span<const float>(std::size_t)> effective_start =
+      downloaded_starts(down, layout_, model_size_, survivors,
+                        start_weights_for);
+
   std::vector<ClientUpdate> updates(survivors.size());
   pool_.parallel_for(0, survivors.size(), [&](std::size_t slot) {
-    updates[slot] = train_one(survivors[slot], round, start_weights_for,
-                              local, fault_attempt);
+    ClientUpdate u = train_one(survivors[slot], round, effective_start, local,
+                               fault_attempt);
+    // Without server-side screening the upload transport is simulated
+    // right here: the aggregator only ever sees decode(encode(update)).
+    // (With screening on, the encoded frames go through the codec
+    // envelope + decode-then-screen pipeline below instead.)
+    if (transport_uploads && !config_.robust.validate.enabled) {
+      std::vector<float> rt(u.weights.size());
+      compress::roundtrip(*up_codec_, u.weights,
+                          effective_start(u.client_id), layout_, rt);
+      u.weights = std::move(rt);
+    }
+    updates[slot] = std::move(u);
   });
 
   // Server-side screening: every arrived update is validated against the
@@ -276,33 +410,54 @@ std::vector<ClientUpdate> Federation::train_clients(
   // metered (the bytes did cross the wire), charged as strikes, and
   // dropped from the result.
   if (config_.robust.validate.enabled && !updates.empty()) {
-    std::vector<std::span<const float>> payload_spans;
     std::vector<std::span<const float>> start_spans;
     std::vector<std::size_t> ids;
-    payload_spans.reserve(updates.size());
     start_spans.reserve(updates.size());
     ids.reserve(updates.size());
     for (const ClientUpdate& u : updates) {
-      payload_spans.emplace_back(u.weights);
-      start_spans.push_back(start_weights_for(u.client_id));
+      start_spans.push_back(effective_start(u.client_id));
       ids.push_back(u.client_id);
     }
-    const std::vector<robust::Verdict> verdicts = robust::screen_updates(
-        payload_spans, start_spans, ids, model_size_,
-        config_.robust.validate);
-    const std::size_t upload_floats =
-        net_payloads != nullptr ? net_payloads->upload_floats : model_size_;
+    std::vector<robust::Verdict> verdicts;
+    std::vector<std::vector<float>> decoded;
+    if (transport_uploads) {
+      // Decode-then-screen: each client's frame is validated against the
+      // codec envelope first (failures strike as kCodecEnvelope), then
+      // the decoded floats run the unchanged shape/finite/norm pipeline.
+      std::vector<std::vector<std::uint8_t>> frames(updates.size());
+      pool_.parallel_for(0, updates.size(), [&](std::size_t i) {
+        frames[i] = up_codec_->encode(updates[i].weights, start_spans[i],
+                                      layout_);
+      });
+      std::vector<std::span<const std::uint8_t>> frame_spans;
+      frame_spans.reserve(frames.size());
+      for (const auto& f : frames) frame_spans.emplace_back(f);
+      verdicts = robust::screen_encoded_updates(
+          frame_spans, start_spans, ids, model_size_, *up_codec_, layout_,
+          config_.robust.validate, &decoded);
+    } else {
+      std::vector<std::span<const float>> payload_spans;
+      payload_spans.reserve(updates.size());
+      for (const ClientUpdate& u : updates) payload_spans.emplace_back(u.weights);
+      verdicts = robust::screen_updates(payload_spans, start_spans, ids,
+                                        model_size_, config_.robust.validate);
+    }
     std::vector<ClientUpdate> kept;
     kept.reserve(updates.size());
     for (std::size_t i = 0; i < updates.size(); ++i) {
       if (verdicts[i].accepted()) {
+        if (transport_uploads) {
+          // The aggregator keeps what survived the wire, not the raw
+          // client weights.
+          updates[i].weights = std::move(decoded[i]);
+        }
         kept.push_back(std::move(updates[i]));
       } else {
         // The rejected bytes did cross the wire; meter them here since
         // the caller never sees the update (skipped when the caller
         // opened no metering round, e.g. direct train_clients tests).
-        if (upload_floats > 0 && comm_.round_count() > 0) {
-          meter_upload(verdicts[i].client, upload_floats);
+        if (payloads.upload_floats > 0 && comm_.round_count() > 0) {
+          meter_upload(verdicts[i].client, payloads.upload_floats);
         }
         quarantine_.strike(verdicts[i].client);
       }
@@ -364,6 +519,22 @@ Federation::FoldResult Federation::train_clients_folded(
   if (survivors.empty()) return out;
   const std::size_t cohort = survivors.size();
 
+  // Same codec transport gates as train_clients; the upload round trip
+  // happens inside the batch lambda so the fold only ever accumulates
+  // what survived the wire.
+  NetPayloads payloads{model_size_, model_size_,
+                       net::MessageKind::kModelUpdate};
+  if (net_payloads != nullptr) payloads = *net_payloads;
+  const compress::UpdateCodec* down =
+      down_codec_ != nullptr && codec_applies(payloads.download_floats)
+          ? down_codec_.get()
+          : nullptr;
+  const bool transport_uploads =
+      up_codec_ != nullptr && payloads.upload_floats == model_size_;
+  const std::function<std::span<const float>(std::size_t)> effective_start =
+      downloaded_starts(down, layout_, model_size_, survivors,
+                        start_weights_for);
+
   // FedAvg coefficients over the WHOLE cohort, from the cheap train_size
   // metadata — value-identical to aggregation_coefficients over the flat
   // update list (ClientUpdate::num_samples is the same train size).
@@ -398,8 +569,15 @@ Federation::FoldResult Federation::train_clients_folded(
       const std::size_t be = std::min(edge_end, bb + batch_cap);
       std::vector<ClientUpdate> batch(be - bb);
       pool_.parallel_for(0, be - bb, [&](std::size_t j) {
-        batch[j] = train_one(survivors[bb + j], round, start_weights_for,
-                             local, /*fault_attempt=*/0);
+        batch[j] = train_one(survivors[bb + j], round, effective_start, local,
+                             /*fault_attempt=*/0);
+        if (transport_uploads) {
+          std::vector<float> rt(batch[j].weights.size());
+          compress::roundtrip(*up_codec_, batch[j].weights,
+                              effective_start(batch[j].client_id), layout_,
+                              rt);
+          batch[j].weights = std::move(rt);
+        }
       });
       std::vector<const float*> srcs(batch.size());
       for (std::size_t j = 0; j < batch.size(); ++j) {
@@ -539,6 +717,41 @@ std::vector<double> aggregation_coefficients(
 std::vector<float> Federation::aggregate(
     const std::vector<ClientUpdate>& updates,
     std::span<const float> reference) {
+  // Sign-SGD pairs with its own aggregation rule: a decoded sign update
+  // is reference ± per-tensor scale, and averaging those directly wastes
+  // the 1-bit structure. Per coordinate the clients VOTE — the result
+  // moves from the reference in the majority direction by the weighted
+  // mean magnitude. The vote needs the reference as the clients saw it
+  // (decoded through the download codec), so both sides of the ± agree
+  // bit-for-bit. Only the plain weighted-mean rule is replaced; robust
+  // rules keep their order-statistic semantics over the decoded values.
+  if (config_.robust.rule == robust::AggregationRule::kWeightedMean &&
+      up_codec_ != nullptr &&
+      up_codec_->kind() == compress::CodecKind::kSignSgd &&
+      !reference.empty() && !updates.empty()) {
+    FEDCLUST_REQUIRE(reference.size() == model_size_,
+                     "sign-SGD vote needs the full pre-round model");
+    for (const ClientUpdate& u : updates) {
+      FEDCLUST_REQUIRE(u.weights.size() == model_size_,
+                       "update size mismatch in sign-SGD vote");
+    }
+    const std::vector<float> ref_eff = download_roundtrip(reference);
+    const std::vector<double> coeff = aggregation_coefficients(updates);
+    std::vector<const float*> srcs(updates.size());
+    for (std::size_t u = 0; u < updates.size(); ++u) {
+      srcs[u] = updates[u].weights.data();
+    }
+    std::vector<float> out(model_size_);
+    compress::signsgd_majority_vote(srcs.data(), coeff.data(), updates.size(),
+                                    ref_eff.data(), out.data(), model_size_);
+    if (config_.audit) {
+      // The vote's output anchors on the reference, which need not lie
+      // in the updates' convex envelope — check finiteness only (like
+      // the robust rules below).
+      check::assert_all_finite(out, "sign-SGD majority-vote output");
+    }
+    return out;
+  }
   if (config_.robust.rule == robust::AggregationRule::kWeightedMean) {
     std::vector<float> out = weighted_average(updates, aggregation_pool());
     if (config_.audit) {

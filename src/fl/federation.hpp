@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "compress/codec.hpp"
 #include "fl/comm.hpp"
 #include "fl/fleet.hpp"
 #include "fl/model_pool.hpp"
@@ -63,6 +64,18 @@ struct FederationConfig {
   /// fedclust::Error on violation. Off by default — audited runs pay one
   /// extra sweep over each weight vector per round.
   bool audit = false;
+  /// Update compression (src/compress): upload/download codecs applied
+  /// to every full-model transfer — payload degradation is simulated
+  /// (clients train from decode(encode(broadcast)), the server
+  /// aggregates decode(encode(update))) and all byte accounting switches
+  /// to encoded frame sizes. Disabled by default: no codec objects are
+  /// constructed and the engine's code path, trajectories, and byte
+  /// accounting are exactly the pre-compression engine's. Sub-model side
+  /// channels (FedClust's formation slice, FedPer's base exchange, PACFL
+  /// bases) always ship raw — codecs carry per-tensor scales over the
+  /// full model layout, so partial payloads fall back to raw framing in
+  /// both the transfer and its metering.
+  compress::CompressionConfig compression{};
   /// Deterministic fault injection (client crashes, stale replays,
   /// corrupted uploads). Disabled by default. Note that injected
   /// non-finite corruption reaching the aggregator will — correctly —
@@ -128,22 +141,63 @@ class Federation {
   /// Virtual seconds elapsed so far (0 when the network is disabled).
   double sim_time() const { return net_ ? net_->now() : 0.0; }
 
-  /// Wire size of a `num_floats` payload: framed message bytes under the
-  /// simulated network, bare float bytes otherwise. Algorithms meter
-  /// through this so the two modes stay consistent.
+  /// RAW wire size of a `num_floats` payload: framed message bytes under
+  /// the simulated network, bare float bytes otherwise. This is the
+  /// codec-free framing — metering call sites go through
+  /// download_wire_bytes / upload_wire_bytes, which fall back to this
+  /// whenever no codec applies to the transfer.
   std::uint64_t wire_bytes(std::size_t num_floats) const {
     return net_ ? net::wire_bytes(num_floats)
                 : CommMeter::float_bytes(num_floats);
   }
+
+  /// Accountable bytes of one server -> client transfer of `num_floats`
+  /// values: the download codec's encoded frame size when compression
+  /// applies (num_floats is one or more whole models), raw framing
+  /// otherwise. Under the simulated network the v3 codec header is
+  /// included; without it the bare encoded payload is counted (the
+  /// codec-frame analogue of historical bare float bytes — identity
+  /// encodes to exactly num_floats * 4, keeping disabled-mode accounting
+  /// bit-identical).
+  std::uint64_t download_wire_bytes(std::size_t num_floats) const;
+  /// Same for one client -> server transfer under the upload codec.
+  std::uint64_t upload_wire_bytes(std::size_t num_floats) const;
+
   /// Meters one server -> client transfer of `num_floats` values,
   /// attributed to `client`.
   void meter_download(std::size_t client, std::size_t num_floats) {
-    comm_.download(wire_bytes(num_floats), client);
+    comm_.download(download_wire_bytes(num_floats), client);
   }
   /// Meters one client -> server transfer of `num_floats` values.
   void meter_upload(std::size_t client, std::size_t num_floats) {
-    comm_.upload(wire_bytes(num_floats), client);
+    comm_.upload(upload_wire_bytes(num_floats), client);
   }
+
+  /// Framed v3 byte size for a simulated ClientOp override: non-zero —
+  /// net::wire_bytes_encoded(codec frame) — exactly when the codec
+  /// applies to a `num_floats` transfer; 0 keeps the op on raw framing.
+  /// Exposed so protocol drivers building their own ClientOps (FedClust's
+  /// deferred-newcomer rounds) charge the same bytes the meter records.
+  std::uint64_t codec_download_op_bytes(std::size_t num_floats) const;
+  std::uint64_t codec_upload_op_bytes(std::size_t num_floats) const;
+
+  /// True when config().compression.enabled constructed codecs.
+  bool compression_enabled() const { return up_codec_ != nullptr; }
+  const compress::UpdateCodec* upload_codec() const { return up_codec_.get(); }
+  const compress::UpdateCodec* download_codec() const {
+    return down_codec_.get();
+  }
+  /// Per-tensor segment sizes of one model (nn::Model::slices order).
+  std::span<const std::size_t> codec_layout() const { return layout_; }
+
+  /// The weights a client actually receives when the server sends
+  /// `server_weights` (one whole model): decode(encode(w)) under the
+  /// download codec. Returns an empty vector when compression is off —
+  /// callers then keep using `server_weights` itself, zero-copy (IFCA's
+  /// cluster-identity estimation goes through this so clients score the
+  /// models they would really see).
+  std::vector<float> download_roundtrip(
+      std::span<const float> server_weights) const;
 
   /// Resets communication accounting, the network simulator's clock,
   /// log, and reports, AND the quarantine strike ledger. Algorithms call
@@ -331,6 +385,15 @@ class Federation {
           start_weights_for,
       const LocalTrainConfig& local, std::size_t fault_attempt) const;
 
+  /// Encoded payload bytes of `codec` for a num_floats transfer that
+  /// codec_applies; repeats the model layout for multi-model payloads.
+  std::uint64_t encoded_payload_bytes(const compress::UpdateCodec& codec,
+                                      std::size_t num_floats) const;
+  /// Whether a codec covers a transfer: one or more whole models.
+  bool codec_applies(std::size_t num_floats) const {
+    return num_floats > 0 && model_size_ > 0 && num_floats % model_size_ == 0;
+  }
+
   nn::Model template_;
   std::shared_ptr<ClientSource> source_;
   FederationConfig config_;
@@ -339,6 +402,11 @@ class Federation {
   std::vector<float> initial_weights_;
   robust::FaultPlan fault_plan_;
   robust::Quarantine quarantine_;
+  /// Update codecs (null unless config.compression.enabled) and the
+  /// per-tensor segment layout they quantize over.
+  std::unique_ptr<compress::UpdateCodec> up_codec_;
+  std::unique_ptr<compress::UpdateCodec> down_codec_;
+  std::vector<std::size_t> layout_;
   mutable ThreadPool pool_;
   std::unique_ptr<ThreadPool> kernel_pool_;
   mutable ModelPool model_pool_;

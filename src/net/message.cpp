@@ -11,7 +11,20 @@ namespace {
 
 constexpr char kMagic[4] = {'F', 'C', 'M', 'G'};
 // Version 2 added the payload CRC-32 field to the frame header.
-constexpr std::uint16_t kVersion = 2;
+constexpr std::uint16_t kRawVersion = 2;
+// Version 3 frames carry an update-codec payload (codec id +
+// encoded-byte length in the header; CRC sealing the encoded bytes).
+constexpr std::uint16_t kCodecVersion = 3;
+
+void splice_crc(std::vector<std::uint8_t>& buf, std::size_t crc_pos,
+                std::size_t payload_pos) {
+  const std::uint32_t crc =
+      crc32(buf.data() + payload_pos, buf.size() - payload_pos);
+  buf[crc_pos] = static_cast<std::uint8_t>(crc & 0xff);
+  buf[crc_pos + 1] = static_cast<std::uint8_t>((crc >> 8) & 0xff);
+  buf[crc_pos + 2] = static_cast<std::uint8_t>((crc >> 16) & 0xff);
+  buf[crc_pos + 3] = static_cast<std::uint8_t>((crc >> 24) & 0xff);
+}
 
 }  // namespace
 
@@ -31,9 +44,30 @@ const char* to_string(MessageKind kind) {
 
 std::vector<std::uint8_t> encode(const Message& m) {
   std::vector<std::uint8_t> buf;
+  if (m.codec_frame) {
+    buf.reserve(kCodecHeaderBytes + m.encoded.size());
+    nn::wire::put_bytes(buf, kMagic, sizeof(kMagic));
+    nn::wire::put_u16(buf, kCodecVersion);
+    nn::wire::put_u16(buf, static_cast<std::uint16_t>(m.header.kind));
+    nn::wire::put_u32(buf, m.header.round);
+    nn::wire::put_u32(buf, m.header.sender);
+    // The uncompressed length cannot be recovered from the encoded
+    // bytes, so the caller-provided header value goes on the wire.
+    nn::wire::put_u64(buf, m.header.payload_floats);
+    nn::wire::put_u16(buf, m.header.codec);
+    nn::wire::put_u64(buf, static_cast<std::uint64_t>(m.encoded.size()));
+    // Checksum the payload exactly as it goes on the wire: the encoded
+    // codec bytes, not the floats they decode to.
+    const std::size_t crc_pos = buf.size();
+    nn::wire::put_u32(buf, 0);
+    const std::size_t payload_pos = buf.size();
+    nn::wire::put_bytes(buf, m.encoded.data(), m.encoded.size());
+    splice_crc(buf, crc_pos, payload_pos);
+    return buf;
+  }
   buf.reserve(kHeaderBytes + m.payload.size() * 4);
   nn::wire::put_bytes(buf, kMagic, sizeof(kMagic));
-  nn::wire::put_u16(buf, kVersion);
+  nn::wire::put_u16(buf, kRawVersion);
   nn::wire::put_u16(buf, static_cast<std::uint16_t>(m.header.kind));
   nn::wire::put_u32(buf, m.header.round);
   nn::wire::put_u32(buf, m.header.sender);
@@ -44,12 +78,7 @@ std::vector<std::uint8_t> encode(const Message& m) {
   nn::wire::put_u32(buf, 0);
   const std::size_t payload_pos = buf.size();
   nn::wire::put_f32(buf, m.payload);
-  const std::uint32_t crc =
-      crc32(buf.data() + payload_pos, buf.size() - payload_pos);
-  buf[crc_pos] = static_cast<std::uint8_t>(crc & 0xff);
-  buf[crc_pos + 1] = static_cast<std::uint8_t>((crc >> 8) & 0xff);
-  buf[crc_pos + 2] = static_cast<std::uint8_t>((crc >> 16) & 0xff);
-  buf[crc_pos + 3] = static_cast<std::uint8_t>((crc >> 24) & 0xff);
+  splice_crc(buf, crc_pos, payload_pos);
   return buf;
 }
 
@@ -60,7 +89,7 @@ Message decode(std::span<const std::uint8_t> buf) {
   FEDCLUST_CHECK(std::memcmp(magic, kMagic, 4) == 0,
                  "not a fedclust network message");
   const std::uint16_t version = r.u16();
-  FEDCLUST_CHECK(version == kVersion,
+  FEDCLUST_CHECK(version == kRawVersion || version == kCodecVersion,
                  "unsupported message version " << version);
 
   Message m;
@@ -73,11 +102,22 @@ Message decode(std::span<const std::uint8_t> buf) {
   m.header.round = r.u32();
   m.header.sender = r.u32();
   m.header.payload_floats = r.u64();
-  m.header.payload_crc = r.u32();
-  FEDCLUST_CHECK(r.remaining() == m.header.payload_floats * 4,
-                 "message payload length mismatch: header says "
-                     << m.header.payload_floats * 4 << " bytes, buffer has "
-                     << r.remaining());
+  if (version == kCodecVersion) {
+    m.codec_frame = true;
+    m.header.codec = r.u16();
+    m.header.payload_bytes = r.u64();
+    m.header.payload_crc = r.u32();
+    FEDCLUST_CHECK(r.remaining() == m.header.payload_bytes,
+                   "message payload length mismatch: header says "
+                       << m.header.payload_bytes << " bytes, buffer has "
+                       << r.remaining());
+  } else {
+    m.header.payload_crc = r.u32();
+    FEDCLUST_CHECK(r.remaining() == m.header.payload_floats * 4,
+                   "message payload length mismatch: header says "
+                       << m.header.payload_floats * 4 << " bytes, buffer has "
+                       << r.remaining());
+  }
   const std::uint32_t actual_crc =
       crc32(buf.data() + r.position(), r.remaining());
   FEDCLUST_CHECK(actual_crc == m.header.payload_crc,
@@ -85,8 +125,13 @@ Message decode(std::span<const std::uint8_t> buf) {
                      << std::hex << m.header.payload_crc << ", payload hashes "
                      << "to 0x" << actual_crc
                      << " — frame corrupted in transit");
-  m.payload.resize(m.header.payload_floats);
-  r.f32(m.payload);
+  if (m.codec_frame) {
+    m.encoded.resize(m.header.payload_bytes);
+    r.raw(m.encoded.data(), m.encoded.size());
+  } else {
+    m.payload.resize(m.header.payload_floats);
+    r.f32(m.payload);
+  }
   return m;
 }
 

@@ -1,19 +1,32 @@
 // Typed wire messages of the simulated federated network.
 //
-// Every transfer between server and clients is a framed message:
+// Every transfer between server and clients is a framed message. Raw
+// (uncompressed) frames are version 2:
 //
-//   magic "FCMG" | u16 version | u16 kind | u32 round | u32 sender |
+//   magic "FCMG" | u16 version=2 | u16 kind | u32 round | u32 sender |
 //   u64 payload_floats | u32 crc32(payload) | payload: packed
 //   little-endian float32
 //
-// The 28-byte header is charged on every simulated transfer, so byte
-// accounting under the network layer reflects framed traffic instead of
-// the bare `num_floats * 4` the CommMeter used historically. Payloads
-// are weight vectors serialized through the nn/serialize wire codec;
-// decode() rejects bad magic, unknown versions, truncated payloads, and
-// — since version 2 — payload bytes whose CRC-32 disagrees with the
-// header, so wire corruption surfaces at decode instead of as silently
-// poisoned weights downstream.
+// Codec frames (version 3) carry an update-codec payload instead of raw
+// floats and add two fields so the receiver can pick the decoder and
+// pre-size the output before touching the payload:
+//
+//   magic "FCMG" | u16 version=3 | u16 kind | u32 round | u32 sender |
+//   u64 payload_floats (uncompressed length) | u16 codec |
+//   u64 payload_bytes | u32 crc32(encoded payload) | encoded payload
+//
+// The header (28 bytes raw, 38 bytes codec) is charged on every
+// simulated transfer, so byte accounting under the network layer
+// reflects framed traffic instead of the bare `num_floats * 4` the
+// CommMeter used historically. Raw payloads are weight vectors
+// serialized through the nn/serialize wire codec; codec payloads are
+// opaque bytes produced by a compress::UpdateCodec (this layer never
+// interprets them — the u16 codec id is just carried). decode() rejects
+// bad magic, unknown versions, truncated payloads, and payload bytes
+// whose CRC-32 disagrees with the header — in both frame versions the
+// CRC seals the bytes exactly as they travel, so corrupting a
+// compressed payload surfaces at decode instead of as silently poisoned
+// weights downstream.
 #pragma once
 
 #include <cstdint>
@@ -36,33 +49,56 @@ const char* to_string(MessageKind kind);
 /// Sender id used for server-originated messages.
 inline constexpr std::uint32_t kServerId = 0xffffffffu;
 
-/// magic(4) + version(2) + kind(2) + round(4) + sender(4) + length(8) +
-/// crc32(4).
+/// Raw (v2) frame: magic(4) + version(2) + kind(2) + round(4) +
+/// sender(4) + length(8) + crc32(4).
 inline constexpr std::size_t kHeaderBytes = 28;
 
-/// Framed size on the wire of a message carrying `payload_floats`
+/// Codec (v3) frame adds codec id(2) + payload_bytes(8).
+inline constexpr std::size_t kCodecHeaderBytes = kHeaderBytes + 10;
+
+/// Framed size on the wire of a raw message carrying `payload_floats`
 /// float32 values.
 constexpr std::uint64_t wire_bytes(std::size_t payload_floats) {
   return kHeaderBytes + static_cast<std::uint64_t>(payload_floats) * 4;
+}
+
+/// Framed size on the wire of a codec message whose encoded payload is
+/// `payload_bytes` long.
+constexpr std::uint64_t wire_bytes_encoded(std::size_t payload_bytes) {
+  return kCodecHeaderBytes + static_cast<std::uint64_t>(payload_bytes);
 }
 
 struct MessageHeader {
   MessageKind kind = MessageKind::kModelBroadcast;
   std::uint32_t round = 0;
   std::uint32_t sender = kServerId;
+  /// Uncompressed length in float32 values — of `payload` for raw
+  /// frames; of the decoded output for codec frames (the encoder sets
+  /// it, since the encoded bytes alone don't reveal it).
   std::uint64_t payload_floats = 0;
-  /// CRC-32 of the encoded payload bytes; encode() fills it in, decode()
-  /// verifies it.
+  /// compress::CodecKind wire id of the codec payload (v3 frames only;
+  /// opaque to this layer). 0 on raw frames.
+  std::uint16_t codec = 0;
+  /// Encoded payload length in bytes (v3 frames only; encode() fills it
+  /// from `encoded`).
+  std::uint64_t payload_bytes = 0;
+  /// CRC-32 of the payload bytes as framed; encode() fills it in,
+  /// decode() verifies it.
   std::uint32_t payload_crc = 0;
 };
 
 struct Message {
   MessageHeader header;
-  std::vector<float> payload;  ///< header.payload_floats values
+  /// Chooses the frame version: false → v2 raw floats from `payload`,
+  /// true → v3 codec bytes from `encoded` (header.payload_floats must
+  /// then hold the uncompressed length).
+  bool codec_frame = false;
+  std::vector<float> payload;          ///< raw frames: payload_floats values
+  std::vector<std::uint8_t> encoded;   ///< codec frames: opaque codec bytes
 };
 
 /// Frames `m` (header + payload) into a byte buffer; sets the header's
-/// payload_floats and payload_crc from the payload.
+/// length and payload_crc fields from the payload actually framed.
 std::vector<std::uint8_t> encode(const Message& m);
 
 /// Parses a frame produced by encode(). Throws fedclust::Error on bad

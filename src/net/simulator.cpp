@@ -87,7 +87,9 @@ RoundReport NetworkSimulator::run_round(std::size_t round,
   for (const ClientOp& op : ops) {
     Rng jitter = draw(kDownJitter, round, op.client, 0);
     const std::uint64_t down =
-        op.download_floats == 0 ? 0 : wire_bytes(op.download_floats);
+        op.download_bytes != 0
+            ? op.download_bytes
+            : (op.download_floats == 0 ? 0 : wire_bytes(op.download_floats));
     push(report.start + transfer_seconds(links_[op.client], down, jitter),
          EventKind::kBroadcastDelivered, op.client, 0, down);
   }
@@ -139,7 +141,8 @@ RoundReport NetworkSimulator::run_round(std::size_t round,
       }
       case EventKind::kComputeDone:
         push(e.time, EventKind::kUploadAttempt, e.client, 0,
-             wire_bytes(op.upload_floats));
+             op.upload_bytes != 0 ? op.upload_bytes
+                                  : wire_bytes(op.upload_floats));
         break;
       case EventKind::kUploadAttempt: {
         Rng jitter = draw(kUpJitter, round, e.client, e.attempt);

@@ -65,6 +65,13 @@ struct ClientOp {
   /// uploading (the engine's dropout injection).
   bool churned = false;
   MessageKind upload_kind = MessageKind::kModelUpdate;
+  /// Framed-byte overrides for codec traffic: when non-zero, this exact
+  /// byte count is charged for the transfer instead of
+  /// wire_bytes(*_floats). The engine sets these to
+  /// wire_bytes_encoded(codec payload) when compression is on; zero
+  /// keeps the historical raw-float32 framing bit-identical.
+  std::uint64_t download_bytes = 0;
+  std::uint64_t upload_bytes = 0;
 };
 
 /// Outcome of one op, in ops order.

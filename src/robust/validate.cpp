@@ -17,6 +17,8 @@ const char* to_string(RejectReason reason) {
       return "non_finite";
     case RejectReason::kNormEnvelope:
       return "norm_envelope";
+    case RejectReason::kCodecEnvelope:
+      return "codec_envelope";
   }
   return "unknown";
 }
@@ -85,6 +87,57 @@ std::vector<Verdict> screen_updates(
         }
       }
     }
+  }
+  return verdicts;
+}
+
+std::vector<Verdict> screen_encoded_updates(
+    const std::vector<std::span<const std::uint8_t>>& frames,
+    const std::vector<std::span<const float>>& starts,
+    const std::vector<std::size_t>& clients, std::size_t expected_dim,
+    const compress::UpdateCodec& codec, std::span<const std::size_t> layout,
+    const ValidationPolicy& policy, std::vector<std::vector<float>>* decoded) {
+  FEDCLUST_REQUIRE(frames.size() == starts.size() &&
+                       frames.size() == clients.size(),
+                   "screen_encoded_updates: inputs must align");
+  FEDCLUST_REQUIRE(decoded != nullptr,
+                   "screen_encoded_updates: decoded output is required");
+  std::vector<Verdict> verdicts(frames.size());
+  decoded->assign(frames.size(), {});
+
+  // Stage 1: codec envelope. Rejected frames are never decoded, so a
+  // malformed payload cannot poison the cohort statistics below.
+  std::vector<std::size_t> survivors;
+  survivors.reserve(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    verdicts[i].client = clients[i];
+    std::string why;
+    if (!codec.validate(frames[i], expected_dim, layout, &why)) {
+      verdicts[i].reason = RejectReason::kCodecEnvelope;
+      continue;
+    }
+    (*decoded)[i].resize(expected_dim);
+    codec.decode(frames[i], std::span<float>((*decoded)[i]), starts[i],
+                 layout);
+    survivors.push_back(i);
+  }
+
+  // Stage 2: the unchanged float screening over the decoded survivors.
+  std::vector<std::span<const float>> surv_updates;
+  std::vector<std::span<const float>> surv_starts;
+  std::vector<std::size_t> surv_clients;
+  surv_updates.reserve(survivors.size());
+  surv_starts.reserve(survivors.size());
+  surv_clients.reserve(survivors.size());
+  for (const std::size_t i : survivors) {
+    surv_updates.emplace_back((*decoded)[i]);
+    surv_starts.push_back(starts[i]);
+    surv_clients.push_back(clients[i]);
+  }
+  const std::vector<Verdict> inner = screen_updates(
+      surv_updates, surv_starts, surv_clients, expected_dim, policy);
+  for (std::size_t u = 0; u < survivors.size(); ++u) {
+    verdicts[survivors[u]] = inner[u];
   }
   return verdicts;
 }

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "compress/codec.hpp"
+
 namespace fedclust::robust {
 
 /// Validation knobs, part of robust::RobustConfig. Disabled by default.
@@ -39,6 +41,10 @@ enum class RejectReason : std::uint8_t {
   kBadShape,
   kNonFinite,
   kNormEnvelope,
+  /// The encoded frame failed the codec's structural/envelope check
+  /// (wrong size, non-finite quantizer scale, bad top-k indices) — the
+  /// frame never reached the float screening.
+  kCodecEnvelope,
 };
 
 const char* to_string(RejectReason reason);
@@ -60,6 +66,22 @@ std::vector<Verdict> screen_updates(
     const std::vector<std::span<const float>>& starts,
     const std::vector<std::size_t>& clients, std::size_t expected_dim,
     const ValidationPolicy& policy);
+
+/// Decode-then-screen for compressed traffic: each encoded frame first
+/// passes the codec's structural/envelope check (failures verdict as
+/// kCodecEnvelope and are never decoded), survivors are decoded against
+/// their per-client start weights — the reference both ends encoded
+/// against — into (*decoded)[i], and the decoded floats then run through
+/// the exact screen_updates pipeline above (shape, finite, cohort-median
+/// norm envelope). Frames rejected at the codec stage do not contribute
+/// to the cohort median, so a poisoned scale cannot skew the envelope.
+/// (*decoded)[i] stays empty for codec-rejected frames.
+std::vector<Verdict> screen_encoded_updates(
+    const std::vector<std::span<const std::uint8_t>>& frames,
+    const std::vector<std::span<const float>>& starts,
+    const std::vector<std::size_t>& clients, std::size_t expected_dim,
+    const compress::UpdateCodec& codec, std::span<const std::size_t> layout,
+    const ValidationPolicy& policy, std::vector<std::vector<float>>* decoded);
 
 /// Per-client strike ledger with exclusion. Deterministic: state is a
 /// pure fold over the strike sequence, so identical runs produce

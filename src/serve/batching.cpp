@@ -53,7 +53,8 @@ BatchingEngine::BatchingEngine(const ModelRegistry& registry,
 BatchingEngine::~BatchingEngine() { stop(); }
 
 std::future<InferenceResult> BatchingEngine::submit(
-    std::uint64_t id, Tensor input, std::vector<float> features) {
+    std::uint64_t id, Tensor input, std::vector<float> features,
+    double timeout_ms) {
   FEDCLUST_REQUIRE(input.rank() >= 2 && input.dim(0) == 1,
                    "a request carries one sample: dim 0 must be 1, got "
                        << shape_to_string(input.shape()));
@@ -62,10 +63,29 @@ std::future<InferenceResult> BatchingEngine::submit(
   req.input = std::move(input);
   req.features = std::move(features);
   req.enqueued = Clock::now();
+  const double budget =
+      timeout_ms > 0.0 ? timeout_ms : config_.default_timeout_ms;
+  if (budget > 0.0) {
+    req.has_deadline = true;
+    req.deadline = req.enqueued + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double, std::milli>(
+                                          budget));
+  }
   std::future<InferenceResult> future = req.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     FEDCLUST_REQUIRE(!stopping_, "submit() after stop()");
+    if (config_.max_queue != 0 && queue_.size() >= config_.max_queue) {
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.rejected;
+      }
+      throw QueueFullError(
+          "serving queue full: " + std::to_string(queue_.size()) +
+          " requests already waiting (max_queue=" +
+          std::to_string(config_.max_queue) + "); request " +
+          std::to_string(id) + " rejected");
+    }
     queue_.push_back(std::move(req));
   }
   cv_.notify_one();
@@ -111,34 +131,62 @@ EngineStats BatchingEngine::stats() const {
 void BatchingEngine::worker_loop() {
   WorkerState state;
   std::vector<Request> batch;
+  std::vector<Request> expired;
+  // Pops the queue head into `batch` unless its deadline already passed,
+  // in which case it lands in `expired` (failed outside the lock below).
+  // Returns whether the request was still live.
+  const auto take_front = [&](Clock::time_point now) {
+    Request req = std::move(queue_.front());
+    queue_.pop_front();
+    const bool live = !req.has_deadline || req.deadline > now;
+    (live ? batch : expired).push_back(std::move(req));
+    return live;
+  };
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and nothing left to drain
 
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-      const auto deadline =
-          Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                             std::chrono::duration<double, std::milli>(
-                                 config_.max_delay_ms));
-      while (batch.size() < config_.max_batch) {
-        if (!queue_.empty()) {
-          batch.push_back(std::move(queue_.front()));
-          queue_.pop_front();
-          continue;
-        }
-        // While draining for shutdown there is no point waiting for
-        // stragglers — no new producer is coming.
-        if (stopping_ || config_.max_delay_ms <= 0.0) break;
-        if (!cv_.wait_until(lock, deadline, [this] {
-              return stopping_ || !queue_.empty();
-            })) {
-          break;  // delay budget spent
+      // Shed stale heads until a live request opens the batch (or the
+      // queue runs dry — then fail the expired ones and wait again).
+      const Clock::time_point now = Clock::now();
+      while (!queue_.empty() && batch.empty()) take_front(now);
+      if (!batch.empty()) {
+        const auto close_at =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   config_.max_delay_ms));
+        while (batch.size() < config_.max_batch) {
+          if (!queue_.empty()) {
+            take_front(Clock::now());
+            continue;
+          }
+          // While draining for shutdown there is no point waiting for
+          // stragglers — no new producer is coming.
+          if (stopping_ || config_.max_delay_ms <= 0.0) break;
+          if (!cv_.wait_until(lock, close_at, [this] {
+                return stopping_ || !queue_.empty();
+              })) {
+            break;  // delay budget spent
+          }
         }
       }
     }
+    if (!expired.empty()) {
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        stats_.timeouts += expired.size();
+      }
+      for (Request& req : expired) {
+        req.promise.set_exception(std::make_exception_ptr(RequestTimeoutError(
+            "request " + std::to_string(req.id) +
+            " spent its deadline waiting in the serving queue (" +
+            std::to_string(ms_since(req.enqueued)) + " ms queued)")));
+      }
+      expired.clear();
+    }
+    if (batch.empty()) continue;
     try {
       process_batch(state, batch);
     } catch (...) {

@@ -23,6 +23,14 @@
 // the registry's version moved — a publish() never stalls the queue.
 // Forward passes run with train=false, so no backward caches are
 // allocated anywhere on the serving path (see nn/layer.hpp).
+//
+// Overload control: the queue is bounded (EngineConfig::max_queue) and
+// requests carry deadlines (EngineConfig::default_timeout_ms or the
+// per-call submit() override). submit() against a full queue throws
+// QueueFullError without enqueueing; a request still queued when its
+// deadline passes has its future fail with RequestTimeoutError at the
+// next dequeue — a promise is never left dangling, including across
+// stop(), which drains and answers (or times out) everything queued.
 #pragma once
 
 #include <chrono>
@@ -40,6 +48,7 @@
 #include "serve/registry.hpp"
 #include "serve/router.hpp"
 #include "tensor/tensor.hpp"
+#include "utils/error.hpp"
 #include "utils/histogram.hpp"
 
 namespace fedclust {
@@ -47,6 +56,20 @@ class ThreadPool;
 }
 
 namespace fedclust::serve {
+
+/// Thrown by submit() when the queue already holds max_queue requests.
+/// The request is NOT enqueued; callers shed load or retry later.
+class QueueFullError : public Error {
+ public:
+  explicit QueueFullError(const std::string& what) : Error(what) {}
+};
+
+/// Delivered through a request's future when it spent its deadline
+/// waiting in the queue and was dropped instead of batched.
+class RequestTimeoutError : public Error {
+ public:
+  explicit RequestTimeoutError(const std::string& what) : Error(what) {}
+};
 
 struct EngineConfig {
   RouterConfig router;
@@ -59,6 +82,15 @@ struct EngineConfig {
   std::size_t workers = 1;
   /// Borrowed intra-op pool for the layer GEMMs; may be null.
   ThreadPool* kernel_pool = nullptr;
+  /// Admission limit: submit() throws QueueFullError once this many
+  /// requests are already waiting in the queue (dequeued requests no
+  /// longer count). 0 = unbounded (legacy behaviour).
+  std::size_t max_queue = 0;
+  /// Default per-request deadline in milliseconds from submit(). A
+  /// request still queued past its deadline is answered with
+  /// RequestTimeoutError instead of a forward pass. 0 = no deadline.
+  /// Overridable per call via submit()'s timeout_ms.
+  double default_timeout_ms = 0.0;
 };
 
 /// Answer to one request.
@@ -86,6 +118,8 @@ struct InferenceResult {
 struct EngineStats {
   std::uint64_t requests = 0;  ///< requests answered (batched path)
   std::uint64_t batches = 0;   ///< forward batches executed
+  std::uint64_t rejected = 0;  ///< submits refused by max_queue admission
+  std::uint64_t timeouts = 0;  ///< requests failed with RequestTimeoutError
   utils::StreamingHistogram latency_ms;
 };
 
@@ -101,9 +135,13 @@ class BatchingEngine {
 
   /// Enqueues one request. `input` is a single-sample batch (dim 0 must
   /// be 1); `features` is the routing partial-weight vector (ignored in
-  /// ensemble mode, may be empty there). Throws after stop().
+  /// ensemble mode, may be empty there). Throws after stop(), and
+  /// QueueFullError when max_queue requests are already waiting.
+  /// `timeout_ms` > 0 sets this request's deadline; <= 0 falls back to
+  /// EngineConfig::default_timeout_ms (which may itself be 0 = none).
   std::future<InferenceResult> submit(std::uint64_t id, Tensor input,
-                                      std::vector<float> features);
+                                      std::vector<float> features,
+                                      double timeout_ms = 0.0);
 
   /// Synchronous unbatched reference path: same code as the batch
   /// workers, batch size forced to 1, on a dedicated replica set. The
@@ -125,6 +163,9 @@ class BatchingEngine {
     std::vector<float> features;
     std::promise<InferenceResult> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// Past this instant a still-queued request is timed out at dequeue.
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
   };
 
   /// Per-worker serving state, rebuilt when the snapshot version moves.

@@ -104,6 +104,22 @@ struct KernelTable {
   void (*bn_backward_dx)(const float* dy, const float* xh, float* dx,
                          double scale, double mean_dy, double mean_dy_xhat,
                          std::size_t n);
+
+  // -- update-compression codecs (src/compress) ----------------------------
+  /// q[i] = clamp(rint(x[i]·inv_scale), −qmax, qmax), round-to-nearest-even
+  /// in every lane (the int8/int4 linear quantizer; qmax = 127 or 7).
+  /// Strictly element-wise, so any kChunkAlign-aligned split is exact.
+  /// Non-finite x[i] deterministically clamp to −qmax on every ISA —
+  /// encoders pre-screen finiteness, this only pins the kernel contract.
+  void (*quantize_i8)(const float* x, signed char* q, float inv_scale,
+                      int qmax, std::size_t n);
+  /// x[i] = q[i]·scale (the matching dequantizer).
+  void (*dequantize_i8)(const signed char* q, float* x, float scale,
+                        std::size_t n);
+  /// max |x[i]| over [0, n); 0 for n == 0. Exact for finite inputs on
+  /// every table (max is order-independent); callers screen non-finite
+  /// values themselves before deriving quantizer scales from this.
+  float (*absmax)(const float* x, std::size_t n);
 };
 
 /// The always-available scalar table.

@@ -281,6 +281,40 @@ void bn_backward_dx(const float* FEDCLUST_RESTRICT dy,
   }
 }
 
+// -- update-compression codecs -----------------------------------------------
+
+void quantize_i8(const float* FEDCLUST_RESTRICT x,
+                 signed char* FEDCLUST_RESTRICT q, float inv_scale, int qmax,
+                 std::size_t n) {
+  const float lo = static_cast<float>(-qmax);
+  const float hi = static_cast<float>(qmax);
+  for (std::size_t i = 0; i < n; ++i) {
+    // mul → round-to-nearest-even → clamp, with NaN taking the lo branch
+    // (comparison false) — the exact lane sequence of the SIMD table, so
+    // the two tables quantize bit-identically.
+    const float r = __builtin_nearbyintf(x[i] * inv_scale);
+    float t = r > lo ? r : lo;
+    t = t < hi ? t : hi;
+    q[i] = static_cast<signed char>(static_cast<int>(t));
+  }
+}
+
+void dequantize_i8(const signed char* FEDCLUST_RESTRICT q,
+                   float* FEDCLUST_RESTRICT x, float scale, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(q[i]) * scale;
+  }
+}
+
+float absmax(const float* x, std::size_t n) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = __builtin_fabsf(x[i]);
+    if (a > m) m = a;
+  }
+  return m;
+}
+
 }  // namespace
 
 const KernelTable& scalar_kernels() {
@@ -291,6 +325,7 @@ const KernelTable& scalar_kernels() {
       relu_backward,   sum,          dot,          sqnorm,
       sqdist,          sqdev,        max_val,      weighted_accumulate,
       weighted_accumulate_partial,   bn_backward_dx,
+      quantize_i8,     dequantize_i8, absmax,
   };
   return table;
 }

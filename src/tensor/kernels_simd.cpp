@@ -448,6 +448,60 @@ void bn_backward_dx(const float* FEDCLUST_RESTRICT dy,
   }
 }
 
+// -- update-compression codecs -----------------------------------------------
+
+void quantize_i8(const float* x, signed char* q, float inv_scale, int qmax,
+                 std::size_t n) {
+  const float flo = static_cast<float>(-qmax);
+  const float fhi = static_cast<float>(qmax);
+  const s::f32x inv = s::set1(inv_scale);
+  const s::f32x lo = s::set1(flo);
+  const s::f32x hi = s::set1(fhi);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const s::f32x t =
+        s::clamp(s::round_nearest(s::mul(s::load(x + i), inv)), lo, hi);
+    s::store_i8(q + i, t);
+  }
+  for (; i < n; ++i) {
+    // Same op sequence as the lanes: mul → round-to-nearest-even → clamp
+    // with NaN resolving to lo (comparison false ⇒ lo branch).
+    const float r = __builtin_nearbyintf(x[i] * inv_scale);
+    float t = r > flo ? r : flo;
+    t = t < fhi ? t : fhi;
+    q[i] = static_cast<signed char>(static_cast<int>(t));
+  }
+}
+
+void dequantize_i8(const signed char* q, float* x, float scale, std::size_t n) {
+  const s::f32x sv = s::set1(scale);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    s::store(x + i, s::mul(s::load_i8(q + i), sv));
+  }
+  for (; i < n; ++i) {
+    x[i] = static_cast<float>(q[i]) * scale;
+  }
+}
+
+float absmax(const float* x, std::size_t n) {
+  std::size_t i = 0;
+  float m = 0.0f;
+  if (n >= W) {
+    s::f32x mv = s::abs(s::load(x));
+    for (i = W; i + W <= n; i += W) {
+      mv = s::max(mv, s::abs(s::load(x + i)));
+    }
+    m = s::hmax(mv);
+    if (m < 0.0f) m = 0.0f;  // all-negative-zero lanes
+  }
+  for (; i < n; ++i) {
+    const float a = __builtin_fabsf(x[i]);
+    if (a > m) m = a;
+  }
+  return m;
+}
+
 }  // namespace
 
 // Consumed by kernels_dispatch.cpp (declared extern there; no header so
@@ -460,6 +514,7 @@ const KernelTable& simd_kernel_table() {
       relu_backward,   sum,          dot,          sqnorm,
       sqdist,          sqdev,        max_val,      weighted_accumulate,
       weighted_accumulate_partial,   bn_backward_dx,
+      quantize_i8,     dequantize_i8, absmax,
   };
   return table;
 }

@@ -122,6 +122,36 @@ inline void dstore2(double* p, f64x lo, f64x hi) {
   _mm256_storeu_pd(p + 4, hi.v);
 }
 
+inline f32x abs(f32x a) {
+  return {_mm256_andnot_ps(_mm256_set1_ps(-0.0f), a.v)};
+}
+/// Round to nearest, ties to even — the same rule scalar nearbyint()
+/// applies under the default FP environment, so scalar and SIMD
+/// quantizers agree bit-for-bit.
+inline f32x round_nearest(f32x a) {
+  return {_mm256_round_ps(a.v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC)};
+}
+/// clamp(v, lo, hi) with NaN lanes of v deterministically mapping to lo
+/// (maxps/minps return the second operand when the first is NaN; every
+/// backend mirrors that operand order).
+inline f32x clamp(f32x v, f32x lo, f32x hi) {
+  return {_mm256_min_ps(_mm256_max_ps(v.v, lo.v), hi.v)};
+}
+/// Converts kWidth integer-valued floats in [−128, 127] to int8 bytes.
+inline void store_i8(signed char* p, f32x a) {
+  const __m256i i32 = _mm256_cvtps_epi32(a.v);
+  const __m128i i16 = _mm_packs_epi32(_mm256_castsi256_si128(i32),
+                                      _mm256_extracti128_si256(i32, 1));
+  const __m128i i8 = _mm_packs_epi16(i16, i16);
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(p), i8);
+}
+/// Sign-extends kWidth int8 bytes into one f32 vector.
+inline f32x load_i8(const signed char* p) {
+  const __m128i i8 =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  return {_mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(i8))};
+}
+
 inline const char* isa_name() { return "avx2+fma"; }
 
 #elif defined(FEDCLUST_SIMD_NEON)
@@ -200,6 +230,30 @@ inline void dload2(const double* p, f64x& lo, f64x& hi) {
 inline void dstore2(double* p, f64x lo, f64x /*hi*/) {
   vst1q_f64(p, lo.lo);
   vst1q_f64(p + 2, lo.hi);
+}
+
+inline f32x abs(f32x a) { return {vabsq_f32(a.v)}; }
+/// Round to nearest, ties to even (FRINTN) — matches scalar nearbyint().
+inline f32x round_nearest(f32x a) { return {vrndnq_f32(a.v)}; }
+/// clamp(v, lo, hi); NaN lanes of v map to lo (maxnm/minnm prefer the
+/// numeric operand, mirroring the AVX2/scalar operand-order contract).
+inline f32x clamp(f32x v, f32x lo, f32x hi) {
+  return {vminnmq_f32(vmaxnmq_f32(v.v, lo.v), hi.v)};
+}
+/// Converts kWidth integer-valued floats in [−128, 127] to int8 bytes.
+inline void store_i8(signed char* p, f32x a) {
+  const int32x4_t i32 = vcvtq_s32_f32(a.v);  // integral input: exact
+  const int16x4_t i16 = vqmovn_s32(i32);
+  const int8x8_t i8 = vqmovn_s16(vcombine_s16(i16, i16));
+  signed char tmp[8];
+  vst1_s8(tmp, i8);
+  for (std::size_t i = 0; i < 4; ++i) p[i] = tmp[i];
+}
+/// Sign-extends kWidth int8 bytes into one f32 vector.
+inline f32x load_i8(const signed char* p) {
+  const signed char tmp[8] = {p[0], p[1], p[2], p[3], 0, 0, 0, 0};
+  const int16x8_t i16 = vmovl_s8(vld1_s8(tmp));
+  return {vcvtq_f32_s32(vmovl_s16(vget_low_s16(i16)))};
 }
 
 inline const char* isa_name() { return "neon"; }
@@ -302,6 +356,40 @@ inline void dload2(const double* p, f64x& lo, f64x& hi) {
 }
 inline void dstore2(double* p, f64x lo, f64x /*hi*/) {
   for (std::size_t i = 0; i < 4; ++i) p[i] = lo.v[i];
+}
+
+inline f32x abs(f32x a) {
+  f32x r;
+  for (std::size_t i = 0; i < 4; ++i) r.v[i] = __builtin_fabsf(a.v[i]);
+  return r;
+}
+/// Round to nearest, ties to even (default FP environment).
+inline f32x round_nearest(f32x a) {
+  f32x r;
+  for (std::size_t i = 0; i < 4; ++i) r.v[i] = __builtin_nearbyintf(a.v[i]);
+  return r;
+}
+/// clamp(v, lo, hi); NaN lanes map to lo — the ternary's comparison is
+/// false for NaN, the same operand-order rule the native backends use.
+inline f32x clamp(f32x v, f32x lo, f32x hi) {
+  f32x r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    float t = v.v[i] > lo.v[i] ? v.v[i] : lo.v[i];
+    r.v[i] = t < hi.v[i] ? t : hi.v[i];
+  }
+  return r;
+}
+/// Converts kWidth integer-valued floats in [−128, 127] to int8 bytes.
+inline void store_i8(signed char* p, f32x a) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    p[i] = static_cast<signed char>(static_cast<int>(a.v[i]));
+  }
+}
+/// Sign-extends kWidth int8 bytes into one f32 vector.
+inline f32x load_i8(const signed char* p) {
+  f32x r;
+  for (std::size_t i = 0; i < 4; ++i) r.v[i] = static_cast<float>(p[i]);
+  return r;
 }
 
 inline const char* isa_name() { return "scalar"; }

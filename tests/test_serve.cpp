@@ -402,5 +402,119 @@ TEST(Engine, BadRequestFailsItsFutureNotTheWorker) {
   EXPECT_THROW(engine.submit(2, Tensor({2, 1, 8, 8}), s.features[0]), Error);
 }
 
+// -- overload control ----------------------------------------------------------
+
+TEST(Engine, BoundedQueueRejectsWhenSaturated) {
+  const ServingSetup& s = setup();
+  ModelRegistry registry;
+  publish_master(registry);
+
+  EngineConfig cfg;
+  cfg.max_batch = 1;  // each admitted request costs one full worker cycle
+  cfg.max_delay_ms = 0.0;
+  cfg.workers = 1;
+  cfg.max_queue = 2;
+  BatchingEngine engine(registry, cfg);
+
+  // A tight submit loop pushes orders of magnitude faster than one worker
+  // can forward, so the 2-deep queue must fill within a few iterations.
+  std::vector<std::future<InferenceResult>> accepted;
+  bool saturated = false;
+  for (std::size_t i = 0; i < 2000 && !saturated; ++i) {
+    try {
+      accepted.push_back(engine.submit(i, s.inputs[i % s.inputs.size()],
+                                       s.features[i % s.features.size()]));
+    } catch (const QueueFullError&) {
+      saturated = true;
+    }
+  }
+  EXPECT_TRUE(saturated);
+  EXPECT_GE(engine.stats().rejected, 1u);
+
+  // Admission is all-or-nothing: every admitted request is answered.
+  engine.stop();
+  for (auto& f : accepted) EXPECT_NO_THROW(f.get());
+}
+
+TEST(Engine, DeadlinedRequestsTimeOutInsteadOfDangling) {
+  const ServingSetup& s = setup();
+  ModelRegistry registry;
+  publish_master(registry);
+
+  EngineConfig cfg;
+  cfg.max_batch = 1;
+  cfg.max_delay_ms = 0.0;
+  cfg.workers = 1;
+  BatchingEngine engine(registry, cfg);
+
+  // The undeadlined head request occupies the worker; the burst behind it
+  // carries a deadline that has effectively already passed (1 ns), so
+  // every one of them must be expired by the time it is dequeued —
+  // dequeue happens microseconds after submit at the very fastest.
+  std::future<InferenceResult> head =
+      engine.submit(0, s.inputs[0], s.features[0]);
+  std::vector<std::future<InferenceResult>> doomed;
+  for (std::size_t i = 1; i <= 10; ++i) {
+    doomed.push_back(engine.submit(i, s.inputs[i % s.inputs.size()],
+                                   s.features[i % s.features.size()],
+                                   /*timeout_ms=*/1e-6));
+  }
+  EXPECT_NO_THROW(head.get());
+  for (auto& f : doomed) EXPECT_THROW(f.get(), RequestTimeoutError);
+  EXPECT_EQ(engine.stats().timeouts, 10u);
+
+  // The worker survived the expiry storm and still serves live traffic.
+  EXPECT_EQ(engine.submit(99, s.inputs[0], s.features[0]).get().probs.size(),
+            4u);
+}
+
+TEST(Engine, ConfigDefaultTimeoutAppliesWithoutPerCallOverride) {
+  const ServingSetup& s = setup();
+  ModelRegistry registry;
+  publish_master(registry);
+
+  EngineConfig cfg;
+  cfg.max_batch = 1;
+  cfg.max_delay_ms = 0.0;
+  cfg.workers = 1;
+  cfg.default_timeout_ms = 1e-6;  // every request expires before dequeue
+  BatchingEngine engine(registry, cfg);
+
+  std::future<InferenceResult> f = engine.submit(0, s.inputs[0], s.features[0]);
+  EXPECT_THROW(f.get(), RequestTimeoutError);
+  EXPECT_EQ(engine.stats().timeouts, 1u);
+}
+
+TEST(Engine, StopDrainsDeadlinedRequestsWithoutDanglingPromises) {
+  const ServingSetup& s = setup();
+  ModelRegistry registry;
+  publish_master(registry);
+
+  EngineConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_delay_ms = 50.0;
+  cfg.workers = 1;
+  BatchingEngine engine(registry, cfg);
+
+  std::vector<std::future<InferenceResult>> futures;
+  for (std::size_t i = 0; i < 8; ++i) {
+    futures.push_back(engine.submit(i, s.inputs[i % s.inputs.size()],
+                                    s.features[i % s.features.size()],
+                                    /*timeout_ms=*/1e-6));
+  }
+  engine.stop();
+  // Every future resolves — with a timeout here, never a broken promise.
+  std::size_t timed_out = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (const RequestTimeoutError&) {
+      ++timed_out;
+    }
+  }
+  EXPECT_EQ(timed_out, futures.size());
+  EXPECT_EQ(engine.stats().timeouts, futures.size());
+}
+
 }  // namespace
 }  // namespace fedclust::serve
