@@ -37,7 +37,13 @@ fl::Federation make_federation(const Scenario& s,
     clients.push_back({std::move(train), std::move(test)});
   }
 
-  nn::Model model = nn::lenet5(gen.image_spec());
+  nn::Model model = s.model == "lenet5"     ? nn::lenet5(gen.image_spec())
+                    : s.model == "vgg_mini" ? nn::vgg_mini(gen.image_spec())
+                    : s.model == "mlp"      ? nn::mlp(gen.image_spec())
+                                            : nn::Model{};
+  FEDCLUST_REQUIRE(model.num_layers() > 0,
+                   "unknown scenario model '" << s.model
+                                              << "' (want lenet5|vgg_mini|mlp)");
   Rng init_rng = Rng(s.seed).split(104);
   model.init_params(init_rng);
 
@@ -174,6 +180,29 @@ void write_compress_bench_json(
   out << "]\n";
 }
 
+void write_async_bench_json(const std::string& path,
+                            const std::vector<AsyncBenchResult>& results) {
+  std::ofstream out(path);
+  FEDCLUST_REQUIRE(out.good(), "cannot open " << path << " for writing");
+  out << std::fixed << std::setprecision(4) << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const AsyncBenchResult& r = results[i];
+    out << "  {\"algorithm\": \"" << r.algorithm << "\", \"mode\": \""
+        << r.mode << "\", \"profile\": \"" << r.profile
+        << "\", \"buffer_k\": " << r.buffer_k << ", \"rounds\": " << r.rounds
+        << ", \"target_acc\": " << r.target_acc
+        << ", \"reached\": " << (r.reached ? "true" : "false")
+        << ", \"seconds_to_target\": " << r.seconds_to_target
+        << ", \"seconds_total\": " << r.seconds_total
+        << ", \"final_acc\": " << r.final_acc
+        << ", \"upload_mb\": " << r.upload_mb
+        << ", \"download_mb\": " << r.download_mb
+        << ", \"speedup_vs_sync\": " << r.speedup_vs_sync << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
 void write_serving_bench_json(const std::string& path,
                               const std::vector<ServingBenchResult>& results) {
   std::ofstream out(path);
@@ -181,7 +210,8 @@ void write_serving_bench_json(const std::string& path,
   out << std::fixed << std::setprecision(4) << "[\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ServingBenchResult& r = results[i];
-    out << "  {\"mode\": \"" << r.mode << "\", \"max_batch\": " << r.max_batch
+    out << "  {\"model\": \"" << r.model << "\", \"mode\": \"" << r.mode
+        << "\", \"max_batch\": " << r.max_batch
         << ", \"workers\": " << r.workers << ", \"requests\": " << r.requests
         << ", \"clusters\": " << r.clusters << ", \"rps\": " << r.rps
         << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms

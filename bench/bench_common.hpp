@@ -32,6 +32,8 @@ struct Scenario {
   std::size_t pool_samples = 1200;
   double test_fraction = 0.25;
   std::uint64_t seed = 1;
+  /// Client model architecture: "lenet5" (default), "vgg_mini" or "mlp".
+  std::string model = "lenet5";
 
   fl::FederationConfig engine;
 };
@@ -162,11 +164,38 @@ struct CompressBenchResult {
 void write_compress_bench_json(const std::string& path,
                                const std::vector<CompressBenchResult>& results);
 
+// -- async time-to-accuracy reporting -----------------------------------------
+
+/// One (algorithm, engine mode, network profile) cell of the async
+/// throughput sweep, as emitted into BENCH_async.json.
+struct AsyncBenchResult {
+  std::string algorithm;  ///< "FedAvg" | "FedClust"
+  std::string mode;       ///< "sync" | "async_k4" | "async_k16" | ...
+  std::string profile;    ///< "lan" | "cellular" | "heterogeneous"
+  std::size_t buffer_k = 0;  ///< 0 for the sync baseline
+  std::size_t rounds = 0;    ///< sync rounds or async flushes executed
+  double target_acc = 0.0;
+  bool reached = false;             ///< the run hit target_acc
+  double seconds_to_target = 0.0;   ///< sim_seconds at the first hit
+  double seconds_total = 0.0;       ///< sim_seconds at run end
+  double final_acc = 0.0;
+  double upload_mb = 0.0;
+  double download_mb = 0.0;
+  /// sync seconds_to_target / this mode's, within (algorithm, profile);
+  /// 1.0 for the sync baseline itself, 0 when either side missed target.
+  double speedup_vs_sync = 0.0;
+};
+
+/// Writes async results as a machine-readable JSON array.
+void write_async_bench_json(const std::string& path,
+                            const std::vector<AsyncBenchResult>& results);
+
 // -- serving reporting --------------------------------------------------------
 
 /// One (router mode, batch size) cell of the serving-throughput sweep,
 /// as emitted into BENCH_serving.json.
 struct ServingBenchResult {
+  std::string model;           ///< served architecture ("lenet5", ...)
   std::string mode;            ///< "hard" | "soft" | "ensemble"
   std::size_t max_batch = 0;   ///< batcher cap for this cell
   std::size_t workers = 0;     ///< engine worker threads

@@ -41,6 +41,15 @@ std::vector<std::size_t> parse_size_list(const std::string& csv) {
   return out;
 }
 
+std::vector<std::string> parse_string_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(item);
+  FEDCLUST_REQUIRE(!out.empty(), "empty list '" << csv << "'");
+  return out;
+}
+
 struct RequestPool {
   std::vector<Tensor> inputs;                // (1, C, H, W) each
   std::vector<std::int32_t> labels;          // ground truth per input
@@ -190,7 +199,7 @@ void check_parity(const serve::ModelRegistry& registry,
 int main(int argc, char** argv) {
   CliParser cli("serving_throughput",
                 "Batched cluster-model inference: requests/sec and latency "
-                "tails vs batch size and router mode (LeNet-5)");
+                "tails vs batch size, router mode and architecture");
   cli.add_int("clients", 10, "federation clients (grouped two-cluster)");
   cli.add_int("pool", 800, "training pool samples");
   cli.add_int("rounds", 5, "federated training rounds before freezing");
@@ -201,6 +210,9 @@ int main(int argc, char** argv) {
   cli.add_int("kernel-threads", 0, "intra-op GEMM threads (0 = none)");
   cli.add_string("batches", "1,8,32,128", "max_batch values to sweep");
   cli.add_string("modes", "hard,soft,ensemble", "router modes to sweep");
+  cli.add_string("models", "lenet5,vgg_mini",
+                 "architectures to sweep (lenet5|vgg_mini|mlp); vgg_mini "
+                 "sweeps batches 1,32 and the hard router only");
   cli.add_int("seed", 1, "random seed");
   cli.add_string("out", "BENCH_serving.json", "output JSON path");
   cli.add_flag("self-check",
@@ -209,51 +221,6 @@ int main(int argc, char** argv) {
   cli.parse(argc, argv);
 
   const bool self_check = cli.get_flag("self-check");
-  bench::Scenario s;
-  s.dataset = data::SyntheticKind::kFmnist;
-  s.num_clients = static_cast<std::size_t>(cli.get_int("clients"));
-  s.dirichlet_beta = 0.0;  // grouped: two crisp clusters to serve
-  s.within_group_beta = 0.0;
-  s.pool_samples = static_cast<std::size_t>(cli.get_int("pool"));
-  s.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  s.engine.local.epochs = 2;
-  s.engine.local.batch_size = 32;
-  s.engine.threads = 4;
-
-  std::printf("training FedClust (%zu clients, %lld rounds) ...\n",
-              s.num_clients, static_cast<long long>(cli.get_int("rounds")));
-  std::vector<std::size_t> true_groups;
-  fl::Federation fed = bench::make_federation(s, &true_groups);
-  core::FedClust algo({.warmup_epochs = 2, .rel_factor = 0.6});
-  const fl::RunResult run =
-      algo.run(fed, static_cast<std::size_t>(cli.get_int("rounds")));
-  const core::ClusteringOutcome& outcome = *algo.last_clustering();
-
-  serve::ModelRegistry registry;
-  registry.publish(serve::freeze(fed.template_model(), run, outcome));
-  std::printf("frozen snapshot: %zu clusters, fp %016llx\n",
-              registry.snapshot()->num_clusters(),
-              static_cast<unsigned long long>(
-                  registry.snapshot()->weights_fp));
-
-  const RequestPool pool = make_request_pool(
-      s, true_groups, outcome,
-      static_cast<std::size_t>(cli.get_int("distinct")));
-
-  const std::size_t requests =
-      self_check ? 1000 : static_cast<std::size_t>(cli.get_int("requests"));
-  const std::vector<std::size_t> batches =
-      self_check ? std::vector<std::size_t>{1, 32}
-                 : parse_size_list(cli.get_string("batches"));
-  std::vector<serve::RouteMode> modes;
-  {
-    std::stringstream ss(cli.get_string("modes"));
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-      modes.push_back(serve::parse_route_mode(item));
-    }
-  }
-
   const std::size_t kernel_threads =
       static_cast<std::size_t>(cli.get_int("kernel-threads"));
   std::unique_ptr<ThreadPool> kernel_pool;
@@ -261,29 +228,96 @@ int main(int argc, char** argv) {
     kernel_pool = std::make_unique<ThreadPool>(kernel_threads);
   }
 
+  // Self-check pins the fast architecture; the parity gate itself is
+  // architecture-agnostic.
+  const std::vector<std::string> model_names =
+      self_check ? std::vector<std::string>{"lenet5"}
+                 : parse_string_list(cli.get_string("models"));
+
   std::vector<bench::ServingBenchResult> results;
-  for (const serve::RouteMode mode : modes) {
-    check_parity(registry, pool, mode, self_check ? 200 : 64);
-    for (const std::size_t max_batch : batches) {
-      bench::ServingBenchResult r = run_cell(
-          registry, pool, mode, max_batch,
-          static_cast<std::size_t>(cli.get_int("workers")),
-          static_cast<std::size_t>(cli.get_int("producers")), requests,
-          kernel_pool.get());
-      std::printf("  %-8s batch %3zu: %8.0f req/s, p50 %.3f ms, p99 %.3f "
-                  "ms, rows/batch %.1f, acc %.4f\n",
-                  r.mode.c_str(), r.max_batch, r.rps, r.p50_ms, r.p99_ms,
-                  r.mean_batch_rows, r.accuracy);
-      FEDCLUST_REQUIRE(!self_check || r.rps > 0.0,
-                       "self-check: throughput must be positive");
-      results.push_back(std::move(r));
+  for (const std::string& model_name : model_names) {
+    bench::Scenario s;
+    // vgg_mini needs 8-divisible image dims; pair it with the 32x32
+    // CIFAR-10 emulation (the paper's VGG pairing). Everything else
+    // serves the 28x28 FMNIST emulation.
+    s.dataset = model_name == "vgg_mini" ? data::SyntheticKind::kCifar10
+                                         : data::SyntheticKind::kFmnist;
+    s.num_clients = static_cast<std::size_t>(cli.get_int("clients"));
+    s.dirichlet_beta = 0.0;  // grouped: two crisp clusters to serve
+    s.within_group_beta = 0.0;
+    s.pool_samples = static_cast<std::size_t>(cli.get_int("pool"));
+    s.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    s.model = model_name;
+    s.engine.local.epochs = 2;
+    s.engine.local.batch_size = 32;
+    s.engine.threads = 4;
+
+    std::printf("training FedClust/%s (%zu clients, %lld rounds) ...\n",
+                model_name.c_str(), s.num_clients,
+                static_cast<long long>(cli.get_int("rounds")));
+    std::vector<std::size_t> true_groups;
+    fl::Federation fed = bench::make_federation(s, &true_groups);
+    core::FedClust algo({.warmup_epochs = 2, .rel_factor = 0.6});
+    const fl::RunResult run =
+        algo.run(fed, static_cast<std::size_t>(cli.get_int("rounds")));
+    const core::ClusteringOutcome& outcome = *algo.last_clustering();
+
+    serve::ModelRegistry registry;
+    registry.publish(serve::freeze(fed.template_model(), run, outcome));
+    std::printf("frozen snapshot: %zu clusters, fp %016llx\n",
+                registry.snapshot()->num_clusters(),
+                static_cast<unsigned long long>(
+                    registry.snapshot()->weights_fp));
+
+    const RequestPool pool = make_request_pool(
+        s, true_groups, outcome,
+        static_cast<std::size_t>(cli.get_int("distinct")));
+
+    const std::size_t requests =
+        self_check ? 1000 : static_cast<std::size_t>(cli.get_int("requests"));
+    // vgg_mini forwards are ~20x a LeNet-5 forward; sweep the corner
+    // cells (unbatched vs batched, hard router) rather than the full
+    // grid so the heavy row stays affordable.
+    const bool reduced = model_name == "vgg_mini";
+    const std::vector<std::size_t> batches =
+        self_check || reduced ? std::vector<std::size_t>{1, 32}
+                              : parse_size_list(cli.get_string("batches"));
+    std::vector<serve::RouteMode> modes;
+    if (reduced) {
+      modes.push_back(serve::RouteMode::kHard);
+    } else {
+      std::stringstream ss(cli.get_string("modes"));
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        modes.push_back(serve::parse_route_mode(item));
+      }
+    }
+
+    for (const serve::RouteMode mode : modes) {
+      check_parity(registry, pool, mode, self_check ? 200 : 64);
+      for (const std::size_t max_batch : batches) {
+        bench::ServingBenchResult r = run_cell(
+            registry, pool, mode, max_batch,
+            static_cast<std::size_t>(cli.get_int("workers")),
+            static_cast<std::size_t>(cli.get_int("producers")), requests,
+            kernel_pool.get());
+        r.model = model_name;
+        std::printf("  %-8s %-8s batch %3zu: %8.0f req/s, p50 %.3f ms, "
+                    "p99 %.3f ms, rows/batch %.1f, acc %.4f\n",
+                    r.model.c_str(), r.mode.c_str(), r.max_batch, r.rps,
+                    r.p50_ms, r.p99_ms, r.mean_batch_rows, r.accuracy);
+        FEDCLUST_REQUIRE(!self_check || r.rps > 0.0,
+                         "self-check: throughput must be positive");
+        results.push_back(std::move(r));
+      }
     }
   }
 
-  TextTable table({"mode", "max batch", "req/s", "p50 ms", "p99 ms",
+  TextTable table({"model", "mode", "max batch", "req/s", "p50 ms", "p99 ms",
                    "p99.9 ms", "rows/batch", "acc"});
   for (const bench::ServingBenchResult& r : results) {
     table.new_row()
+        .add(r.model)
         .add(r.mode)
         .add(static_cast<long long>(r.max_batch))
         .add(r.rps, 0)

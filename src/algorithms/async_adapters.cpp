@@ -1,0 +1,173 @@
+#include "algorithms/async_adapters.hpp"
+
+#include "algorithms/common.hpp"
+#include "check/audit.hpp"
+#include "cluster/hierarchical.hpp"
+
+namespace fedclust::algorithms {
+
+// --- GlobalAverageAdapter (FedAvg / FedProx) -------------------------------
+
+std::size_t GlobalAverageAdapter::begin(fl::Federation& federation,
+                                        fl::RunResult& result) {
+  result.cluster_labels.assign(federation.num_clients(), 0);
+  labels_.assign(federation.num_clients(), 0);
+  cluster_weights_.assign(1, federation.template_model().flat_weights());
+  if (mu_) {
+    fl::LocalTrainConfig local = federation.config().local;
+    local.sgd.prox_mu = *mu_;
+    local_ = local;
+  }
+  return 0;
+}
+
+double GlobalAverageAdapter::sync_round(fl::Federation& federation,
+                                        std::size_t round) {
+  return per_cluster_fedavg_round(federation, round, labels_, cluster_weights_,
+                                  local_override());
+}
+
+fl::AccuracySummary GlobalAverageAdapter::evaluate(
+    const fl::Federation& federation) const {
+  return evaluate_clustered(federation, labels_, cluster_weights_);
+}
+
+std::uint64_t GlobalAverageAdapter::fingerprint() const {
+  return check::weights_fingerprint(cluster_weights_);
+}
+
+void GlobalAverageAdapter::finish(fl::RunResult& result) {
+  result.cluster_labels = labels_;
+}
+
+std::span<const float> GlobalAverageAdapter::cluster_model(
+    std::size_t cluster) const {
+  return std::span<const float>(cluster_weights_.at(cluster));
+}
+
+void GlobalAverageAdapter::set_cluster_model(std::size_t cluster,
+                                             std::vector<float> weights) {
+  cluster_weights_.at(cluster) = std::move(weights);
+}
+
+const fl::LocalTrainConfig* GlobalAverageAdapter::local_override() const {
+  return local_ ? &*local_ : nullptr;
+}
+
+void GlobalAverageAdapter::save_state(
+    robust::RunCheckpoint& checkpoint) const {
+  checkpoint.labels.assign(labels_.begin(), labels_.end());
+  checkpoint.cluster_weights = cluster_weights_;
+}
+
+void GlobalAverageAdapter::restore_state(
+    fl::Federation& federation, const robust::RunCheckpoint& checkpoint) {
+  labels_.assign(checkpoint.labels.begin(), checkpoint.labels.end());
+  cluster_weights_ = checkpoint.cluster_weights;
+  if (mu_) {
+    fl::LocalTrainConfig local = federation.config().local;
+    local.sgd.prox_mu = *mu_;
+    local_ = local;
+  }
+}
+
+// --- CflAdapter ------------------------------------------------------------
+
+std::size_t CflAdapter::begin(fl::Federation& federation, fl::RunResult&) {
+  state_ = algo_.init(federation);
+  return 0;
+}
+
+double CflAdapter::sync_round(fl::Federation& federation, std::size_t round) {
+  return algo_.round(federation, round, state_);
+}
+
+fl::AccuracySummary CflAdapter::evaluate(
+    const fl::Federation& federation) const {
+  return evaluate_clustered(federation, state_.labels, state_.cluster_weights);
+}
+
+std::uint64_t CflAdapter::fingerprint() const {
+  return check::weights_fingerprint(state_.cluster_weights);
+}
+
+void CflAdapter::finish(fl::RunResult& result) {
+  result.cluster_labels = state_.labels;
+}
+
+// --- IfcaAdapter -----------------------------------------------------------
+
+std::size_t IfcaAdapter::begin(fl::Federation& federation, fl::RunResult&) {
+  state_ = algo_.init(federation);
+  return 0;
+}
+
+double IfcaAdapter::sync_round(fl::Federation& federation, std::size_t round) {
+  return algo_.round(federation, round, state_);
+}
+
+fl::AccuracySummary IfcaAdapter::evaluate(
+    const fl::Federation& federation) const {
+  return evaluate_clustered(federation, state_.labels, state_.models);
+}
+
+std::uint64_t IfcaAdapter::fingerprint() const {
+  return check::weights_fingerprint(state_.models);
+}
+
+std::size_t IfcaAdapter::num_clusters() const {
+  return cluster::num_clusters(state_.labels);
+}
+
+void IfcaAdapter::finish(fl::RunResult& result) {
+  result.cluster_labels = state_.labels;
+}
+
+// --- PacflAdapter ----------------------------------------------------------
+
+std::size_t PacflAdapter::begin(fl::Federation& federation,
+                                fl::RunResult& result) {
+  labels_ = algo_.formation(federation, result, cluster_weights_);
+  return 1;
+}
+
+double PacflAdapter::sync_round(fl::Federation& federation,
+                                std::size_t round) {
+  return per_cluster_fedavg_round(federation, round, labels_,
+                                  cluster_weights_);
+}
+
+fl::AccuracySummary PacflAdapter::evaluate(
+    const fl::Federation& federation) const {
+  return evaluate_clustered(federation, labels_, cluster_weights_);
+}
+
+std::uint64_t PacflAdapter::fingerprint() const {
+  return check::weights_fingerprint(cluster_weights_);
+}
+
+void PacflAdapter::finish(fl::RunResult& result) {
+  result.cluster_labels = labels_;
+}
+
+std::span<const float> PacflAdapter::cluster_model(std::size_t cluster) const {
+  return std::span<const float>(cluster_weights_.at(cluster));
+}
+
+void PacflAdapter::set_cluster_model(std::size_t cluster,
+                                     std::vector<float> weights) {
+  cluster_weights_.at(cluster) = std::move(weights);
+}
+
+void PacflAdapter::save_state(robust::RunCheckpoint& checkpoint) const {
+  checkpoint.labels.assign(labels_.begin(), labels_.end());
+  checkpoint.cluster_weights = cluster_weights_;
+}
+
+void PacflAdapter::restore_state(fl::Federation&,
+                                 const robust::RunCheckpoint& checkpoint) {
+  labels_.assign(checkpoint.labels.begin(), checkpoint.labels.end());
+  cluster_weights_ = checkpoint.cluster_weights;
+}
+
+}  // namespace fedclust::algorithms

@@ -1,0 +1,136 @@
+// fl::AsyncAdapter bindings for the baseline algorithms.
+//
+// Each adapter wraps an algorithm's extracted state + round body
+// (FedAvg/FedProx via per_cluster_fedavg_round, CFL via Cfl::round,
+// IFCA via Ifca::round, PACFL via Pacfl::formation) so that
+// fl::run_synchronized replays the classic run() loop bit-identically
+// and — where cluster membership is static after formation —
+// fl::run_async can drive the same state through buffered flushes.
+//
+// CFL re-clusters every round and IFCA re-estimates identities every
+// round, so both are sync-only (supports_async() = false); FedAvg,
+// FedProx, and PACFL are async-capable. FedClust's adapter lives in
+// core/fedclust_async.hpp.
+#pragma once
+
+#include <optional>
+
+#include "algorithms/cfl.hpp"
+#include "algorithms/ifca.hpp"
+#include "algorithms/pacfl.hpp"
+#include "fl/async.hpp"
+
+namespace fedclust::algorithms {
+
+/// FedAvg — and, with a proximal coefficient, FedProx — as the
+/// one-cluster adapter: a single global model everyone trains.
+class GlobalAverageAdapter : public fl::AsyncAdapter {
+ public:
+  /// No `mu`: FedAvg. With `mu`: FedProx (local objective gains the
+  /// proximal term, exactly as FedProx::run builds it).
+  explicit GlobalAverageAdapter(std::optional<double> mu = std::nullopt)
+      : mu_(mu) {}
+
+  std::string name() const override { return mu_ ? "FedProx" : "FedAvg"; }
+  std::size_t begin(fl::Federation& federation,
+                    fl::RunResult& result) override;
+  double sync_round(fl::Federation& federation, std::size_t round) override;
+  fl::AccuracySummary evaluate(const fl::Federation& federation) const override;
+  std::uint64_t fingerprint() const override;
+  std::size_t num_clusters() const override { return 1; }
+  void finish(fl::RunResult& result) override;
+
+  bool supports_async() const override { return true; }
+  std::size_t cluster_of(std::size_t) const override { return 0; }
+  std::span<const float> cluster_model(std::size_t cluster) const override;
+  void set_cluster_model(std::size_t cluster,
+                         std::vector<float> weights) override;
+  const fl::LocalTrainConfig* local_override() const override;
+
+  void save_state(robust::RunCheckpoint& checkpoint) const override;
+  void restore_state(fl::Federation& federation,
+                     const robust::RunCheckpoint& checkpoint) override;
+
+ private:
+  std::optional<double> mu_;
+  std::optional<fl::LocalTrainConfig> local_;
+  std::vector<std::size_t> labels_;
+  std::vector<std::vector<float>> cluster_weights_;
+};
+
+/// CFL under the wave driver. Sync-only: the eps1/eps2 split check is
+/// part of every round, so membership is never static.
+class CflAdapter : public fl::AsyncAdapter {
+ public:
+  explicit CflAdapter(CflConfig config) : algo_(config) {}
+
+  std::string name() const override { return algo_.name(); }
+  std::size_t begin(fl::Federation& federation,
+                    fl::RunResult& result) override;
+  double sync_round(fl::Federation& federation, std::size_t round) override;
+  fl::AccuracySummary evaluate(const fl::Federation& federation) const override;
+  std::uint64_t fingerprint() const override;
+  std::size_t num_clusters() const override {
+    return state_.cluster_weights.size();
+  }
+  void finish(fl::RunResult& result) override;
+
+ private:
+  Cfl algo_;
+  CflState state_;
+};
+
+/// IFCA under the wave driver. Sync-only: identity estimation reruns
+/// every round.
+class IfcaAdapter : public fl::AsyncAdapter {
+ public:
+  explicit IfcaAdapter(IfcaConfig config) : algo_(config) {}
+
+  std::string name() const override { return algo_.name(); }
+  std::size_t begin(fl::Federation& federation,
+                    fl::RunResult& result) override;
+  double sync_round(fl::Federation& federation, std::size_t round) override;
+  fl::AccuracySummary evaluate(const fl::Federation& federation) const override;
+  std::uint64_t fingerprint() const override;
+  std::size_t num_clusters() const override;
+  void finish(fl::RunResult& result) override;
+
+ private:
+  Ifca algo_;
+  IfcaState state_;
+};
+
+/// PACFL: one-shot data-subspace clustering in begin(), then static
+/// per-cluster FedAvg — async-capable.
+class PacflAdapter : public fl::AsyncAdapter {
+ public:
+  explicit PacflAdapter(PacflConfig config) : algo_(config) {}
+
+  std::string name() const override { return algo_.name(); }
+  std::size_t begin(fl::Federation& federation,
+                    fl::RunResult& result) override;
+  double sync_round(fl::Federation& federation, std::size_t round) override;
+  fl::AccuracySummary evaluate(const fl::Federation& federation) const override;
+  std::uint64_t fingerprint() const override;
+  std::size_t num_clusters() const override { return cluster_weights_.size(); }
+  void finish(fl::RunResult& result) override;
+
+  bool supports_async() const override { return true; }
+  std::size_t cluster_of(std::size_t client) const override {
+    return labels_.at(client);
+  }
+  std::span<const float> cluster_model(std::size_t cluster) const override;
+  void set_cluster_model(std::size_t cluster,
+                         std::vector<float> weights) override;
+
+  void save_state(robust::RunCheckpoint& checkpoint) const override;
+  void restore_state(fl::Federation& federation,
+                     const robust::RunCheckpoint& checkpoint) override;
+
+ private:
+  Pacfl algo_;
+  std::vector<std::size_t> labels_;
+  std::vector<std::vector<float>> cluster_weights_;
+};
+
+}  // namespace fedclust::algorithms

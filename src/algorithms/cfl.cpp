@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "algorithms/common.hpp"
 #include "check/audit.hpp"
 #include "cluster/distance.hpp"
 #include "cluster/hierarchical.hpp"
@@ -18,120 +19,128 @@ double vector_norm(const std::vector<float>& v) {
 
 }  // namespace
 
+CflState Cfl::init(const fl::Federation& federation) const {
+  CflState state;
+  state.labels.assign(federation.num_clients(), 0);
+  state.cluster_weights = {federation.template_model().flat_weights()};
+  return state;
+}
+
+double Cfl::round(fl::Federation& federation, std::size_t round_index,
+                  CflState& state) const {
+  std::vector<std::size_t>& labels = state.labels;
+  std::vector<std::vector<float>>& cluster_weights = state.cluster_weights;
+
+  const std::vector<std::size_t> participants =
+      federation.sample_clients(round_index);
+
+  for (std::size_t cid : participants) {
+    federation.meter_download(cid, federation.model_size());
+  }
+  const std::vector<fl::ClientUpdate> updates = federation.train_clients(
+      participants, round_index, [&](std::size_t cid) {
+        return std::span<const float>(cluster_weights[labels[cid]]);
+      });
+
+  // Collect per-cluster update vectors Δ_i = w_i - w_cluster before the
+  // aggregation overwrites the cluster weights.
+  std::vector<std::vector<const fl::ClientUpdate*>> by_cluster(
+      cluster_weights.size());
+  double loss_sum = 0.0;
+  for (const fl::ClientUpdate& u : updates) {
+    federation.meter_upload(u.client_id, federation.model_size());
+    loss_sum += u.train_loss;
+    by_cluster[labels[u.client_id]].push_back(&u);
+  }
+
+  std::vector<std::vector<std::vector<float>>> deltas(cluster_weights.size());
+  for (std::size_t c = 0; c < by_cluster.size(); ++c) {
+    for (const fl::ClientUpdate* u : by_cluster[c]) {
+      std::vector<float> d(u->weights.size());
+      for (std::size_t i = 0; i < d.size(); ++i) {
+        d[i] = u->weights[i] - cluster_weights[c][i];
+      }
+      deltas[c].push_back(std::move(d));
+    }
+  }
+
+  // Standard per-cluster aggregation.
+  for (std::size_t c = 0; c < by_cluster.size(); ++c) {
+    if (by_cluster[c].empty()) continue;
+    std::vector<fl::ClientUpdate> tmp;
+    tmp.reserve(by_cluster[c].size());
+    for (const fl::ClientUpdate* u : by_cluster[c]) tmp.push_back(*u);
+    cluster_weights[c] = federation.aggregate(tmp, cluster_weights[c]);
+  }
+
+  // Split check per cluster (Sattler's eps1/eps2 criterion).
+  if (round_index >= config_.warmup_rounds) {
+    const std::size_t existing = cluster_weights.size();
+    for (std::size_t c = 0; c < existing; ++c) {
+      const auto& ds = deltas[c];
+      if (ds.size() <= config_.min_cluster_size) continue;
+
+      std::vector<float> mean(ds.front().size(), 0.0f);
+      for (const auto& d : ds) {
+        for (std::size_t i = 0; i < mean.size(); ++i) {
+          mean[i] += d[i] / static_cast<float>(ds.size());
+        }
+      }
+      double max_norm = 0.0;
+      for (const auto& d : ds) max_norm = std::max(max_norm, vector_norm(d));
+      if (vector_norm(mean) >= config_.eps1 || max_norm <= config_.eps2) {
+        continue;
+      }
+
+      // Bipartition members along the cosine structure of their updates.
+      const Matrix dist = cluster::pairwise_cosine_distance(ds);
+      const cluster::Dendrogram dendro =
+          cluster::agglomerative_cluster(dist, cluster::Linkage::kComplete);
+      const std::vector<std::size_t> split = dendro.cut_k(2);
+
+      // Members with split label 1 move to a brand-new cluster whose
+      // model starts from the (already aggregated) parent weights.
+      const std::size_t new_cluster = cluster_weights.size();
+      bool any_moved = false;
+      for (std::size_t m = 0; m < by_cluster[c].size(); ++m) {
+        if (split[m] == 1) {
+          labels[by_cluster[c][m]->client_id] = new_cluster;
+          any_moved = true;
+        }
+      }
+      if (any_moved) {
+        cluster_weights.push_back(cluster_weights[c]);
+      }
+    }
+  }
+
+  return updates.empty() ? 0.0
+                         : loss_sum / static_cast<double>(updates.size());
+}
+
 fl::RunResult Cfl::run(fl::Federation& federation, std::size_t rounds) {
   federation.reset_comm();
 
   fl::RunResult result;
   result.algorithm = name();
 
-  const std::size_t n = federation.num_clients();
-  std::vector<std::size_t> labels(n, 0);
-  std::vector<std::vector<float>> cluster_weights{
-      federation.template_model().flat_weights()};
+  CflState state = init(federation);
 
-  for (std::size_t round = 0; round < rounds; ++round) {
-    federation.comm().begin_round(round);
-    const std::vector<std::size_t> participants =
-        federation.sample_clients(round);
-
-    for (std::size_t cid : participants) {
-      federation.meter_download(cid, federation.model_size());
-    }
-    const std::vector<fl::ClientUpdate> updates = federation.train_clients(
-        participants, round, [&](std::size_t cid) {
-          return std::span<const float>(cluster_weights[labels[cid]]);
-        });
-
-    // Collect per-cluster update vectors Δ_i = w_i - w_cluster before the
-    // aggregation overwrites the cluster weights.
-    std::vector<std::vector<const fl::ClientUpdate*>> by_cluster(
-        cluster_weights.size());
-    double loss_sum = 0.0;
-    for (const fl::ClientUpdate& u : updates) {
-      federation.meter_upload(u.client_id, federation.model_size());
-      loss_sum += u.train_loss;
-      by_cluster[labels[u.client_id]].push_back(&u);
-    }
-
-    std::vector<std::vector<std::vector<float>>> deltas(
-        cluster_weights.size());
-    for (std::size_t c = 0; c < by_cluster.size(); ++c) {
-      for (const fl::ClientUpdate* u : by_cluster[c]) {
-        std::vector<float> d(u->weights.size());
-        for (std::size_t i = 0; i < d.size(); ++i) {
-          d[i] = u->weights[i] - cluster_weights[c][i];
-        }
-        deltas[c].push_back(std::move(d));
-      }
-    }
-
-    // Standard per-cluster aggregation.
-    for (std::size_t c = 0; c < by_cluster.size(); ++c) {
-      if (by_cluster[c].empty()) continue;
-      std::vector<fl::ClientUpdate> tmp;
-      tmp.reserve(by_cluster[c].size());
-      for (const fl::ClientUpdate* u : by_cluster[c]) tmp.push_back(*u);
-      cluster_weights[c] = federation.aggregate(tmp, cluster_weights[c]);
-    }
-
-    // Split check per cluster (Sattler's eps1/eps2 criterion).
-    if (round >= config_.warmup_rounds) {
-      const std::size_t existing = cluster_weights.size();
-      for (std::size_t c = 0; c < existing; ++c) {
-        const auto& ds = deltas[c];
-        if (ds.size() <= config_.min_cluster_size) continue;
-
-        std::vector<float> mean(ds.front().size(), 0.0f);
-        for (const auto& d : ds) {
-          for (std::size_t i = 0; i < mean.size(); ++i) {
-            mean[i] += d[i] / static_cast<float>(ds.size());
-          }
-        }
-        double max_norm = 0.0;
-        for (const auto& d : ds) max_norm = std::max(max_norm, vector_norm(d));
-        if (vector_norm(mean) >= config_.eps1 || max_norm <= config_.eps2) {
-          continue;
-        }
-
-        // Bipartition members along the cosine structure of their updates.
-        const Matrix dist = cluster::pairwise_cosine_distance(ds);
-        const cluster::Dendrogram dendro =
-            cluster::agglomerative_cluster(dist, cluster::Linkage::kComplete);
-        const std::vector<std::size_t> split = dendro.cut_k(2);
-
-        // Members with split label 1 move to a brand-new cluster whose
-        // model starts from the (already aggregated) parent weights.
-        const std::size_t new_cluster = cluster_weights.size();
-        bool any_moved = false;
-        for (std::size_t m = 0; m < by_cluster[c].size(); ++m) {
-          if (split[m] == 1) {
-            labels[by_cluster[c][m]->client_id] = new_cluster;
-            any_moved = true;
-          }
-        }
-        if (any_moved) {
-          cluster_weights.push_back(cluster_weights[c]);
-        }
-      }
-    }
-
-    const bool last = round + 1 == rounds;
-    if (last || (round + 1) % federation.config().eval_every == 0) {
-      const fl::AccuracySummary acc =
-          federation.evaluate_personalized([&](std::size_t cid) {
-            return std::span<const float>(cluster_weights[labels[cid]]);
-          });
+  for (std::size_t r = 0; r < rounds; ++r) {
+    federation.comm().begin_round(r);
+    const double loss = round(federation, r, state);
+    const bool last = r + 1 == rounds;
+    if (last || (r + 1) % federation.config().eval_every == 0) {
+      const fl::AccuracySummary acc = evaluate_clustered(
+          federation, state.labels, state.cluster_weights);
       result.rounds.push_back(fl::make_round_metrics(
-          round, acc,
-          updates.empty() ? 0.0
-                          : loss_sum / static_cast<double>(updates.size()),
-          federation, cluster_weights.size(),
-          check::weights_fingerprint(cluster_weights)));
+          r, acc, loss, federation, state.cluster_weights.size(),
+          check::weights_fingerprint(state.cluster_weights)));
       if (last) result.final_accuracy = acc;
     }
   }
 
-  result.cluster_labels = labels;
+  result.cluster_labels = state.labels;
   return result;
 }
 

@@ -33,6 +33,15 @@ struct CflConfig {
   std::size_t min_cluster_size = 2;
 };
 
+/// CFL's evolving server state: the cluster tree flattened to labels +
+/// one model per cluster. Separated out so the classic run() loop and
+/// the engine-driven wave driver (fl::run_synchronized) execute the
+/// exact same round body over the exact same state.
+struct CflState {
+  std::vector<std::size_t> labels;
+  std::vector<std::vector<float>> cluster_weights;
+};
+
 class Cfl : public fl::Algorithm {
  public:
   explicit Cfl(CflConfig config) : config_(config) {}
@@ -41,6 +50,16 @@ class Cfl : public fl::Algorithm {
   fl::RunResult run(fl::Federation& federation, std::size_t rounds) override;
 
   const CflConfig& config() const { return config_; }
+
+  /// Initial state: one cluster holding every client.
+  CflState init(const fl::Federation& federation) const;
+
+  /// One synchronous CFL round over `state`: per-cluster training +
+  /// aggregation, then (after warmup) Sattler's eps1/eps2 split check,
+  /// possibly growing the cluster set. The caller has opened the comm
+  /// round. Returns the round's mean train loss.
+  double round(fl::Federation& federation, std::size_t round_index,
+               CflState& state) const;
 
  private:
   CflConfig config_;

@@ -2,31 +2,34 @@
 
 #include <limits>
 
+#include "algorithms/common.hpp"
 #include "check/audit.hpp"
 #include "cluster/hierarchical.hpp"
 #include "utils/rng.hpp"
 
 namespace fedclust::algorithms {
 
-fl::RunResult Ifca::run(fl::Federation& federation, std::size_t rounds) {
+IfcaState Ifca::init(const fl::Federation& federation) const {
   FEDCLUST_REQUIRE(config_.num_clusters >= 1, "IFCA needs k >= 1");
-  federation.reset_comm();
-
-  fl::RunResult result;
-  result.algorithm = name();
-
+  IfcaState state;
   // k models: template plus small independent perturbations so the
   // cluster-identity estimation can break symmetry in round 0.
   const std::vector<float> base = federation.template_model().flat_weights();
-  std::vector<std::vector<float>> models(config_.num_clusters, base);
+  state.models.assign(config_.num_clusters, base);
   Rng init_rng = Rng(federation.config().seed).split(0x1fca);
-  for (std::size_t k = 1; k < models.size(); ++k) {
-    for (float& w : models[k]) {
+  for (std::size_t k = 1; k < state.models.size(); ++k) {
+    for (float& w : state.models[k]) {
       w += static_cast<float>(init_rng.normal(0.0, config_.init_perturbation));
     }
   }
+  state.labels.assign(federation.num_clients(), 0);
+  return state;
+}
 
-  std::vector<std::size_t> labels(federation.num_clients(), 0);
+double Ifca::round(fl::Federation& federation, std::size_t round_index,
+                   IfcaState& state) const {
+  std::vector<std::vector<float>>& models = state.models;
+  std::vector<std::size_t>& labels = state.labels;
 
   // Under the network simulator, a participant's download is all k models
   // (identity estimation) while the upload is the single chosen model.
@@ -34,77 +37,84 @@ fl::RunResult Ifca::run(fl::Federation& federation, std::size_t rounds) {
       federation.model_size() * config_.num_clusters, federation.model_size(),
       net::MessageKind::kModelUpdate};
 
-  for (std::size_t round = 0; round < rounds; ++round) {
-    federation.comm().begin_round(round);
-    const std::vector<std::size_t> participants =
-        federation.sample_clients(round);
+  const std::vector<std::size_t> participants =
+      federation.sample_clients(round_index);
 
-    // Identity estimation sees each model as it arrives over the wire: when
-    // a download codec is active the broadcast is lossy, so the clients must
-    // score the decoded weights, not the server-side originals.  Zero-copy
-    // views when compression is off.
-    std::vector<std::vector<float>> decoded(models.size());
-    std::vector<std::span<const float>> delivered(models.size());
+  // Identity estimation sees each model as it arrives over the wire: when
+  // a download codec is active the broadcast is lossy, so the clients must
+  // score the decoded weights, not the server-side originals.  Zero-copy
+  // views when compression is off.
+  std::vector<std::vector<float>> decoded(models.size());
+  std::vector<std::span<const float>> delivered(models.size());
+  for (std::size_t k = 0; k < models.size(); ++k) {
+    decoded[k] = federation.download_roundtrip(models[k]);
+    delivered[k] = decoded[k].empty() ? std::span<const float>(models[k])
+                                      : std::span<const float>(decoded[k]);
+  }
+
+  // Identity estimation: every participant downloads all k models and
+  // evaluates them on its local training data.
+  for (std::size_t cid : participants) {
+    federation.meter_download(cid, federation.model_size() * models.size());
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_k = 0;
     for (std::size_t k = 0; k < models.size(); ++k) {
-      decoded[k] = federation.download_roundtrip(models[k]);
-      delivered[k] = decoded[k].empty() ? std::span<const float>(models[k])
-                                        : std::span<const float>(decoded[k]);
-    }
-
-    // Identity estimation: every participant downloads all k models and
-    // evaluates them on its local training data.
-    for (std::size_t cid : participants) {
-      federation.meter_download(cid, federation.model_size() * models.size());
-      double best = std::numeric_limits<double>::infinity();
-      std::size_t best_k = 0;
-      for (std::size_t k = 0; k < models.size(); ++k) {
-        const double loss = federation.client_train_loss(cid, delivered[k]);
-        if (loss < best) {
-          best = loss;
-          best_k = k;
-        }
-      }
-      labels[cid] = best_k;
-    }
-
-    // Local training on the chosen model.
-    const std::vector<fl::ClientUpdate> updates = federation.train_clients(
-        participants, round,
-        [&](std::size_t cid) {
-          return std::span<const float>(models[labels[cid]]);
-        },
-        nullptr, /*allow_failures=*/true, &payloads);
-
-    double loss_sum = 0.0;
-    std::vector<std::vector<fl::ClientUpdate>> by_cluster(models.size());
-    for (const fl::ClientUpdate& u : updates) {
-      federation.meter_upload(u.client_id, federation.model_size());
-      loss_sum += u.train_loss;
-      by_cluster[labels[u.client_id]].push_back(u);
-    }
-    for (std::size_t k = 0; k < models.size(); ++k) {
-      if (!by_cluster[k].empty()) {
-        models[k] = federation.aggregate(by_cluster[k], models[k]);
+      const double loss = federation.client_train_loss(cid, delivered[k]);
+      if (loss < best) {
+        best = loss;
+        best_k = k;
       }
     }
+    labels[cid] = best_k;
+  }
 
-    const bool last = round + 1 == rounds;
-    if (last || (round + 1) % federation.config().eval_every == 0) {
+  // Local training on the chosen model.
+  const std::vector<fl::ClientUpdate> updates = federation.train_clients(
+      participants, round_index,
+      [&](std::size_t cid) {
+        return std::span<const float>(models[labels[cid]]);
+      },
+      nullptr, /*allow_failures=*/true, &payloads);
+
+  double loss_sum = 0.0;
+  std::vector<std::vector<fl::ClientUpdate>> by_cluster(models.size());
+  for (const fl::ClientUpdate& u : updates) {
+    federation.meter_upload(u.client_id, federation.model_size());
+    loss_sum += u.train_loss;
+    by_cluster[labels[u.client_id]].push_back(u);
+  }
+  for (std::size_t k = 0; k < models.size(); ++k) {
+    if (!by_cluster[k].empty()) {
+      models[k] = federation.aggregate(by_cluster[k], models[k]);
+    }
+  }
+  return updates.empty() ? 0.0
+                         : loss_sum / static_cast<double>(updates.size());
+}
+
+fl::RunResult Ifca::run(fl::Federation& federation, std::size_t rounds) {
+  federation.reset_comm();
+
+  fl::RunResult result;
+  result.algorithm = name();
+
+  IfcaState state = init(federation);
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    federation.comm().begin_round(r);
+    const double loss = round(federation, r, state);
+    const bool last = r + 1 == rounds;
+    if (last || (r + 1) % federation.config().eval_every == 0) {
       const fl::AccuracySummary acc =
-          federation.evaluate_personalized([&](std::size_t cid) {
-            return std::span<const float>(models[labels[cid]]);
-          });
+          evaluate_clustered(federation, state.labels, state.models);
       result.rounds.push_back(fl::make_round_metrics(
-          round, acc,
-          updates.empty() ? 0.0
-                          : loss_sum / static_cast<double>(updates.size()),
-          federation, cluster::num_clusters(labels),
-          check::weights_fingerprint(models)));
+          r, acc, loss, federation, cluster::num_clusters(state.labels),
+          check::weights_fingerprint(state.models)));
       if (last) result.final_accuracy = acc;
     }
   }
 
-  result.cluster_labels = labels;
+  result.cluster_labels = state.labels;
   return result;
 }
 

@@ -108,19 +108,14 @@ std::vector<std::size_t> Pacfl::cluster_clients(
   return labels;
 }
 
-fl::RunResult Pacfl::run(fl::Federation& federation, std::size_t rounds) {
-  FEDCLUST_REQUIRE(rounds >= 2, "PACFL needs the formation round plus at "
-                                "least one training round");
-  federation.reset_comm();
-
-  fl::RunResult result;
-  result.algorithm = name();
-
+std::vector<std::size_t> Pacfl::formation(
+    fl::Federation& federation, fl::RunResult& result,
+    std::vector<std::vector<float>>& cluster_weights_out) const {
   // Round 0: one-shot clustering from data subspaces (upload only — no
   // model travels).
   federation.comm().begin_round(0);
   std::vector<std::size_t> basis_floats;
-  const std::vector<std::size_t> labels =
+  std::vector<std::size_t> labels =
       cluster_clients(federation, nullptr, nullptr, &basis_floats);
   for (std::size_t c = 0; c < basis_floats.size(); ++c) {
     federation.meter_upload(c, basis_floats[c]);
@@ -144,17 +139,28 @@ fl::RunResult Pacfl::run(fl::Federation& federation, std::size_t rounds) {
     federation.simulate_network_round(0, ops, /*reliable=*/true);
   }
 
-  std::vector<std::vector<float>> cluster_weights(
-      cluster::num_clusters(labels),
-      federation.template_model().flat_weights());
+  cluster_weights_out.assign(cluster::num_clusters(labels),
+                             federation.template_model().flat_weights());
 
-  {
-    const fl::AccuracySummary acc =
-        evaluate_clustered(federation, labels, cluster_weights);
-    result.rounds.push_back(fl::make_round_metrics(
-        0, acc, 0.0, federation, cluster_weights.size(),
-        check::weights_fingerprint(cluster_weights)));
-  }
+  const fl::AccuracySummary acc =
+      evaluate_clustered(federation, labels, cluster_weights_out);
+  result.rounds.push_back(fl::make_round_metrics(
+      0, acc, 0.0, federation, cluster_weights_out.size(),
+      check::weights_fingerprint(cluster_weights_out)));
+  return labels;
+}
+
+fl::RunResult Pacfl::run(fl::Federation& federation, std::size_t rounds) {
+  FEDCLUST_REQUIRE(rounds >= 2, "PACFL needs the formation round plus at "
+                                "least one training round");
+  federation.reset_comm();
+
+  fl::RunResult result;
+  result.algorithm = name();
+
+  std::vector<std::vector<float>> cluster_weights;
+  const std::vector<std::size_t> labels =
+      formation(federation, result, cluster_weights);
 
   // Rounds 1..R-1: per-cluster FedAvg.
   for (std::size_t round = 1; round < rounds; ++round) {

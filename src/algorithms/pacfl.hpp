@@ -52,6 +52,16 @@ class Pacfl : public fl::Algorithm {
       std::uint64_t* upload_bytes_out = nullptr,
       std::vector<std::size_t>* basis_floats_out = nullptr) const;
 
+  /// The whole round-0 phase as run() executes it: opens comm round 0,
+  /// clusters from subspace bases, meters and simulates the basis
+  /// uploads, seeds one template copy per cluster into
+  /// `cluster_weights_out`, and appends the round-0 metrics entry.
+  /// Returns the labels. Shared by run() and the async adapter so
+  /// formation is one code path.
+  std::vector<std::size_t> formation(
+      fl::Federation& federation, fl::RunResult& result,
+      std::vector<std::vector<float>>& cluster_weights_out) const;
+
  private:
   PacflConfig config_;
 };

@@ -212,14 +212,10 @@ ClusteringOutcome FedClust::form_clusters(fl::Federation& federation,
   return out;
 }
 
-fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
-  FEDCLUST_REQUIRE(rounds >= 2, "FedClust needs the formation round plus at "
-                                "least one training round");
-  federation.reset_comm();
-
-  fl::RunResult result;
-  result.algorithm = name();
-
+ClusteringOutcome FedClust::formation_phase(
+    fl::Federation& federation, fl::RunResult& result,
+    std::vector<std::size_t>& labels_out,
+    std::vector<std::vector<float>>& cluster_weights_out) const {
   // Round 0: one-shot weight-driven cluster formation. Every client
   // downloads the full initial model and uploads only its partial slice;
   // a re-solicited client downloads once more per retry wave.
@@ -239,10 +235,11 @@ fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
     federation.meter_upload(c, partial_floats);
   }
 
-  std::vector<std::size_t> labels = outcome.labels;
-  std::vector<std::vector<float>> cluster_weights(
-      cluster::num_clusters(labels),
-      federation.template_model().flat_weights());
+  std::vector<std::size_t>& labels = labels_out;
+  labels = outcome.labels;
+  std::vector<std::vector<float>>& cluster_weights = cluster_weights_out;
+  cluster_weights.assign(cluster::num_clusters(labels),
+                         federation.template_model().flat_weights());
 
   if (config_.warm_start_classifier) {
     // The server already holds every member's round-0 partial upload;
@@ -312,6 +309,21 @@ fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
         0, acc, 0.0, federation, cluster_weights.size(),
         check::weights_fingerprint(cluster_weights)));
   }
+  return outcome;
+}
+
+fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
+  FEDCLUST_REQUIRE(rounds >= 2, "FedClust needs the formation round plus at "
+                                "least one training round");
+  federation.reset_comm();
+
+  fl::RunResult result;
+  result.algorithm = name();
+
+  std::vector<std::size_t> labels;
+  std::vector<std::vector<float>> cluster_weights;
+  ClusteringOutcome outcome =
+      formation_phase(federation, result, labels, cluster_weights);
   if (config_.checkpoint_every > 0) {
     robust::save_checkpoint(
         make_checkpoint(federation, /*next_round=*/1, labels, cluster_weights,

@@ -139,6 +139,17 @@ class FedClust : public fl::Algorithm {
   ClusteringOutcome form_clusters(fl::Federation& federation,
                                   std::size_t round = 0) const;
 
+  /// The whole round-0 phase as run() executes it: opens comm round 0,
+  /// forms clusters, meters the formation traffic, warm-starts the
+  /// classifier slices, admits deferred clients via the newcomer path,
+  /// and appends the round-0 metrics entry. Fills `labels_out` /
+  /// `cluster_weights_out` and returns the clustering outcome. Shared by
+  /// run() and the async adapter so formation is one code path.
+  ClusteringOutcome formation_phase(
+      fl::Federation& federation, fl::RunResult& result,
+      std::vector<std::size_t>& labels_out,
+      std::vector<std::vector<float>>& cluster_weights_out) const;
+
   /// State captured by the last run() (empty before the first run).
   const std::optional<ClusteringOutcome>& last_clustering() const {
     return last_clustering_;

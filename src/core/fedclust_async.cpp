@@ -1,0 +1,60 @@
+#include "core/fedclust_async.hpp"
+
+#include "algorithms/common.hpp"
+#include "check/audit.hpp"
+
+namespace fedclust::core {
+
+std::size_t FedClustAsync::begin(fl::Federation& federation,
+                                 fl::RunResult& result) {
+  outcome_ =
+      algo_.formation_phase(federation, result, labels_, cluster_weights_);
+  return 1;
+}
+
+double FedClustAsync::sync_round(fl::Federation& federation,
+                                 std::size_t round) {
+  return algorithms::per_cluster_fedavg_round(federation, round, labels_,
+                                              cluster_weights_);
+}
+
+fl::AccuracySummary FedClustAsync::evaluate(
+    const fl::Federation& federation) const {
+  return algorithms::evaluate_clustered(federation, labels_, cluster_weights_);
+}
+
+std::uint64_t FedClustAsync::fingerprint() const {
+  return check::weights_fingerprint(cluster_weights_);
+}
+
+void FedClustAsync::finish(fl::RunResult& result) {
+  result.cluster_labels = labels_;
+  result.cluster_weights = cluster_weights_;
+}
+
+std::span<const float> FedClustAsync::cluster_model(
+    std::size_t cluster) const {
+  return std::span<const float>(cluster_weights_.at(cluster));
+}
+
+void FedClustAsync::set_cluster_model(std::size_t cluster,
+                                      std::vector<float> weights) {
+  cluster_weights_.at(cluster) = std::move(weights);
+}
+
+void FedClustAsync::save_state(robust::RunCheckpoint& checkpoint) const {
+  checkpoint.labels.assign(labels_.begin(), labels_.end());
+  checkpoint.cluster_weights = cluster_weights_;
+  checkpoint.partial_weights = outcome_.partial_weights;
+}
+
+void FedClustAsync::restore_state(fl::Federation&,
+                                  const robust::RunCheckpoint& checkpoint) {
+  labels_.assign(checkpoint.labels.begin(), checkpoint.labels.end());
+  cluster_weights_ = checkpoint.cluster_weights;
+  outcome_ = ClusteringOutcome{};
+  outcome_.partial_weights = checkpoint.partial_weights;
+  outcome_.labels = labels_;
+}
+
+}  // namespace fedclust::core

@@ -1,0 +1,171 @@
+// Event-driven asynchronous federation (FedBuff-style buffered
+// aggregation) over the net/ discrete-event simulator.
+//
+// The synchronous engine is a lockstep barrier: every round waits for
+// the slowest surviving client, so on straggler-heavy fleets
+// sim_seconds is set by the tail, not by compute. This engine removes
+// the barrier: each client re-dispatches the moment its upload
+// resolves, and the server applies a buffer of K updates per cluster
+// with staleness-weighted mixing
+//
+//   c_i  ∝  num_samples_i × λ(s_i),   λ(s) = 1 / (1 + s)^a  (or ≡ 1),
+//
+// where s_i counts the cluster-model versions applied between the
+// update's dispatch and its flush. Virtual time (net::Simulator::now())
+// drives all metrics; one RoundMetrics entry per evaluated buffer flush
+// turns time_to_accuracy into the primary axis.
+//
+// Determinism argument: the event timeline (dispatch order, arrival
+// times, flush boundaries) depends only on (seed, dispatch seq, client,
+// attempt) draws and payload sizes — never on trained weights — so the
+// scheduler simulates each op's complete network fate at dispatch time
+// and trains lazily at flush time, in buffer (arrival) order, with
+// slot-ordered writes. Thread counts, kernel threads, and the
+// `concurrency` cap only change how the flush's training work is
+// executed, not what is computed: trajectories are bit-identical across
+// all of them (the same argument the synchronous engine makes, applied
+// per flush instead of per round).
+//
+// The synchronous engine survives as the exact special case
+// buffer_k == cohort with unit staleness weights: run_synchronized
+// drives the same extracted per-round bodies the classic Algorithm::run
+// loops call, so the SyncEquivalence CI gate can pin the two
+// bit-identical (same shape as CodecParity).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fl/metrics.hpp"
+#include "robust/checkpoint.hpp"
+
+namespace fedclust::fl {
+
+/// Staleness decay shape for buffered mixing weights.
+enum class StalenessKind : std::uint8_t {
+  kConstant = 0,    ///< λ(s) ≡ 1 — plain FedAvg weighting
+  kPolynomial = 1,  ///< λ(s) = 1 / (1 + s)^exponent (FedBuff's default)
+};
+
+/// λ(staleness) under the chosen decay; exact 1.0 at staleness 0.
+double staleness_weight(StalenessKind kind, double exponent,
+                        std::size_t staleness);
+
+/// Knobs of the buffered async engine.
+struct AsyncConfig {
+  /// Updates buffered per cluster before a flush aggregates them.
+  std::size_t buffer_k = 16;
+  /// Mixing-weight decay against the broadcast version each update was
+  /// computed from.
+  StalenessKind staleness_fn = StalenessKind::kPolynomial;
+  double staleness_exponent = 0.5;
+  /// Discard updates staler than this many applied versions (0 = keep
+  /// everything). With validation enabled a discard is also a
+  /// quarantine strike (robust::RejectReason::kStaleness).
+  std::size_t max_staleness = 0;
+  /// Modeled concurrent trainers: at most this many clients hold an
+  /// outstanding dispatch at once (FedBuff's Mc). 0 = the whole fleet.
+  /// SEMANTIC knob — it changes the event timeline and the trajectory.
+  std::size_t inflight = 0;
+  /// Server-side training-executor width per flush: how many buffered
+  /// updates train at once when the flush materializes them. 0 = all.
+  /// EXECUTION knob — trajectories are bit-identical across settings.
+  std::size_t concurrency = 0;
+  /// Evaluate (and record metrics) every this many flushes; 0 = the
+  /// federation's eval_every. The final flush is always evaluated.
+  std::size_t eval_every_flushes = 0;
+  /// Write a robust::RunCheckpoint (FCKP v2, with the in-flight buffer
+  /// and dispatch frontier) every this many flushes; 0 = never.
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path = "fedclust_async.ckpt";
+};
+
+/// Algorithm adapter for the event-driven engine. One adapter instance
+/// holds the algorithm's server-side state (labels, cluster models) and
+/// exposes the pieces the two drivers need: run_synchronized() replays
+/// the classic per-round body, run_async() reads/writes cluster models
+/// around buffer flushes. Adapters are single-run objects.
+class AsyncAdapter {
+ public:
+  virtual ~AsyncAdapter() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Runs the algorithm's formation phase exactly as its classic run()
+  /// does (metering, simulated rounds, the round-0 metrics entry when it
+  /// has one) and initializes the adapter's state. The caller has
+  /// already reset comm. Returns the first trainable round index (0 for
+  /// FedAvg/FedProx/CFL/IFCA, 1 for PACFL/FedClust).
+  virtual std::size_t begin(Federation& federation, RunResult& result) = 0;
+
+  /// One classic synchronous round (the extracted body the algorithm's
+  /// own run() loop calls). The caller has opened the comm round.
+  /// Returns the round's mean train loss.
+  virtual double sync_round(Federation& federation, std::size_t round) = 0;
+
+  virtual AccuracySummary evaluate(const Federation& federation) const = 0;
+  /// Fingerprint of the adapter's server-side model state
+  /// (check::weights_fingerprint over what the classic run() hashes).
+  virtual std::uint64_t fingerprint() const = 0;
+  virtual std::size_t num_clusters() const = 0;
+  /// Copies final labels / cluster models into the result.
+  virtual void finish(RunResult& result) = 0;
+
+  // -- async-mode surface (static cluster assignment) ---------------------
+  /// Whether the algorithm can run buffered: cluster membership must be
+  /// static after begin() (CFL re-clusters per round and IFCA re-estimates
+  /// identities per round — both are sync-only).
+  virtual bool supports_async() const { return false; }
+  virtual std::size_t cluster_of(std::size_t client) const {
+    (void)client;
+    return 0;
+  }
+  virtual std::span<const float> cluster_model(std::size_t cluster) const;
+  virtual void set_cluster_model(std::size_t cluster,
+                                 std::vector<float> weights);
+  /// Per-client local-training override the algorithm applies every
+  /// round (FedProx's proximal term); null = the federation's config.
+  virtual const LocalTrainConfig* local_override() const { return nullptr; }
+
+  // -- checkpoint surface (async runs) ------------------------------------
+  /// Fills the adapter-owned checkpoint fields (labels, cluster_weights,
+  /// formation artifacts).
+  virtual void save_state(robust::RunCheckpoint& checkpoint) const;
+  /// Restores them on resume (inverse of save_state + begin()'s state
+  /// setup, without re-running formation).
+  virtual void restore_state(Federation& federation,
+                             const robust::RunCheckpoint& checkpoint);
+};
+
+/// Wave driver: the classic synchronous loop, expressed over the adapter
+/// — reset comm, formation via begin(), then per round begin_round +
+/// sync_round + the eval cadence every classic run() uses. Bit-identical
+/// to the algorithm's own run() by construction (both call the same
+/// extracted bodies in the same order); the SyncEquivalence gate pins
+/// this.
+RunResult run_synchronized(Federation& federation, AsyncAdapter& adapter,
+                           std::size_t rounds);
+
+/// Event-driven driver: after the formation phase, every client cycles
+/// download → compute → upload → re-dispatch continuously (bounded by
+/// config.inflight); per-cluster buffers flush independently once they
+/// hold buffer_k arrived updates. Runs until `flushes` buffer flushes
+/// have been applied. Requires the network simulator and an adapter with
+/// supports_async(). Metrics: one RoundMetrics per evaluated flush, with
+/// round = first_round + flush index and sim_seconds = virtual time at
+/// the flush.
+RunResult run_async(Federation& federation, AsyncAdapter& adapter,
+                    const AsyncConfig& config, std::size_t flushes);
+
+/// Continues a killed async run from a checkpoint written by run_async
+/// (FCKP v2 with the async block). The federation must be constructed
+/// with the same data, config, and seed; the resumed trajectory is
+/// bit-identical to the uninterrupted one.
+RunResult resume_async(Federation& federation, AsyncAdapter& adapter,
+                       const AsyncConfig& config,
+                       const robust::RunCheckpoint& checkpoint,
+                       std::size_t flushes);
+
+}  // namespace fedclust::fl

@@ -8,6 +8,7 @@
 #include "check/audit.hpp"
 #include "fl/streaming.hpp"
 #include "tensor/kernels.hpp"
+#include "utils/logging.hpp"
 
 namespace fedclust::fl {
 namespace {
@@ -128,6 +129,22 @@ Federation::Federation(nn::Model template_model,
     layout_.reserve(template_.slices().size());
     for (const auto& slice : template_.slices()) {
       layout_.push_back(slice.size);
+    }
+    // Codec-aware robust-rule guard: a top-k sparse frame decodes to the
+    // reference everywhere outside its kept coordinates, so trimmed-mean /
+    // coordinate-median order statistics over such updates are dominated
+    // by reference-filled values — the trim is biased TOWARD the broadcast
+    // instead of toward the honest majority. Norm-clip keeps its
+    // semantics (it clips the whole delta, dense or sparse), so fall back
+    // to it rather than silently computing a biased statistic.
+    if (config_.compression.upload == compress::CodecKind::kTopK &&
+        (config_.robust.rule == robust::AggregationRule::kTrimmedMean ||
+         config_.robust.rule == robust::AggregationRule::kCoordinateMedian)) {
+      LOG_WARN("top-k upload codec with "
+               << robust::to_string(config_.robust.rule)
+               << " biases coordinate order statistics toward the reference; "
+                  "falling back to norm_clip");
+      config_.robust.rule = robust::AggregationRule::kNormClip;
     }
   }
 }
@@ -355,6 +372,88 @@ ClientUpdate Federation::train_one(
   robust::apply_payload_fault(kind, config_.faults, start, weights,
                               fault_plan_.payload_rng(round, cid));
   return ClientUpdate{cid, std::move(weights), data->train.size(), loss};
+}
+
+ClientUpdate Federation::train_dispatch(
+    std::size_t client, std::size_t dispatch, std::span<const float> start,
+    const LocalTrainConfig* config_override) const {
+  LocalTrainConfig local =
+      config_override != nullptr ? *config_override : config_.local;
+  if (config_.audit) local.audit = true;
+  return train_one(
+      client, dispatch,
+      [start](std::size_t) { return start; }, local, /*fault_attempt=*/0);
+}
+
+Federation::ScreenedBatch Federation::transport_and_screen(
+    std::vector<ClientUpdate> updates,
+    const std::vector<std::span<const float>>& starts) {
+  FEDCLUST_REQUIRE(updates.size() == starts.size(),
+                   "one broadcast reference per update");
+  ScreenedBatch out;
+  out.accepted.assign(updates.size(), 1);
+
+  if (up_codec_ != nullptr && !config_.robust.validate.enabled) {
+    // Same transport as the synchronous path: the aggregator only ever
+    // sees decode(encode(update)) against the broadcast it came from.
+    pool_.parallel_for(0, updates.size(), [&](std::size_t i) {
+      FEDCLUST_REQUIRE(updates[i].weights.size() == model_size_,
+                       "async transport expects whole-model updates");
+      std::vector<float> rt(updates[i].weights.size());
+      compress::roundtrip(*up_codec_, updates[i].weights, starts[i], layout_,
+                          rt);
+      updates[i].weights = std::move(rt);
+    });
+  } else if (config_.robust.validate.enabled && !updates.empty()) {
+    std::vector<std::size_t> ids;
+    ids.reserve(updates.size());
+    for (const ClientUpdate& u : updates) ids.push_back(u.client_id);
+    std::vector<robust::Verdict> verdicts;
+    if (up_codec_ != nullptr) {
+      std::vector<std::vector<std::uint8_t>> frames(updates.size());
+      pool_.parallel_for(0, updates.size(), [&](std::size_t i) {
+        frames[i] = up_codec_->encode(updates[i].weights, starts[i], layout_);
+      });
+      std::vector<std::span<const std::uint8_t>> frame_spans;
+      frame_spans.reserve(frames.size());
+      for (const auto& f : frames) frame_spans.emplace_back(f);
+      std::vector<std::vector<float>> decoded;
+      verdicts = robust::screen_encoded_updates(
+          frame_spans, starts, ids, model_size_, *up_codec_, layout_,
+          config_.robust.validate, &decoded);
+      for (std::size_t i = 0; i < updates.size(); ++i) {
+        if (verdicts[i].accepted()) updates[i].weights = std::move(decoded[i]);
+      }
+    } else {
+      std::vector<std::span<const float>> payload_spans;
+      payload_spans.reserve(updates.size());
+      for (const ClientUpdate& u : updates) {
+        payload_spans.emplace_back(u.weights);
+      }
+      verdicts = robust::screen_updates(payload_spans, starts, ids,
+                                        model_size_, config_.robust.validate);
+    }
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      if (!verdicts[i].accepted()) {
+        out.accepted[i] = 0;
+        quarantine_.strike(verdicts[i].client);
+      }
+    }
+  }
+
+  if (config_.audit) {
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      if (out.accepted[i] == 0) continue;
+      const std::string context = "dispatch update of client " +
+                                  std::to_string(updates[i].client_id);
+      check::assert_all_finite(updates[i].weights, context.c_str());
+      FEDCLUST_CHECK(std::isfinite(updates[i].train_loss),
+                     context << ": non-finite train loss "
+                             << updates[i].train_loss);
+    }
+  }
+  out.updates = std::move(updates);
+  return out;
 }
 
 std::vector<ClientUpdate> Federation::train_clients(
@@ -677,13 +776,26 @@ std::vector<float> weighted_average(const std::vector<ClientUpdate>& updates,
                    "weighted_average over zero updates — no client update "
                    "survived the round; callers must skip aggregation for "
                    "empty rounds");
+  return weighted_average_with(updates, aggregation_coefficients(updates),
+                               pool);
+}
+
+std::vector<float> weighted_average_with(
+    const std::vector<ClientUpdate>& updates,
+    const std::vector<double>& coefficients, ThreadPool* pool) {
+  FEDCLUST_REQUIRE(!updates.empty(),
+                   "weighted_average over zero updates — no client update "
+                   "survived the round; callers must skip aggregation for "
+                   "empty rounds");
+  FEDCLUST_REQUIRE(coefficients.size() == updates.size(),
+                   "one mixing coefficient per update");
   const std::size_t dim = updates.front().weights.size();
   const std::size_t n = updates.size();
   for (const ClientUpdate& u : updates) {
     FEDCLUST_REQUIRE(u.weights.size() == dim,
                      "update size mismatch in weighted_average");
   }
-  const std::vector<double> coeff = aggregation_coefficients(updates);
+  const std::vector<double>& coeff = coefficients;
 
   // Fused single pass through the dispatched weighted_accumulate kernel:
   // each output element is reduced across updates in double and written
@@ -717,6 +829,15 @@ std::vector<double> aggregation_coefficients(
 std::vector<float> Federation::aggregate(
     const std::vector<ClientUpdate>& updates,
     std::span<const float> reference) {
+  return aggregate_weighted(updates, aggregation_coefficients(updates),
+                            reference);
+}
+
+std::vector<float> Federation::aggregate_weighted(
+    const std::vector<ClientUpdate>& updates,
+    const std::vector<double>& coefficients, std::span<const float> reference) {
+  FEDCLUST_REQUIRE(coefficients.size() == updates.size(),
+                   "one mixing coefficient per update");
   // Sign-SGD pairs with its own aggregation rule: a decoded sign update
   // is reference ± per-tensor scale, and averaging those directly wastes
   // the 1-bit structure. Per coordinate the clients VOTE — the result
@@ -736,7 +857,7 @@ std::vector<float> Federation::aggregate(
                        "update size mismatch in sign-SGD vote");
     }
     const std::vector<float> ref_eff = download_roundtrip(reference);
-    const std::vector<double> coeff = aggregation_coefficients(updates);
+    const std::vector<double>& coeff = coefficients;
     std::vector<const float*> srcs(updates.size());
     for (std::size_t u = 0; u < updates.size(); ++u) {
       srcs[u] = updates[u].weights.data();
@@ -753,12 +874,13 @@ std::vector<float> Federation::aggregate(
     return out;
   }
   if (config_.robust.rule == robust::AggregationRule::kWeightedMean) {
-    std::vector<float> out = weighted_average(updates, aggregation_pool());
+    std::vector<float> out =
+        weighted_average_with(updates, coefficients, aggregation_pool());
     if (config_.audit) {
       std::vector<std::span<const float>> inputs;
       inputs.reserve(updates.size());
       for (const ClientUpdate& u : updates) inputs.emplace_back(u.weights);
-      check::audit_aggregation(inputs, aggregation_coefficients(updates), out);
+      check::audit_aggregation(inputs, coefficients, out);
     }
     return out;
   }
@@ -766,8 +888,8 @@ std::vector<float> Federation::aggregate(
   inputs.reserve(updates.size());
   for (const ClientUpdate& u : updates) inputs.emplace_back(u.weights);
   std::vector<float> out = robust::robust_aggregate(
-      inputs, aggregation_coefficients(updates), config_.robust.rule,
-      config_.robust, reference, aggregation_pool());
+      inputs, coefficients, config_.robust.rule, config_.robust, reference,
+      aggregation_pool());
   if (config_.audit) {
     // The convex-envelope audit is specific to the weighted mean (a
     // norm-clipped output lives in the hull of {reference, inputs}, not

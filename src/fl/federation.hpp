@@ -328,6 +328,48 @@ class Federation {
   std::vector<float> aggregate(const std::vector<ClientUpdate>& updates,
                                std::span<const float> reference = {});
 
+  /// aggregate() with explicit mixing coefficients (must be normalized;
+  /// one per update). The async engine passes staleness-discounted
+  /// sample weights here; aggregate() itself routes through this with
+  /// aggregation_coefficients(updates), so unit staleness is bit-identical
+  /// to the synchronous rule by construction. Robust rules and the
+  /// sign-SGD majority vote receive the same coefficients.
+  std::vector<float> aggregate_weighted(
+      const std::vector<ClientUpdate>& updates,
+      const std::vector<double>& coefficients,
+      std::span<const float> reference = {});
+
+  /// Trains one client for the async engine's buffer flush: the same
+  /// pooled-clone / payload-fault / RNG pipeline as a synchronous round
+  /// with round == `dispatch` (the globally unique dispatch sequence
+  /// number), starting from `start` — the weights the client received at
+  /// dispatch time, already download-codec decoded by the scheduler.
+  /// Does NOT meter, simulate, or screen; the scheduler owns arrival
+  /// fate and transport_and_screen owns the upload leg.
+  ClientUpdate train_dispatch(std::size_t client, std::size_t dispatch,
+                              std::span<const float> start,
+                              const LocalTrainConfig* config_override) const;
+
+  /// Slot-aligned result of transport_and_screen: every update trained,
+  /// with per-slot screening verdicts (all-accepted when validation is
+  /// off).
+  struct ScreenedBatch {
+    std::vector<ClientUpdate> updates;
+    std::vector<std::uint8_t> accepted;
+  };
+
+  /// Applies the upload leg to a buffer of trained updates exactly as
+  /// train_clients does for a synchronous cohort: upload-codec transport
+  /// (the aggregator only ever sees decode(encode(update))), and — with
+  /// validation enabled — encode + codec-envelope + decode-then-screen
+  /// against each update's own broadcast reference `starts[i]`.
+  /// Rejections are charged as quarantine strikes; the caller meters
+  /// traffic (arrived bytes crossed the wire whether or not screening
+  /// keeps them). Updates must be whole models.
+  ScreenedBatch transport_and_screen(
+      std::vector<ClientUpdate> updates,
+      const std::vector<std::span<const float>>& starts);
+
   /// The run's fault-injection plan (inert unless config().faults is
   /// enabled).
   const robust::FaultPlan& fault_plan() const { return fault_plan_; }
@@ -422,6 +464,15 @@ class Federation {
 /// independent of the chunking).
 std::vector<float> weighted_average(const std::vector<ClientUpdate>& updates,
                                     ThreadPool* pool = nullptr);
+
+/// weighted_average with caller-supplied normalized coefficients (one per
+/// update). The default entry point computes aggregation_coefficients and
+/// forwards here, so passing those coefficients explicitly is
+/// bit-identical — the seam the async engine's staleness-weighted flush
+/// mixes through.
+std::vector<float> weighted_average_with(
+    const std::vector<ClientUpdate>& updates,
+    const std::vector<double>& coefficients, ThreadPool* pool = nullptr);
 
 /// The normalized per-update coefficients weighted_average applies
 /// (num_samples / total). Exposed so the aggregation audit can verify

@@ -17,6 +17,12 @@ constexpr std::uint64_t kFleet = 0x6e7f;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// Dispatch sequence numbers share the draw key's "round" slot with the
+// synchronous round indices (formation rounds run through run_round even
+// in an async run), so they are offset into their own half of the u32
+// space — dispatch 0's jitter can never alias round 0's.
+constexpr std::size_t kDispatchBase = 1u << 30;
+
 }  // namespace
 
 NetworkSimulator::NetworkSimulator(const NetworkConfig& config,
@@ -210,6 +216,77 @@ RoundReport NetworkSimulator::run_round(std::size_t round,
   clock_ = std::max(clock_, close);
   reports_.push_back(report);
   return report;
+}
+
+OpOutcome NetworkSimulator::simulate_client_op(std::size_t dispatch,
+                                               const ClientOp& op,
+                                               double start) {
+  FEDCLUST_REQUIRE(op.client < links_.size(),
+                   "client " << op.client << " has no link");
+  const std::size_t key = kDispatchBase + dispatch;
+  const auto log = [&](double time, EventKind kind, std::size_t attempt,
+                       std::uint64_t bytes) {
+    log_.push_back(Event{.time = time,
+                         .seq = static_cast<std::uint64_t>(attempt),
+                         .kind = kind,
+                         .round = static_cast<std::uint32_t>(key),
+                         .client = static_cast<std::uint32_t>(op.client),
+                         .attempt = static_cast<std::uint32_t>(attempt),
+                         .bytes = bytes});
+  };
+
+  // Broadcast + compute, exactly as run_round charges them.
+  Rng down_jitter = draw(kDownJitter, key, op.client, 0);
+  const std::uint64_t down =
+      op.download_bytes != 0
+          ? op.download_bytes
+          : (op.download_floats == 0 ? 0 : wire_bytes(op.download_floats));
+  const double t_down =
+      start + transfer_seconds(links_[op.client], down, down_jitter);
+  log(t_down, EventKind::kBroadcastDelivered, 0, down);
+  const double compute = static_cast<double>(op.num_samples) *
+                         static_cast<double>(op.epochs) *
+                         config_.compute_s_per_sample *
+                         links_[op.client].compute_scale;
+
+  OpOutcome out;
+  if (op.churned) {
+    // The device dies before uploading; its slot frees once the server
+    // could at the earliest have heard back.
+    out.finish = t_down + compute;
+    return out;
+  }
+  log(t_down + compute, EventKind::kComputeDone, 0, 0);
+
+  const std::uint64_t up = op.upload_bytes != 0
+                               ? op.upload_bytes
+                               : wire_bytes(op.upload_floats);
+  double t = t_down + compute;
+  for (std::size_t attempt = 0;; ++attempt) {
+    log(t, EventKind::kUploadAttempt, attempt, up);
+    Rng up_jitter = draw(kUpJitter, key, op.client, attempt);
+    const double arrive = t + transfer_seconds(links_[op.client], up, up_jitter);
+    const double p = links_[op.client].drop_prob;
+    const bool dropped =
+        p > 0.0 && draw(kDrop, key, op.client, attempt).bernoulli(p);
+    if (!dropped) {
+      log(arrive, EventKind::kUploadDelivered, attempt, up);
+      out.delivered = true;
+      out.finish = arrive;
+      out.attempts = attempt + 1;
+      return out;
+    }
+    log(arrive, EventKind::kUploadDropped, attempt, up);
+    if (attempt >= config_.max_retries) {
+      log(arrive, EventKind::kUploadLost, attempt, up);
+      out.finish = arrive;
+      out.attempts = attempt + 1;
+      return out;
+    }
+    const double backoff =
+        config_.backoff_base_s * std::ldexp(1.0, static_cast<int>(attempt));
+    t = arrive + backoff;
+  }
 }
 
 void NetworkSimulator::reset() {

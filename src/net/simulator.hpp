@@ -24,6 +24,7 @@
 // count anywhere else in the process.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -74,6 +75,13 @@ struct ClientOp {
   std::uint64_t upload_bytes = 0;
 };
 
+/// Outcome of one asynchronously dispatched op (simulate_client_op).
+struct OpOutcome {
+  bool delivered = false;    ///< the upload physically arrived
+  double finish = 0.0;       ///< arrival (or final resolution) time
+  std::size_t attempts = 0;  ///< sends consumed (0 when churned)
+};
+
 /// Outcome of one op, in ops order.
 struct Arrival {
   std::size_t client = 0;
@@ -106,6 +114,22 @@ class NetworkSimulator {
   /// deadline, no straggler cutoff, and the final retry never drops.
   RoundReport run_round(std::size_t round, const std::vector<ClientOp>& ops,
                         bool reliable = false);
+
+  /// Simulates one completion-driven dispatch for the async engine: the
+  /// broadcast leaves the server at `start`, the client computes, and the
+  /// upload goes through the same jitter/drop/backoff pipeline as a
+  /// run_round op. `dispatch` is the globally unique dispatch sequence
+  /// number — it keys every stochastic draw (offset into its own stream
+  /// space so dispatch 0 never aliases round 0's draws) and appears as
+  /// the event log's round field. Events are appended to the log grouped
+  /// per op, in causal order; there is no deadline, straggler cutoff, or
+  /// reliability override — a lost upload simply re-dispatches later.
+  /// Does NOT advance the clock (the scheduler owns it: advance_clock).
+  OpOutcome simulate_client_op(std::size_t dispatch, const ClientOp& op,
+                               double start);
+
+  /// Monotonically advances the virtual clock to at least `t`.
+  void advance_clock(double t) { clock_ = std::max(clock_, t); }
 
   double now() const { return clock_; }
   const std::vector<Event>& log() const { return log_; }

@@ -13,7 +13,9 @@ namespace {
 namespace wire = nn::wire;
 
 constexpr char kMagic[4] = {'F', 'C', 'K', 'P'};
-constexpr std::uint32_t kVersion = 1;
+// v1: synchronous run state. v2 appends the async scheduler block; the
+// loader accepts both so pre-async checkpoints keep resuming.
+constexpr std::uint32_t kVersion = 2;
 
 void put_u64_vec(std::vector<std::uint8_t>& buf,
                  const std::vector<std::uint64_t>& v) {
@@ -52,6 +54,37 @@ std::vector<std::vector<float>> get_f32_vecs(wire::Reader& r) {
     r.f32(v);
   }
   return vecs;
+}
+
+void put_dispatches(std::vector<std::uint8_t>& buf,
+                    const std::vector<AsyncDispatchRecord>& records) {
+  wire::put_u64(buf, static_cast<std::uint64_t>(records.size()));
+  for (const AsyncDispatchRecord& d : records) {
+    wire::put_u64(buf, d.seq);
+    wire::put_u64(buf, d.client);
+    wire::put_u64(buf, d.cluster);
+    wire::put_u64(buf, d.version);
+    wire::put_u32(buf, d.delivered ? 1 : 0);
+    wire::put_f64(buf, d.finish);
+    wire::put_u64(buf, d.attempts);
+  }
+}
+
+std::vector<AsyncDispatchRecord> get_dispatches(wire::Reader& r) {
+  const std::uint64_t n = r.u64();
+  FEDCLUST_CHECK(n <= r.remaining(),
+                 "checkpoint: implausible dispatch count " << n);
+  std::vector<AsyncDispatchRecord> records(static_cast<std::size_t>(n));
+  for (AsyncDispatchRecord& d : records) {
+    d.seq = r.u64();
+    d.client = r.u64();
+    d.cluster = r.u64();
+    d.version = r.u64();
+    d.delivered = r.u32() != 0 ? 1 : 0;
+    d.finish = r.f64();
+    d.attempts = r.u64();
+  }
+  return records;
 }
 
 }  // namespace
@@ -103,6 +136,23 @@ void save_checkpoint(const RunCheckpoint& ck, const std::string& path) {
   put_u64_vec(buf, ck.quarantine_counts);
   wire::put_u64(buf, ck.quarantine_max_strikes);
 
+  // v2 async scheduler block.
+  wire::put_u32(buf, ck.async.present ? 1 : 0);
+  wire::put_u64(buf, ck.async.first_round);
+  wire::put_u64(buf, ck.async.flushes);
+  wire::put_u64(buf, ck.async.next_seq);
+  put_u64_vec(buf, ck.async.versions);
+  put_u64_vec(buf, ck.async.ready);
+  put_dispatches(buf, ck.async.inflight);
+  put_dispatches(buf, ck.async.buffered);
+  wire::put_u64(buf, static_cast<std::uint64_t>(ck.async.starts.size()));
+  for (const AsyncStartRecord& s : ck.async.starts) {
+    wire::put_u64(buf, s.cluster);
+    wire::put_u64(buf, s.version);
+    wire::put_u64(buf, static_cast<std::uint64_t>(s.weights.size()));
+    wire::put_f32(buf, s.weights);
+  }
+
   // Integrity trailer over everything written above (magic included).
   wire::put_u32(buf, crc32(buf.data(), buf.size()));
 
@@ -139,7 +189,7 @@ RunCheckpoint load_checkpoint(const std::string& path) {
   FEDCLUST_CHECK(std::memcmp(magic, kMagic, 4) == 0,
                  path << " is not a fedclust run checkpoint");
   const std::uint32_t version = r.u32();
-  FEDCLUST_CHECK(version == kVersion,
+  FEDCLUST_CHECK(version == 1 || version == kVersion,
                  "unsupported checkpoint version " << version);
 
   RunCheckpoint ck;
@@ -193,6 +243,30 @@ RunCheckpoint load_checkpoint(const std::string& path) {
 
   ck.quarantine_counts = get_u64_vec(r);
   ck.quarantine_max_strikes = r.u64();
+
+  if (version >= 2) {
+    ck.async.present = r.u32() != 0;
+    ck.async.first_round = r.u64();
+    ck.async.flushes = r.u64();
+    ck.async.next_seq = r.u64();
+    ck.async.versions = get_u64_vec(r);
+    ck.async.ready = get_u64_vec(r);
+    ck.async.inflight = get_dispatches(r);
+    ck.async.buffered = get_dispatches(r);
+    const std::uint64_t num_starts = r.u64();
+    FEDCLUST_CHECK(num_starts <= r.remaining(),
+                   "checkpoint: implausible start count " << num_starts);
+    ck.async.starts.resize(static_cast<std::size_t>(num_starts));
+    for (AsyncStartRecord& s : ck.async.starts) {
+      s.cluster = r.u64();
+      s.version = r.u64();
+      const std::uint64_t len = r.u64();
+      FEDCLUST_CHECK(len * 4 <= r.remaining(),
+                     "checkpoint: implausible start length " << len);
+      s.weights.resize(static_cast<std::size_t>(len));
+      r.f32(s.weights);
+    }
+  }
   FEDCLUST_CHECK(r.remaining() == 0,
                  "checkpoint " << path << " has " << r.remaining()
                                << " trailing bytes");

@@ -12,7 +12,10 @@
 // On-disk format (little-endian, nn::wire codec):
 //   magic "FCKP" | u32 version | body | u32 crc32(magic..body)
 // The trailing CRC makes torn or bit-flipped files fail loudly at load
-// time instead of silently resuming a corrupted run.
+// time instead of silently resuming a corrupted run. Version 2 appends
+// the async scheduler block (in-flight dispatches, per-cluster buffers,
+// dispatch frontier); the loader still accepts version-1 files, which
+// simply have no async state.
 //
 // This header mirrors fl::RoundMetrics and fl::CommMeter state as plain
 // structs instead of including fl/ headers: robust/ sits below fl/ in
@@ -60,6 +63,45 @@ struct NetSnapshot {
   std::vector<net::Event> log;
 };
 
+/// One async dispatch that was in flight (or arrived but unflushed) at
+/// checkpoint time. `version` is the cluster-model version the client
+/// downloaded; `delivered`/`finish`/`attempts` mirror the simulated
+/// net::OpOutcome so resume does not re-simulate the op.
+struct AsyncDispatchRecord {
+  std::uint64_t seq = 0;
+  std::uint64_t client = 0;
+  std::uint64_t cluster = 0;
+  std::uint64_t version = 0;
+  std::uint8_t delivered = 0;
+  double finish = 0.0;
+  std::uint64_t attempts = 0;
+};
+
+/// Broadcast weights for one (cluster, version) still referenced by an
+/// in-flight or buffered dispatch — what those clients are training
+/// from (already download-codec round-tripped).
+struct AsyncStartRecord {
+  std::uint64_t cluster = 0;
+  std::uint64_t version = 0;
+  std::vector<float> weights;
+};
+
+/// Buffered-async scheduler state (FCKP v2). `present` is false for
+/// synchronous checkpoints and for every v1 file.
+struct AsyncSnapshot {
+  bool present = false;
+  std::uint64_t first_round = 0;  ///< metrics round offset (formation)
+  std::uint64_t flushes = 0;      ///< buffer flushes applied so far
+  std::uint64_t next_seq = 0;     ///< dispatch frontier
+  std::vector<std::uint64_t> versions;  ///< per-cluster applied flushes
+  std::vector<std::uint64_t> ready;     ///< re-dispatch queue, in order
+  std::vector<AsyncDispatchRecord> inflight;  ///< sorted by seq
+  /// Arrived-but-unflushed dispatches, grouped by cluster in buffer
+  /// (arrival) order.
+  std::vector<AsyncDispatchRecord> buffered;
+  std::vector<AsyncStartRecord> starts;
+};
+
 /// Everything needed to resume a FedClust run after `next_round - 1`
 /// completed.
 struct RunCheckpoint {
@@ -75,6 +117,9 @@ struct RunCheckpoint {
   NetSnapshot net;
   std::vector<std::uint64_t> quarantine_counts;  ///< index = client id
   std::uint64_t quarantine_max_strikes = 0;
+  /// Event-driven engine state (fl/async); present only for checkpoints
+  /// written mid-async-run.
+  AsyncSnapshot async;
 };
 
 /// Serializes `ck` to `path` ("FCKP" format with CRC32 trailer).

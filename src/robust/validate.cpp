@@ -19,6 +19,8 @@ const char* to_string(RejectReason reason) {
       return "norm_envelope";
     case RejectReason::kCodecEnvelope:
       return "codec_envelope";
+    case RejectReason::kStaleness:
+      return "staleness";
   }
   return "unknown";
 }

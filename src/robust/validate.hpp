@@ -45,6 +45,10 @@ enum class RejectReason : std::uint8_t {
   /// (wrong size, non-finite quantizer scale, bad top-k indices) — the
   /// frame never reached the float screening.
   kCodecEnvelope,
+  /// Async engine only: the update's staleness (cluster versions applied
+  /// since its dispatch) exceeded AsyncConfig::max_staleness — the model
+  /// it trained from is too old to mix in safely.
+  kStaleness,
 };
 
 const char* to_string(RejectReason reason);

@@ -1,0 +1,369 @@
+// Tests for the event-driven async engine (fl/async):
+//  * SyncEquivalence — the wave driver (buffer_k == cohort, staleness
+//    ≡ 1 special case) is bit-identical to every classic Algorithm::run
+//    loop, for all six algorithms. CI gates on `^SyncEquivalence`.
+//  * AsyncDeterminism — buffered trajectories are bit-identical across
+//    kernel-thread counts, worker-thread counts, and `concurrency`.
+//  * AsyncStaleness — the staleness decay and the flush's mixing
+//    coefficients against hand-computed values.
+//  * AsyncChaos — crash/corruption faults plus churn never wedge the
+//    dispatch frontier.
+//  * AsyncResume — FCKP v2 resume is bit-identical to the
+//    uninterrupted run.
+//  * CodecRobustGuard — top-k upload frames + coordinate order
+//    statistics fall back to norm-clip (satellite regression).
+#include "fl/async.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "algorithms/async_adapters.hpp"
+#include "algorithms/cfl.hpp"
+#include "algorithms/fedavg.hpp"
+#include "algorithms/ifca.hpp"
+#include "algorithms/pacfl.hpp"
+#include "check/audit.hpp"
+#include "core/fedclust.hpp"
+#include "core/fedclust_async.hpp"
+#include "test_helpers.hpp"
+
+namespace fedclust::fl {
+namespace {
+
+using testing::make_grouped_federation;
+
+void expect_same_rounds(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].round, b.rounds[i].round) << i;
+    EXPECT_EQ(a.rounds[i].weights_fp, b.rounds[i].weights_fp) << i;
+    EXPECT_EQ(a.rounds[i].acc_mean, b.rounds[i].acc_mean) << i;
+    EXPECT_EQ(a.rounds[i].acc_std, b.rounds[i].acc_std) << i;
+    EXPECT_EQ(a.rounds[i].train_loss, b.rounds[i].train_loss) << i;
+    EXPECT_EQ(a.rounds[i].cum_upload, b.rounds[i].cum_upload) << i;
+    EXPECT_EQ(a.rounds[i].cum_download, b.rounds[i].cum_download) << i;
+    EXPECT_EQ(a.rounds[i].num_clusters, b.rounds[i].num_clusters) << i;
+    EXPECT_EQ(a.rounds[i].sim_seconds, b.rounds[i].sim_seconds) << i;
+  }
+  EXPECT_EQ(a.cluster_labels, b.cluster_labels);
+}
+
+FederationConfig cellular_config(double straggler_frac = 1.0) {
+  FederationConfig cfg;
+  cfg.network.enabled = true;
+  cfg.network.profile = net::Profile::kCellular;
+  cfg.network.straggler_frac = straggler_frac;
+  return cfg;
+}
+
+// -- SyncEquivalence (CI gate) ------------------------------------------------
+// The classic run() loop and fl::run_synchronized drive the same
+// extracted round bodies; the per-round trajectory must match
+// bit-for-bit, network on or off.
+
+TEST(SyncEquivalence, FedAvg) {
+  FederationConfig cfg = cellular_config();
+  cfg.dropout = 0.1;
+  auto [fed_a, ga] = make_grouped_federation(6, 480, 42, cfg);
+  auto [fed_b, gb] = make_grouped_federation(6, 480, 42, cfg);
+  algorithms::FedAvg classic;
+  algorithms::GlobalAverageAdapter adapter;
+  expect_same_rounds(classic.run(fed_a, 4),
+                     run_synchronized(fed_b, adapter, 4));
+}
+
+TEST(SyncEquivalence, FedProx) {
+  auto [fed_a, ga] = make_grouped_federation();
+  auto [fed_b, gb] = make_grouped_federation();
+  algorithms::FedProx classic(0.05);
+  algorithms::GlobalAverageAdapter adapter(0.05);
+  expect_same_rounds(classic.run(fed_a, 3),
+                     run_synchronized(fed_b, adapter, 3));
+}
+
+TEST(SyncEquivalence, Cfl) {
+  algorithms::CflConfig cc;
+  cc.warmup_rounds = 1;
+  auto [fed_a, ga] = make_grouped_federation();
+  auto [fed_b, gb] = make_grouped_federation();
+  algorithms::Cfl classic(cc);
+  algorithms::CflAdapter adapter(cc);
+  expect_same_rounds(classic.run(fed_a, 4),
+                     run_synchronized(fed_b, adapter, 4));
+}
+
+TEST(SyncEquivalence, Ifca) {
+  algorithms::IfcaConfig ic;
+  ic.num_clusters = 2;
+  auto [fed_a, ga] = make_grouped_federation();
+  auto [fed_b, gb] = make_grouped_federation();
+  algorithms::Ifca classic(ic);
+  algorithms::IfcaAdapter adapter(ic);
+  expect_same_rounds(classic.run(fed_a, 3),
+                     run_synchronized(fed_b, adapter, 3));
+}
+
+TEST(SyncEquivalence, Pacfl) {
+  const FederationConfig cfg = cellular_config();
+  auto [fed_a, ga] = make_grouped_federation(6, 480, 42, cfg);
+  auto [fed_b, gb] = make_grouped_federation(6, 480, 42, cfg);
+  algorithms::Pacfl classic(algorithms::PacflConfig{});
+  algorithms::PacflAdapter adapter(algorithms::PacflConfig{});
+  expect_same_rounds(classic.run(fed_a, 3),
+                     run_synchronized(fed_b, adapter, 3));
+}
+
+TEST(SyncEquivalence, FedClust) {
+  FederationConfig cfg = cellular_config(/*straggler_frac=*/0.8);
+  cfg.dropout = 0.1;
+  auto [fed_a, ga] = make_grouped_federation(6, 480, 42, cfg);
+  auto [fed_b, gb] = make_grouped_federation(6, 480, 42, cfg);
+  core::FedClust classic(core::FedClustConfig{});
+  core::FedClustAsync adapter(core::FedClustConfig{});
+  expect_same_rounds(classic.run(fed_a, 4),
+                     run_synchronized(fed_b, adapter, 4));
+}
+
+// -- staleness math -----------------------------------------------------------
+
+TEST(AsyncStaleness, WeightHandComputed) {
+  EXPECT_EQ(staleness_weight(StalenessKind::kConstant, 0.5, 0), 1.0);
+  EXPECT_EQ(staleness_weight(StalenessKind::kConstant, 0.5, 7), 1.0);
+  EXPECT_EQ(staleness_weight(StalenessKind::kPolynomial, 0.5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(staleness_weight(StalenessKind::kPolynomial, 0.5, 1),
+                   1.0 / std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(staleness_weight(StalenessKind::kPolynomial, 0.5, 3),
+                   0.5);
+  EXPECT_DOUBLE_EQ(staleness_weight(StalenessKind::kPolynomial, 1.0, 3),
+                   0.25);
+  EXPECT_DOUBLE_EQ(staleness_weight(StalenessKind::kPolynomial, 2.0, 1),
+                   0.25);
+}
+
+TEST(AsyncStaleness, FlushMixingMatchesHandComputedMean) {
+  // Two synthetic updates, samples {10, 20}, staleness {0, 2}, a = 0.5:
+  // c ∝ {10·1, 20/√3}. The flush normalizes and hands the coefficients
+  // to aggregate_weighted, which must land on the per-coordinate convex
+  // mix exactly (double accumulators, single rounding).
+  auto [fed, groups] = make_grouped_federation();
+  const std::size_t dim = fed.model_size();
+  ClientUpdate a;
+  a.client_id = 0;
+  a.num_samples = 10;
+  a.weights.assign(dim, 1.0f);
+  ClientUpdate b;
+  b.client_id = 1;
+  b.num_samples = 20;
+  b.weights.assign(dim, 4.0f);
+
+  const double wa = 10.0 * staleness_weight(StalenessKind::kPolynomial,
+                                            0.5, 0);
+  const double wb = 20.0 * staleness_weight(StalenessKind::kPolynomial,
+                                            0.5, 2);
+  const double total = wa + wb;
+  const std::vector<float> mixed =
+      fed.aggregate_weighted({a, b}, {wa / total, wb / total});
+  const float expected =
+      static_cast<float>((wa / total) * 1.0 + (wb / total) * 4.0);
+  ASSERT_EQ(mixed.size(), dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    ASSERT_EQ(mixed[i], expected) << i;
+  }
+}
+
+// -- async determinism --------------------------------------------------------
+
+AsyncConfig small_async() {
+  AsyncConfig ac;
+  ac.buffer_k = 2;
+  ac.staleness_fn = StalenessKind::kPolynomial;
+  ac.staleness_exponent = 0.5;
+  return ac;
+}
+
+RunResult run_async_fedclust(FederationConfig cfg, const AsyncConfig& ac,
+                             std::size_t flushes) {
+  auto [fed, groups] = make_grouped_federation(6, 480, 42, cfg);
+  core::FedClustAsync adapter(core::FedClustConfig{});
+  return run_async(fed, adapter, ac, flushes);
+}
+
+TEST(AsyncDeterminism, BitIdenticalAcrossKernelThreads) {
+  const AsyncConfig ac = small_async();
+  FederationConfig base = cellular_config();
+  base.kernel_threads = 0;
+  FederationConfig kt = cellular_config();
+  kt.kernel_threads = 2;
+  expect_same_rounds(run_async_fedclust(base, ac, 6),
+                     run_async_fedclust(kt, ac, 6));
+}
+
+TEST(AsyncDeterminism, BitIdenticalAcrossWorkerThreads) {
+  const AsyncConfig ac = small_async();
+  FederationConfig one = cellular_config();
+  one.threads = 1;
+  FederationConfig four = cellular_config();
+  four.threads = 4;
+  expect_same_rounds(run_async_fedclust(one, ac, 6),
+                     run_async_fedclust(four, ac, 6));
+}
+
+TEST(AsyncDeterminism, BitIdenticalAcrossConcurrency) {
+  // `concurrency` is the execution knob: any flush-executor width must
+  // reproduce the same trajectory bit-for-bit.
+  AsyncConfig serial = small_async();
+  serial.concurrency = 1;
+  AsyncConfig wide = small_async();
+  wide.concurrency = 4;
+  expect_same_rounds(run_async_fedclust(cellular_config(), serial, 6),
+                     run_async_fedclust(cellular_config(), wide, 6));
+}
+
+TEST(AsyncDeterminism, InflightIsSemantic) {
+  // `inflight` is the modeled-concurrency knob: capping it changes the
+  // event timeline, so the trajectory must genuinely differ.
+  AsyncConfig full = small_async();
+  AsyncConfig capped = small_async();
+  capped.inflight = 2;
+  const RunResult a = run_async_fedclust(cellular_config(), full, 6);
+  const RunResult b = run_async_fedclust(cellular_config(), capped, 6);
+  EXPECT_NE(a.rounds.back().weights_fp, b.rounds.back().weights_fp);
+}
+
+TEST(AsyncDeterminism, VirtualTimeIsMonotone) {
+  const RunResult r =
+      run_async_fedclust(cellular_config(), small_async(), 6);
+  ASSERT_FALSE(r.rounds.empty());
+  double prev = 0.0;
+  for (const RoundMetrics& m : r.rounds) {
+    EXPECT_GE(m.sim_seconds, prev);
+    prev = m.sim_seconds;
+  }
+  EXPECT_GT(prev, 0.0);
+}
+
+// -- engine preconditions -----------------------------------------------------
+
+TEST(AsyncEngine, RequiresNetworkSimulator) {
+  auto [fed, groups] = make_grouped_federation();  // network disabled
+  core::FedClustAsync adapter(core::FedClustConfig{});
+  EXPECT_THROW(run_async(fed, adapter, small_async(), 4), Error);
+}
+
+TEST(AsyncEngine, SyncOnlyAdaptersRefuse) {
+  auto [fed, groups] = make_grouped_federation(6, 480, 42, cellular_config());
+  algorithms::CflAdapter cfl(algorithms::CflConfig{});
+  EXPECT_THROW(run_async(fed, cfl, small_async(), 4), Error);
+  algorithms::IfcaAdapter ifca(algorithms::IfcaConfig{});
+  EXPECT_THROW(run_async(fed, ifca, small_async(), 4), Error);
+}
+
+// -- chaos --------------------------------------------------------------------
+
+TEST(AsyncChaos, CrashesNeverWedgeTheFrontier) {
+  FederationConfig cfg = cellular_config();
+  cfg.dropout = 0.2;
+  cfg.faults.enabled = true;
+  cfg.faults.crash_prob = 0.3;
+  cfg.faults.nan_prob = 0.1;
+  cfg.faults.sign_flip_prob = 0.1;
+  cfg.robust.validate.enabled = true;
+  auto [fed, groups] = make_grouped_federation(6, 480, 42, cfg);
+  algorithms::GlobalAverageAdapter adapter;
+  AsyncConfig ac = small_async();
+  ac.buffer_k = 3;
+  ac.max_staleness = 4;
+  const RunResult r = run_async(fed, adapter, ac, 5);
+  // Every requested flush completed despite crashed dispatches; the
+  // frontier kept advancing (virtual time strictly positive, metrics
+  // recorded for the last flush).
+  ASSERT_FALSE(r.rounds.empty());
+  EXPECT_GT(r.rounds.back().sim_seconds, 0.0);
+  EXPECT_GT(r.final_accuracy.mean, 0.0);
+}
+
+TEST(AsyncChaos, ChaosTrajectoriesAreStillDeterministic) {
+  FederationConfig cfg = cellular_config();
+  cfg.dropout = 0.2;
+  cfg.faults.enabled = true;
+  cfg.faults.crash_prob = 0.3;
+  cfg.faults.nan_prob = 0.1;
+  cfg.robust.validate.enabled = true;
+  AsyncConfig ac = small_async();
+  ac.buffer_k = 3;
+  const auto run_once = [&](std::size_t threads) {
+    FederationConfig c = cfg;
+    c.threads = threads;
+    auto [fed, groups] = make_grouped_federation(6, 480, 42, c);
+    algorithms::GlobalAverageAdapter adapter;
+    return run_async(fed, adapter, ac, 5);
+  };
+  expect_same_rounds(run_once(1), run_once(4));
+}
+
+// -- checkpoint / resume ------------------------------------------------------
+
+TEST(AsyncResume, BitIdenticalAfterReload) {
+  const std::string path = "/tmp/fedclust_async_resume_test.ckpt";
+  std::remove(path.c_str());
+  AsyncConfig ac = small_async();
+  ac.checkpoint_every = 2;
+  ac.checkpoint_path = path;
+
+  const FederationConfig cfg = cellular_config();
+  const RunResult ref = run_async_fedclust(cfg, ac, 6);
+
+  // The last checkpoint on disk covers flush 4; resume must replay
+  // flushes 5..6 bit-identically, in-flight dispatches included.
+  const robust::RunCheckpoint ck = robust::load_checkpoint(path);
+  EXPECT_TRUE(ck.async.present);
+  EXPECT_EQ(ck.async.flushes, 4u);
+  auto [fed, groups] = make_grouped_federation(6, 480, 42, cfg);
+  core::FedClustAsync adapter(core::FedClustConfig{});
+  const RunResult resumed = resume_async(fed, adapter, ac, ck, 6);
+  expect_same_rounds(ref, resumed);
+  std::remove(path.c_str());
+}
+
+// -- codec-aware robust guard (satellite regression) --------------------------
+
+TEST(CodecRobustGuard, TopkOrderStatisticsFallBackToNormClip) {
+  for (const robust::AggregationRule rule :
+       {robust::AggregationRule::kTrimmedMean,
+        robust::AggregationRule::kCoordinateMedian}) {
+    FederationConfig cfg;
+    cfg.compression.enabled = true;
+    cfg.compression.upload = compress::CodecKind::kTopK;
+    cfg.robust.rule = rule;
+    auto [fed, groups] = make_grouped_federation(6, 480, 42, cfg);
+    EXPECT_EQ(fed.config().robust.rule, robust::AggregationRule::kNormClip);
+  }
+}
+
+TEST(CodecRobustGuard, FallbackMatchesExplicitNormClip) {
+  FederationConfig guarded;
+  guarded.compression.enabled = true;
+  guarded.compression.upload = compress::CodecKind::kTopK;
+  guarded.robust.rule = robust::AggregationRule::kTrimmedMean;
+  FederationConfig explicit_clip = guarded;
+  explicit_clip.robust.rule = robust::AggregationRule::kNormClip;
+  auto [fed_a, ga] = make_grouped_federation(6, 480, 42, guarded);
+  auto [fed_b, gb] = make_grouped_federation(6, 480, 42, explicit_clip);
+  algorithms::FedAvg algo;
+  expect_same_rounds(algo.run(fed_a, 3), algo.run(fed_b, 3));
+}
+
+TEST(CodecRobustGuard, DenseCodecsKeepTheirRule) {
+  FederationConfig cfg;
+  cfg.compression.enabled = true;
+  cfg.compression.upload = compress::CodecKind::kInt8;
+  cfg.robust.rule = robust::AggregationRule::kTrimmedMean;
+  auto [fed, groups] = make_grouped_federation(6, 480, 42, cfg);
+  EXPECT_EQ(fed.config().robust.rule,
+            robust::AggregationRule::kTrimmedMean);
+}
+
+}  // namespace
+}  // namespace fedclust::fl
