@@ -223,6 +223,33 @@ void write_serving_bench_json(const std::string& path,
   out << "]\n";
 }
 
+void write_drift_bench_json(const std::string& path,
+                            const std::vector<DriftBenchResult>& results) {
+  std::ofstream out(path);
+  FEDCLUST_REQUIRE(out.good(), "cannot open " << path << " for writing");
+  out << std::fixed << std::setprecision(4) << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const DriftBenchResult& r = results[i];
+    out << "  {\"mode\": \"" << r.mode << "\", \"rounds\": " << r.rounds
+        << ", \"drift_round\": " << r.drift_round
+        << ", \"pre_drift_acc\": " << r.pre_drift_acc
+        << ", \"trough_acc\": " << r.trough_acc
+        << ", \"final_acc\": " << r.final_acc
+        << ", \"detect_round\": " << r.detect_round
+        << ", \"recover_round\": " << r.recover_round
+        << ", \"recover_margin\": " << r.recover_margin
+        << ", \"reclusters\": " << r.reclusters
+        << ", \"final_clusters\": " << r.final_clusters
+        << ", \"weights_fp_chain\": " << r.weights_fp_chain
+        << ", \"acc_series\": [";
+    for (std::size_t j = 0; j < r.acc_series.size(); ++j) {
+      out << (j ? ", " : "") << r.acc_series[j];
+    }
+    out << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
 MeanStd mean_std(const std::vector<double>& values) {
   MeanStd out;
   if (values.empty()) return out;

@@ -190,6 +190,35 @@ struct AsyncBenchResult {
 void write_async_bench_json(const std::string& path,
                             const std::vector<AsyncBenchResult>& results);
 
+// -- drift-recovery reporting -------------------------------------------------
+
+/// One arm (static or dynamic FedClust) of the drift-recovery
+/// experiment, as emitted into BENCH_drift.json by bench/drift_recovery.
+struct DriftBenchResult {
+  std::string mode;  ///< "static" | "dynamic"
+  std::size_t rounds = 0;
+  std::size_t drift_round = 0;   ///< round the scheduled drift hits
+  double pre_drift_acc = 0.0;    ///< mean accuracy just before the drift
+  double trough_acc = 0.0;       ///< worst mean accuracy at/after the drift
+  double final_acc = 0.0;
+  std::size_t detect_round = 0;  ///< first round with a drift alarm (0 = never)
+  std::size_t recover_round = 0; ///< first post-drift round back within
+                                 ///< `recover_margin` of pre-drift (0 = never)
+  double recover_margin = 0.0;   ///< accuracy-points recovery band
+  std::size_t reclusters = 0;    ///< split/merge recoveries applied
+  std::size_t final_clusters = 0;
+  /// FNV-1a chain over the per-round weights fingerprints — equal chains
+  /// mean bit-identical trajectories (the determinism self-check re-runs
+  /// the dynamic arm under a different kernel-thread count).
+  std::uint64_t weights_fp_chain = 0;
+  /// Per-round mean accuracy series (the recovery curve).
+  std::vector<double> acc_series;
+};
+
+/// Writes drift-recovery results as a machine-readable JSON array.
+void write_drift_bench_json(const std::string& path,
+                            const std::vector<DriftBenchResult>& results);
+
 // -- serving reporting --------------------------------------------------------
 
 /// One (router mode, batch size) cell of the serving-throughput sweep,

@@ -1,17 +1,51 @@
 #include "core/fedclust.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <string>
 
 #include "algorithms/common.hpp"
 #include "check/audit.hpp"
 #include "cluster/distance.hpp"
+#include "cluster/dynamic.hpp"
 #include "cluster/metrics.hpp"
 #include "cluster/routing.hpp"
 #include "fl/trainer.hpp"
 
 namespace fedclust::core {
+namespace {
+
+/// Newcomer-warmup stream tag: keeps the arrival's solo training draw
+/// independent of the same (client, round) training-round stream.
+constexpr std::uint64_t kNewcomerWarmupTag = 0x7d10;
+
+/// Mean per-client accuracy by cluster; NaN for clusters with no finite
+/// member entry (empty, or every member departed — their per_client
+/// slots are NaN under a drift plan), which freezes the detector window.
+std::vector<double> cluster_accuracies(const fl::AccuracySummary& acc,
+                                       const std::vector<std::size_t>& labels,
+                                       std::size_t clusters) {
+  std::vector<double> sum(clusters, 0.0);
+  std::vector<std::size_t> count(clusters, 0);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const double a = i < acc.per_client.size()
+                         ? acc.per_client[i]
+                         : std::numeric_limits<double>::quiet_NaN();
+    if (!std::isfinite(a)) continue;
+    sum[labels[i]] += a;
+    ++count[labels[i]];
+  }
+  std::vector<double> out(clusters,
+                          std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t c = 0; c < clusters; ++c) {
+    if (count[c] > 0) out[c] = sum[c] / static_cast<double>(count[c]);
+  }
+  return out;
+}
+
+}  // namespace
 
 ClusteringOutcome FedClust::form_clusters(fl::Federation& federation,
                                           std::size_t round) const {
@@ -324,15 +358,22 @@ fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
   std::vector<std::vector<float>> cluster_weights;
   ClusteringOutcome outcome =
       formation_phase(federation, result, labels, cluster_weights);
+  std::optional<fl::DriftDetector> detector;
+  if (config_.dynamic.enabled) {
+    detector.emplace(config_.dynamic.detector);
+    detector->start(cluster_weights.size());
+  }
   if (config_.checkpoint_every > 0) {
     robust::save_checkpoint(
         make_checkpoint(federation, /*next_round=*/1, labels, cluster_weights,
-                        outcome, result),
+                        outcome, result,
+                        detector ? &*detector : nullptr, /*recoveries=*/0),
         config_.checkpoint_path);
   }
 
   // Rounds 1..R-1: FedAvg within each cluster.
-  run_rounds(federation, 1, rounds, labels, cluster_weights, outcome, result);
+  run_rounds(federation, 1, rounds, labels, cluster_weights, outcome, result,
+             detector ? &*detector : nullptr, /*recoveries=*/0);
 
   result.cluster_labels = labels;
   result.cluster_weights = std::move(cluster_weights);
@@ -342,44 +383,225 @@ fl::RunResult FedClust::run(fl::Federation& federation, std::size_t rounds) {
 
 void FedClust::run_rounds(fl::Federation& federation, std::size_t first,
                           std::size_t rounds,
-                          const std::vector<std::size_t>& labels,
+                          std::vector<std::size_t>& labels,
                           std::vector<std::vector<float>>& cluster_weights,
-                          const ClusteringOutcome& outcome,
-                          fl::RunResult& result) {
+                          ClusteringOutcome& outcome, fl::RunResult& result,
+                          fl::DriftDetector* detector,
+                          std::size_t recoveries) {
   for (std::size_t round = first; round < rounds; ++round) {
     federation.comm().begin_round(round);
+    if (federation.drift_enabled()) {
+      admit_churn(federation, round, labels, outcome, detector);
+    }
     const double loss = algorithms::per_cluster_fedavg_round(
         federation, round, labels, cluster_weights);
     const bool last = round + 1 == rounds;
     if (last || (round + 1) % federation.config().eval_every == 0) {
-      const fl::AccuracySummary acc = algorithms::evaluate_clustered(
+      fl::AccuracySummary acc = algorithms::evaluate_clustered(
           federation, labels, cluster_weights);
-      result.rounds.push_back(fl::make_round_metrics(
+      fl::RoundMetrics metrics = fl::make_round_metrics(
           round, acc, loss, federation, cluster_weights.size(),
-          check::weights_fingerprint(cluster_weights)));
+          check::weights_fingerprint(cluster_weights));
+      if (detector != nullptr) {
+        const std::vector<fl::DriftAlarm> alarms = detector->observe(
+            round,
+            cluster_accuracies(acc, labels, cluster_weights.size()));
+        metrics.drift_score = detector->last_score();
+        metrics.drift_alarms = alarms.size();
+        const bool budget_left = config_.dynamic.max_recoveries == 0 ||
+                                 recoveries < config_.dynamic.max_recoveries;
+        if (!alarms.empty() && !last && budget_left) {
+          const std::size_t applied = recover_clusters(
+              federation, round, alarms, labels, cluster_weights, outcome,
+              *detector);
+          metrics.reclusters = applied;
+          if (applied > 0) {
+            ++recoveries;
+            // The partition changed after the eval above: fingerprint
+            // and cluster count should describe what round+1 trains on.
+            metrics.num_clusters = cluster_weights.size();
+            metrics.weights_fp = check::weights_fingerprint(cluster_weights);
+          }
+        }
+      }
+      result.rounds.push_back(metrics);
       if (last) result.final_accuracy = acc;
     }
     if (config_.checkpoint_every > 0 &&
         round % config_.checkpoint_every == 0) {
       robust::save_checkpoint(
           make_checkpoint(federation, round + 1, labels, cluster_weights,
-                          outcome, result),
+                          outcome, result, detector, recoveries),
           config_.checkpoint_path);
     }
   }
+}
+
+void FedClust::admit_churn(fl::Federation& federation, std::size_t round,
+                           std::vector<std::size_t>& labels,
+                           ClusteringOutcome& outcome,
+                           fl::DriftDetector* detector) const {
+  const robust::DriftPlan* plan = federation.drift_plan();
+  // Sets the drifted fleet's round and forgives the arrivals' inherited
+  // quarantine strikes before anything samples or trains this round.
+  federation.drift_advance(round);
+
+  for (const std::size_t slot : plan->departures_at(round)) {
+    // The stored anchor belongs to the departed tenant; the slot keeps
+    // its label (it simply stops being sampled) but must never pull a
+    // future newcomer toward the old tenant's weights.
+    outcome.partial_weights[slot].clear();
+    if (detector != nullptr) {
+      detector->note(round, fl::DriftLogKind::kDeparture, slot);
+    }
+  }
+
+  const std::vector<std::size_t> arrivals = plan->arrivals_at(round);
+  if (arrivals.empty()) return;
+  const std::size_t partial_floats = slices_numel(resolve_partial_slices(
+      federation.template_model(), config_.partial_spec));
+  fl::LocalTrainConfig warmup = federation.config().local;
+  if (config_.warmup_epochs > 0) warmup.epochs = config_.warmup_epochs;
+  for (const std::size_t slot : arrivals) {
+    // The paper's real-time accommodation, verbatim from the deferred
+    // path of formation_phase: solo warmup from the initial model (a
+    // reliable exchange — the newcomer has no deadline to miss), then
+    // nearest-cluster routing over the stored anchors.
+    const std::vector<net::ClientOp> ops{
+        {.client = slot,
+         .download_floats = federation.model_size(),
+         .upload_floats = partial_floats,
+         .num_samples = federation.client_train_size(slot),
+         .epochs = warmup.epochs,
+         .churned = false,
+         .upload_kind = net::MessageKind::kPartialUpdate,
+         .download_bytes =
+             federation.codec_download_op_bytes(federation.model_size())}};
+    federation.simulate_network_round(round, ops, /*reliable=*/true);
+    federation.meter_download(slot, federation.model_size());
+    federation.meter_upload(slot, partial_floats);
+    std::vector<float> partial;
+    labels[slot] = assign_newcomer(
+        federation.template_model(), federation.client_data(slot)->train,
+        federation.config().local,
+        federation.client_rng(slot, round).split(kNewcomerWarmupTag), outcome,
+        &partial);
+    outcome.partial_weights[slot] = std::move(partial);
+    outcome.labels[slot] = labels[slot];
+    if (detector != nullptr) {
+      detector->note(round, fl::DriftLogKind::kArrival, slot,
+                     static_cast<double>(labels[slot]));
+    }
+  }
+}
+
+std::size_t FedClust::recover_clusters(
+    fl::Federation& federation, std::size_t round,
+    const std::vector<fl::DriftAlarm>& alarms,
+    std::vector<std::size_t>& labels,
+    std::vector<std::vector<float>>& cluster_weights,
+    ClusteringOutcome& outcome, fl::DriftDetector& detector) const {
+  std::vector<std::size_t> flagged;
+  flagged.reserve(alarms.size());
+  for (const fl::DriftAlarm& a : alarms) flagged.push_back(a.cluster);
+  std::sort(flagged.begin(), flagged.end());
+
+  // Fresh anchors: the flagged clusters' active members re-run the
+  // formation protocol (full model down, partial up) as a reliable
+  // exchange, so the repair sees the drifted distributions — the stored
+  // round-0 anchors are exactly what drift invalidated.
+  std::vector<std::size_t> members;
+  for (std::size_t c = 0; c < labels.size(); ++c) {
+    if (!std::binary_search(flagged.begin(), flagged.end(), labels[c])) {
+      continue;
+    }
+    if (!federation.client_active(round, c)) continue;
+    members.push_back(c);
+  }
+  if (members.empty()) {
+    // Nothing to re-anchor (everyone departed); the detector still
+    // resets so the dead cluster cannot re-alarm every eval.
+    detector.reset(round, cluster_weights.size());
+    return 0;
+  }
+
+  const nn::Model& tmpl = federation.template_model();
+  const std::vector<nn::ParamSlice> slices =
+      resolve_partial_slices(tmpl, config_.partial_spec);
+  const std::vector<float> init_weights = tmpl.flat_weights();
+  fl::LocalTrainConfig warmup = federation.config().local;
+  if (config_.warmup_epochs > 0) warmup.epochs = config_.warmup_epochs;
+  const fl::NetPayloads payloads{federation.model_size(),
+                                 slices_numel(slices),
+                                 net::MessageKind::kPartialUpdate};
+  // fault_attempt 64 keeps the re-anchor fault draws independent of the
+  // round's training draws and of any formation retry wave (0..retries).
+  const std::vector<fl::ClientUpdate> updates = federation.train_clients(
+      members, round,
+      [&](std::size_t) { return std::span<const float>(init_weights); },
+      &warmup, /*allow_failures=*/false, &payloads, /*fault_attempt=*/64);
+  for (const std::size_t c : members) {
+    federation.meter_download(c, federation.model_size());
+  }
+  for (const fl::ClientUpdate& u : updates) {
+    federation.meter_upload(u.client_id, slices_numel(slices));
+    std::vector<float> partial = extract_slices(u.weights, slices);
+    bool finite = true;
+    for (const float x : partial) {
+      if (!std::isfinite(x)) {
+        finite = false;
+        break;
+      }
+    }
+    // A non-finite (corrupted) re-anchor keeps the stored one — worse
+    // than fresh but never poisonous.
+    if (finite) outcome.partial_weights[u.client_id] = std::move(partial);
+  }
+
+  cluster::ReclusterConfig rc;
+  rc.linkage = config_.linkage;
+  rc.threshold = outcome.threshold;
+  rc.gaussian_sigma = config_.dynamic.gaussian_sigma;
+  rc.reassign_margin = config_.dynamic.reassign_margin;
+  std::vector<std::uint8_t> active(labels.size(), 1);
+  for (std::size_t c = 0; c < labels.size(); ++c) {
+    active[c] = federation.client_active(round, c) ? 1 : 0;
+  }
+  const cluster::ReclusterResult repaired =
+      cluster::recluster(outcome.partial_weights, labels, flagged, active, rc);
+
+  // Server models follow the parent mapping: kept clusters keep their
+  // model, splits start from the flagged parent's, drained ones vanish.
+  std::vector<std::vector<float>> next(repaired.parent.size());
+  for (std::size_t j = 0; j < repaired.parent.size(); ++j) {
+    next[j] = cluster_weights[repaired.parent[j]];
+  }
+  cluster_weights = std::move(next);
+  labels = repaired.labels;
+  outcome.labels = labels;
+  if (federation.config().audit) {
+    check::audit_cluster_partition(labels);
+  }
+  detector.reset(round, cluster_weights.size());
+  return 1;
 }
 
 robust::RunCheckpoint FedClust::make_checkpoint(
     const fl::Federation& federation, std::size_t next_round,
     const std::vector<std::size_t>& labels,
     const std::vector<std::vector<float>>& cluster_weights,
-    const ClusteringOutcome& outcome, const fl::RunResult& result) const {
+    const ClusteringOutcome& outcome, const fl::RunResult& result,
+    const fl::DriftDetector* detector, std::size_t recoveries) const {
   robust::RunCheckpoint ck;
   ck.next_round = next_round;
   ck.seed = federation.config().seed;
   ck.labels.assign(labels.begin(), labels.end());
   ck.cluster_weights = cluster_weights;
   ck.partial_weights = outcome.partial_weights;
+  if (detector != nullptr) {
+    ck.drift = detector->snapshot(recoveries);
+    ck.drift.threshold = outcome.threshold;
+  }
   ck.rounds.reserve(result.rounds.size());
   for (const fl::RoundMetrics& m : result.rounds) {
     ck.rounds.push_back(robust::RoundRecord{
@@ -391,7 +613,10 @@ robust::RunCheckpoint FedClust::make_checkpoint(
         .cum_download = m.cum_download,
         .num_clusters = m.num_clusters,
         .sim_seconds = m.sim_seconds,
-        .weights_fp = m.weights_fp});
+        .weights_fp = m.weights_fp,
+        .drift_score = m.drift_score,
+        .drift_alarms = m.drift_alarms,
+        .reclusters = m.reclusters});
   }
   const fl::CommMeter& comm = federation.comm();
   ck.comm.round_download = comm.round_download();
@@ -460,18 +685,41 @@ fl::RunResult FedClust::resume(fl::Federation& federation,
         .cum_download = m.cum_download,
         .num_clusters = static_cast<std::size_t>(m.num_clusters),
         .sim_seconds = m.sim_seconds,
-        .weights_fp = m.weights_fp});
+        .weights_fp = m.weights_fp,
+        .drift_score = m.drift_score,
+        .drift_alarms = static_cast<std::size_t>(m.drift_alarms),
+        .reclusters = static_cast<std::size_t>(m.reclusters)});
   }
 
-  const std::vector<std::size_t> labels(checkpoint.labels.begin(),
-                                        checkpoint.labels.end());
+  std::vector<std::size_t> labels(checkpoint.labels.begin(),
+                                  checkpoint.labels.end());
   std::vector<std::vector<float>> cluster_weights = checkpoint.cluster_weights;
   ClusteringOutcome outcome;
   outcome.partial_weights = checkpoint.partial_weights;
   outcome.labels = labels;
+  // Dynamic checkpoints carry the formation run's applied cut; static
+  // ones never split, so the config value (possibly 0) is fine.
+  outcome.threshold =
+      checkpoint.drift.present ? checkpoint.drift.threshold : config_.threshold;
+
+  std::optional<fl::DriftDetector> detector;
+  std::size_t recoveries = 0;
+  if (config_.dynamic.enabled) {
+    detector.emplace(config_.dynamic.detector);
+    if (checkpoint.drift.present) {
+      detector->restore(checkpoint.drift);
+      recoveries = static_cast<std::size_t>(checkpoint.drift.recoveries);
+    } else {
+      detector->start(cluster_weights.size());
+    }
+  }
+  if (federation.drift_enabled()) {
+    federation.drift_resume(checkpoint.next_round);
+  }
 
   run_rounds(federation, checkpoint.next_round, rounds, labels,
-             cluster_weights, outcome, result);
+             cluster_weights, outcome, result,
+             detector ? &*detector : nullptr, recoveries);
   result.cluster_labels = labels;
   result.cluster_weights = std::move(cluster_weights);
   last_clustering_ = std::move(outcome);

@@ -22,6 +22,7 @@
 #include "cluster/hierarchical.hpp"
 #include "core/partial_weights.hpp"
 #include "fl/algorithm.hpp"
+#include "fl/drift.hpp"
 #include "robust/checkpoint.hpp"
 
 namespace fedclust::core {
@@ -88,6 +89,27 @@ struct FedClustConfig {
   /// whoever is alive) or abort the run with fedclust::Error.
   enum class FormationFallback { kGlobalFedAvg, kAbort };
   FormationFallback formation_fallback = FormationFallback::kGlobalFedAvg;
+
+  // --- Drift-robust dynamic clustering ------------------------------------
+  /// FedClust-dynamic: watch per-cluster accuracy trajectories and repair
+  /// the partition online when they drift (see fl/drift.hpp and
+  /// cluster/dynamic.hpp). Off by default — the static paper algorithm is
+  /// then bit-identical to before. Orthogonal to the scenario injection
+  /// knob (fl::FederationConfig::drift): churn admission (departures
+  /// leaving the sample pool, newcomers routed via the paper's
+  /// assign_newcomer path) always runs when a drift plan is configured;
+  /// detection + split/merge recovery only run when `enabled` here.
+  struct DynamicConfig {
+    bool enabled = false;
+    fl::DriftDetectorConfig detector{};
+    /// Soft-membership move margin / Gaussian width; see
+    /// cluster::ReclusterConfig.
+    double reassign_margin = 1.0;
+    double gaussian_sigma = 0.0;
+    /// Re-clustering recoveries allowed per run; 0 = unlimited.
+    std::size_t max_recoveries = 0;
+  };
+  DynamicConfig dynamic{};
 
   // --- Crash recovery ----------------------------------------------------
   /// Write a robust::RunCheckpoint after every round r with
@@ -178,17 +200,41 @@ class FedClust : public fl::Algorithm {
 
  private:
   /// Rounds [first, rounds): per-cluster FedAvg + metrics + checkpoint
-  /// writes. Shared by run() and resume().
+  /// writes, plus — under a drift plan / dynamic mode — churn admission,
+  /// drift detection, and split/merge recovery (labels, cluster models
+  /// and stored anchors then evolve in place). Shared by run() and
+  /// resume(); `detector` is null for static runs, `recoveries` seeds
+  /// the recovery budget (non-zero when resuming).
   void run_rounds(fl::Federation& federation, std::size_t first,
-                  std::size_t rounds, const std::vector<std::size_t>& labels,
+                  std::size_t rounds, std::vector<std::size_t>& labels,
                   std::vector<std::vector<float>>& cluster_weights,
-                  const ClusteringOutcome& outcome, fl::RunResult& result);
+                  ClusteringOutcome& outcome, fl::RunResult& result,
+                  fl::DriftDetector* detector, std::size_t recoveries);
+  /// Departure/arrival handling at round entry: departed slots lose
+  /// their stored anchor, newcomers run the paper's solo warmup and are
+  /// routed to the nearest cluster (reliably simulated + metered).
+  void admit_churn(fl::Federation& federation, std::size_t round,
+                   std::vector<std::size_t>& labels,
+                   ClusteringOutcome& outcome,
+                   fl::DriftDetector* detector) const;
+  /// Alarm response: re-solicit fresh anchors from the flagged clusters'
+  /// active members, repair the partition via cluster::recluster, remap
+  /// the server models along the parent mapping, reset the detector.
+  /// Returns the number of re-clusterings applied (0 when no flagged
+  /// cluster had an active member to re-anchor).
+  std::size_t recover_clusters(fl::Federation& federation, std::size_t round,
+                               const std::vector<fl::DriftAlarm>& alarms,
+                               std::vector<std::size_t>& labels,
+                               std::vector<std::vector<float>>& cluster_weights,
+                               ClusteringOutcome& outcome,
+                               fl::DriftDetector& detector) const;
   /// Snapshot of everything resume() needs after `next_round - 1`.
   robust::RunCheckpoint make_checkpoint(
       const fl::Federation& federation, std::size_t next_round,
       const std::vector<std::size_t>& labels,
       const std::vector<std::vector<float>>& cluster_weights,
-      const ClusteringOutcome& outcome, const fl::RunResult& result) const;
+      const ClusteringOutcome& outcome, const fl::RunResult& result,
+      const fl::DriftDetector* detector, std::size_t recoveries) const;
 
   FedClustConfig config_;
   std::optional<ClusteringOutcome> last_clustering_;

@@ -21,6 +21,14 @@ std::int32_t Dataset::label(std::size_t i) const {
   return labels_[i];
 }
 
+void Dataset::set_label(std::size_t i, std::int32_t label) {
+  FEDCLUST_REQUIRE(i < labels_.size(), "sample index out of range");
+  FEDCLUST_REQUIRE(label >= 0 &&
+                       static_cast<std::size_t>(label) < spec_.classes,
+                   "label " << label << " out of range");
+  labels_[i] = label;
+}
+
 Tensor Dataset::image(std::size_t i) const {
   FEDCLUST_REQUIRE(i < labels_.size(), "sample index out of range");
   const std::size_t n = sample_numel();

@@ -35,6 +35,9 @@ class Dataset {
   void add(const Tensor& image, std::int32_t label);
 
   std::int32_t label(std::size_t i) const;
+  /// Relabels sample i in place (drift scenarios rewrite labels on a
+  /// copied shard; pixels are immutable).
+  void set_label(std::size_t i, std::int32_t label);
   /// Copies sample i's pixels into a (C, H, W) tensor.
   Tensor image(std::size_t i) const;
 

@@ -19,6 +19,20 @@ double staleness_weight(StalenessKind kind, double exponent,
   return 1.0 / std::pow(1.0 + static_cast<double>(staleness), exponent);
 }
 
+std::vector<float> decay_toward(std::span<const float> current,
+                                std::span<const float> target, double lr) {
+  FEDCLUST_REQUIRE(current.size() == target.size(),
+                   "decay_toward: size mismatch");
+  FEDCLUST_REQUIRE(lr > 0.0 && lr <= 1.0, "decay_toward: lr must be in (0, 1]");
+  std::vector<float> out(current.size());
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    out[i] = static_cast<float>(
+        static_cast<double>(current[i]) +
+        lr * (static_cast<double>(target[i]) - static_cast<double>(current[i])));
+  }
+  return out;
+}
+
 std::span<const float> AsyncAdapter::cluster_model(std::size_t cluster) const {
   (void)cluster;
   FEDCLUST_CHECK(false, name() << " does not expose async cluster models");
@@ -122,6 +136,10 @@ class BufferedScheduler {
     FEDCLUST_REQUIRE(adapter_.supports_async(),
                      adapter_.name() << " cannot run buffered: cluster "
                                         "membership is not static");
+    FEDCLUST_REQUIRE(!fed_.drift_enabled(),
+                     "drift scenarios drive the synchronous engine — the "
+                     "buffered scheduler has no round clock to advance "
+                     "the drift plan against");
     local_ = adapter_.local_override();
     epochs_ = (local_ != nullptr ? *local_ : fed_.config().local).epochs;
   }
@@ -182,7 +200,10 @@ class BufferedScheduler {
           .cum_download = m.cum_download,
           .num_clusters = static_cast<std::size_t>(m.num_clusters),
           .sim_seconds = m.sim_seconds,
-          .weights_fp = m.weights_fp});
+          .weights_fp = m.weights_fp,
+          .drift_score = m.drift_score,
+          .drift_alarms = static_cast<std::size_t>(m.drift_alarms),
+          .reclusters = static_cast<std::size_t>(m.reclusters)});
     }
     fed_.comm().restore(ck.comm.round_download, ck.comm.round_upload,
                         ck.comm.client_download, ck.comm.client_upload,
@@ -414,6 +435,7 @@ class BufferedScheduler {
     coeff.reserve(batch.size());
     double total = 0.0;
     double loss_sum = 0.0;
+    double stale_sum = 0.0;
     for (std::size_t i = 0; i < screened.updates.size(); ++i) {
       if (!screened.accepted[i]) continue;
       const std::size_t stale = versions_[cluster] - batch[i].version;
@@ -421,6 +443,7 @@ class BufferedScheduler {
           static_cast<double>(screened.updates[i].num_samples) *
           staleness_weight(cfg_.staleness_fn, cfg_.staleness_exponent, stale);
       loss_sum += screened.updates[i].train_loss;
+      stale_sum += static_cast<double>(stale);
       kept.push_back(std::move(screened.updates[i]));
       coeff.push_back(w);
       total += w;
@@ -430,6 +453,17 @@ class BufferedScheduler {
       for (double& w : coeff) w /= total;
       std::vector<float> mixed = fed_.aggregate_weighted(
           kept, coeff, adapter_.cluster_model(cluster));
+      // Staleness-spike LR decay: when the kept batch's mean staleness
+      // crosses the knob, only move lr_decay of the way toward the
+      // aggregate. Stateless, so checkpoints need no new fields; at
+      // lr_decay == 1 the blend is exact identity (x + 1*(y-x) == y in
+      // double for floats), keeping the off-path bit-identical.
+      if (cfg_.lr_decay_staleness > 0.0 && cfg_.lr_decay < 1.0 &&
+          stale_sum / static_cast<double>(kept.size()) >
+              cfg_.lr_decay_staleness) {
+        mixed = decay_toward(adapter_.cluster_model(cluster), mixed,
+                             cfg_.lr_decay);
+      }
       adapter_.set_cluster_model(cluster, std::move(mixed));
       ++versions_[cluster];
       broadcast_[cluster] = snapshot_broadcast(cluster);
@@ -473,7 +507,10 @@ class BufferedScheduler {
                                               .cum_download = m.cum_download,
                                               .num_clusters = m.num_clusters,
                                               .sim_seconds = m.sim_seconds,
-                                              .weights_fp = m.weights_fp});
+                                              .weights_fp = m.weights_fp,
+                                              .drift_score = m.drift_score,
+                                              .drift_alarms = m.drift_alarms,
+                                              .reclusters = m.reclusters});
     }
     const CommMeter& comm = fed_.comm();
     ck.comm.round_download = comm.round_download();

@@ -53,6 +53,12 @@ enum class StalenessKind : std::uint8_t {
 double staleness_weight(StalenessKind kind, double exponent,
                         std::size_t staleness);
 
+/// current + lr * (target - current), per coordinate in double. The
+/// server-side LR-decay blend a staleness spike applies to a flush's
+/// aggregate (see AsyncConfig::lr_decay_staleness); exposed for tests.
+std::vector<float> decay_toward(std::span<const float> current,
+                                std::span<const float> target, double lr);
+
 /// Knobs of the buffered async engine.
 struct AsyncConfig {
   /// Updates buffered per cluster before a flush aggregates them.
@@ -73,6 +79,17 @@ struct AsyncConfig {
   /// updates train at once when the flush materializes them. 0 = all.
   /// EXECUTION knob — trajectories are bit-identical across settings.
   std::size_t concurrency = 0;
+  /// Server-side learning-rate decay on staleness spikes: when a flush's
+  /// kept updates have mean staleness > lr_decay_staleness, the mixed
+  /// model only moves `lr_decay` of the way from the current cluster
+  /// model toward the aggregate — a stale burst (buffer drained after a
+  /// straggler wave) nudges the server instead of yanking it. 0 disables
+  /// the knob entirely (bit-identical to the pre-knob engine), and
+  /// lr_decay = 1 blends nothing out (also bit-identical). Stateless —
+  /// a pure function of the flush batch — so checkpoints are unchanged.
+  double lr_decay_staleness = 0.0;
+  /// Blend factor applied on a staleness spike (0 < lr_decay <= 1).
+  double lr_decay = 0.5;
   /// Evaluate (and record metrics) every this many flushes; 0 = the
   /// federation's eval_every. The final flush is always evaluated.
   std::size_t eval_every_flushes = 0;

@@ -1,0 +1,120 @@
+#include "fl/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "utils/error.hpp"
+
+namespace fedclust::fl {
+namespace {
+
+double mean(const double* begin, const double* end) {
+  double s = 0.0;
+  for (const double* p = begin; p != end; ++p) s += *p;
+  return s / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+const char* to_string(DriftLogKind kind) {
+  switch (kind) {
+    case DriftLogKind::kBreach:
+      return "breach";
+    case DriftLogKind::kAlarm:
+      return "alarm";
+    case DriftLogKind::kRecovery:
+      return "recovery";
+    case DriftLogKind::kArrival:
+      return "arrival";
+    case DriftLogKind::kDeparture:
+      return "departure";
+  }
+  return "?";
+}
+
+DriftDetector::DriftDetector(DriftDetectorConfig config) : cfg_(config) {
+  FEDCLUST_REQUIRE(cfg_.window >= 2, "detector window must be >= 2");
+  FEDCLUST_REQUIRE(cfg_.drop_threshold > 0.0,
+                   "drop_threshold must be positive");
+  FEDCLUST_REQUIRE(cfg_.hysteresis >= 1, "hysteresis must be >= 1");
+}
+
+void DriftDetector::start(std::size_t clusters) {
+  windows_.assign(clusters, {});
+  streaks_.assign(clusters, 0);
+  cooldown_left_ = 0;
+  last_score_ = 0.0;
+}
+
+std::vector<DriftAlarm> DriftDetector::observe(
+    std::size_t round, const std::vector<double>& cluster_acc) {
+  FEDCLUST_REQUIRE(cluster_acc.size() == windows_.size(),
+                   "observed " << cluster_acc.size() << " clusters, detector "
+                               << "tracks " << windows_.size());
+  last_score_ = 0.0;
+  std::vector<DriftAlarm> alarms;
+  const bool holdoff = cooldown_left_ > 0;
+  if (holdoff) --cooldown_left_;
+  for (std::size_t c = 0; c < cluster_acc.size(); ++c) {
+    if (!std::isfinite(cluster_acc[c])) continue;  // window freezes
+    std::vector<double>& w = windows_[c];
+    w.push_back(cluster_acc[c]);
+    if (w.size() > cfg_.window) w.erase(w.begin());
+    if (holdoff) {
+      streaks_[c] = 0;
+      continue;
+    }
+    if (w.size() < cfg_.window) continue;  // still filling
+    const std::size_t half = cfg_.window / 2;
+    const double ref = mean(w.data(), w.data() + half);
+    const double cur = mean(w.data() + half, w.data() + w.size());
+    const double drop = ref - cur;
+    last_score_ = std::max(last_score_, drop);
+    if (drop > cfg_.drop_threshold) {
+      ++streaks_[c];
+      log_.push_back({round, DriftLogKind::kBreach, c, drop});
+      if (streaks_[c] >= cfg_.hysteresis) {
+        alarms.push_back({round, c, drop});
+        log_.push_back({round, DriftLogKind::kAlarm, c, drop});
+      }
+    } else {
+      streaks_[c] = 0;
+    }
+  }
+  return alarms;
+}
+
+void DriftDetector::reset(std::size_t round, std::size_t clusters) {
+  windows_.assign(clusters, {});
+  streaks_.assign(clusters, 0);
+  cooldown_left_ = cfg_.cooldown;
+  last_score_ = 0.0;
+  log_.push_back({round, DriftLogKind::kRecovery, clusters,
+                  static_cast<double>(clusters)});
+}
+
+void DriftDetector::note(std::size_t round, DriftLogKind kind,
+                         std::size_t subject, double value) {
+  log_.push_back({round, kind, subject, value});
+}
+
+robust::DriftSnapshot DriftDetector::snapshot(std::size_t recoveries) const {
+  robust::DriftSnapshot snap;
+  snap.present = true;
+  snap.recoveries = recoveries;
+  snap.cooldown = cooldown_left_;
+  snap.streaks.assign(streaks_.begin(), streaks_.end());
+  snap.windows = windows_;
+  return snap;
+}
+
+void DriftDetector::restore(const robust::DriftSnapshot& snap) {
+  FEDCLUST_REQUIRE(snap.streaks.size() == snap.windows.size(),
+                   "drift snapshot streak/window size mismatch");
+  windows_ = snap.windows;
+  streaks_.assign(snap.streaks.begin(), snap.streaks.end());
+  cooldown_left_ = static_cast<std::size_t>(snap.cooldown);
+  last_score_ = 0.0;
+}
+
+}  // namespace fedclust::fl

@@ -1,0 +1,109 @@
+// Per-cluster drift detection from accuracy trajectories.
+//
+// The detector keeps a trailing window of each cluster's mean client
+// accuracy at the run's eval cadence and runs a windowed mean-shift
+// test: split the window in half, compare the older half's mean against
+// the newer half's. A drop beyond `drop_threshold` is a breach; a
+// breach sustained for `hysteresis` consecutive observations raises an
+// alarm (one noisy eval never triggers a re-clustering). After a
+// recovery the detector is reset and holds off for `cooldown`
+// observations so the re-formed partition gets a clean baseline before
+// being judged.
+//
+// All state is a pure function of the observed accuracy series, and the
+// windows/streaks serialize into robust::DriftSnapshot, so a dynamic
+// run resumes bit-identically — including which round the next alarm
+// fires.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "robust/checkpoint.hpp"
+
+namespace fedclust::fl {
+
+struct DriftDetectorConfig {
+  /// Trailing observations kept per cluster; the mean-shift test splits
+  /// this window in half, so detection needs `window` evals of history.
+  std::size_t window = 6;
+  /// Accuracy drop (older-half mean minus newer-half mean) that counts
+  /// as a breach.
+  double drop_threshold = 0.05;
+  /// Consecutive breaching observations required before alarming.
+  std::size_t hysteresis = 2;
+  /// Observations skipped after a reset before testing resumes.
+  std::size_t cooldown = 2;
+};
+
+/// One alarmed cluster from an observe() call.
+struct DriftAlarm {
+  std::size_t round = 0;
+  std::size_t cluster = 0;
+  double drop = 0.0;  ///< mean-shift magnitude that tripped the alarm
+};
+
+/// Quarantine-style event ledger of everything the drift machinery did.
+enum class DriftLogKind : std::uint8_t {
+  kBreach = 0,  ///< one window breached the threshold (cluster, drop)
+  kAlarm,       ///< hysteresis confirmed the breach (cluster, drop)
+  kRecovery,    ///< a re-clustering was applied (new cluster count)
+  kArrival,     ///< a newcomer joined (slot, assigned cluster)
+  kDeparture,   ///< a client left (slot)
+};
+
+const char* to_string(DriftLogKind kind);
+
+struct DriftLogEntry {
+  std::size_t round = 0;
+  DriftLogKind kind = DriftLogKind::kBreach;
+  std::size_t subject = 0;  ///< cluster or slot, per kind
+  double value = 0.0;       ///< drop magnitude / cluster count, per kind
+};
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftDetectorConfig config);
+
+  const DriftDetectorConfig& config() const { return cfg_; }
+
+  /// (Re)initializes per-cluster state for `clusters` clusters without
+  /// touching the event log.
+  void start(std::size_t clusters);
+
+  /// Feeds one eval's per-cluster mean accuracies (NaN entries — empty
+  /// or fully-departed clusters — are skipped: their windows freeze).
+  /// Returns the clusters whose sustained mean-shift crossed the
+  /// threshold this observation.
+  std::vector<DriftAlarm> observe(std::size_t round,
+                                  const std::vector<double>& cluster_acc);
+
+  /// Post-recovery reset: new per-cluster windows (the partition just
+  /// changed shape) plus the configured cooldown. Logs kRecovery.
+  void reset(std::size_t round, std::size_t clusters);
+
+  /// Largest mean-shift drop seen at the latest observe() (0 while the
+  /// windows are still filling) — surfaced as RoundMetrics::drift_score.
+  double last_score() const { return last_score_; }
+
+  /// Appends an external event (arrival/departure) to the ledger.
+  void note(std::size_t round, DriftLogKind kind, std::size_t subject,
+            double value = 0.0);
+
+  const std::vector<DriftLogEntry>& log() const { return log_; }
+
+  /// Checkpoint round-trip. The event log is diagnostics, not state,
+  /// and is deliberately not carried.
+  robust::DriftSnapshot snapshot(std::size_t recoveries) const;
+  void restore(const robust::DriftSnapshot& snap);
+
+ private:
+  DriftDetectorConfig cfg_;
+  std::vector<std::vector<double>> windows_;  // per cluster, trailing
+  std::vector<std::size_t> streaks_;          // consecutive breaches
+  std::size_t cooldown_left_ = 0;
+  double last_score_ = 0.0;
+  std::vector<DriftLogEntry> log_;
+};
+
+}  // namespace fedclust::fl

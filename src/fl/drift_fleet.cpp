@@ -1,0 +1,68 @@
+#include "fl/drift_fleet.hpp"
+
+#include "utils/error.hpp"
+
+namespace fedclust::fl {
+
+DriftFleet::DriftFleet(std::shared_ptr<const ClientSource> inner,
+                       std::shared_ptr<const robust::DriftPlan> plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {
+  FEDCLUST_REQUIRE(inner_ != nullptr && plan_ != nullptr,
+                   "drift fleet needs an inner source and a plan");
+  FEDCLUST_REQUIRE(plan_->num_clients() == inner_->num_clients(),
+                   "drift plan sized for " << plan_->num_clients()
+                                           << " clients, fleet has "
+                                           << inner_->num_clients());
+  cache_.resize(inner_->num_clients());
+}
+
+void DriftFleet::set_round(std::size_t round) {
+  std::lock_guard<std::mutex> lock(mu_);
+  round_ = round;
+}
+
+std::size_t DriftFleet::round() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return round_;
+}
+
+std::shared_ptr<const ClientData> DriftFleet::get(std::size_t client) const {
+  FEDCLUST_REQUIRE(client < cache_.size(), "client index out of range");
+  std::size_t round = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    round = round_;
+  }
+  const std::uint64_t sig = plan_->transform_signature(round, client);
+  if (sig == 0) return inner_->get(client);  // identity: no copy, no cache
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cache_[client].signature == sig && cache_[client].shard) {
+      return cache_[client].shard;
+    }
+  }
+  // Materialize outside the lock; concurrent racers build bit-identical
+  // shards (the transform is pure), so last-writer-wins is harmless.
+  const std::shared_ptr<const ClientData> base = inner_->get(client);
+  auto shard = std::make_shared<ClientData>(ClientData{
+      plan_->transform(round, client, base->train, /*split_tag=*/0),
+      plan_->transform(round, client, base->test, /*split_tag=*/1)});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_[client] = CacheEntry{sig, shard};
+  }
+  return shard;
+}
+
+std::size_t DriftFleet::resident() const {
+  std::size_t cached = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const CacheEntry& e : cache_) {
+      if (e.shard) ++cached;
+    }
+  }
+  return inner_->resident() + cached;
+}
+
+}  // namespace fedclust::fl

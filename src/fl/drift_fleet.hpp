@@ -1,0 +1,56 @@
+// ClientSource decorator applying a robust::DriftPlan's label drift.
+//
+// DriftFleet wraps any inner source (EagerFleet, VirtualFleet) and
+// serves each client's shard transformed by the plan's cumulative drift
+// at the current round. Shards whose transform is the identity pass
+// straight through (zero copies, bit-identical to the drift-free fleet);
+// transformed shards are cached per slot keyed by the plan's transform
+// signature, so repeated gets within a drift epoch materialize once.
+// Sample counts are preserved by construction, so train_size() can
+// delegate to the inner source and FedAvg weighting never changes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "fl/fleet.hpp"
+#include "robust/drift.hpp"
+
+namespace fedclust::fl {
+
+class DriftFleet final : public ClientSource {
+ public:
+  DriftFleet(std::shared_ptr<const ClientSource> inner,
+             std::shared_ptr<const robust::DriftPlan> plan);
+
+  /// Advances the fleet's clock. Rounds are monotone within a run; the
+  /// engine calls this at the top of each training round (never from the
+  /// worker pool, so a plain store under the cache mutex suffices).
+  void set_round(std::size_t round);
+  std::size_t round() const;
+
+  const robust::DriftPlan& plan() const { return *plan_; }
+
+  std::size_t num_clients() const override { return inner_->num_clients(); }
+  std::size_t train_size(std::size_t client) const override {
+    return inner_->train_size(client);  // drift rewrites labels only
+  }
+  std::shared_ptr<const ClientData> get(std::size_t client) const override;
+  std::size_t resident() const override;
+
+ private:
+  struct CacheEntry {
+    std::uint64_t signature = 0;
+    std::shared_ptr<const ClientData> shard;
+  };
+
+  std::shared_ptr<const ClientSource> inner_;
+  std::shared_ptr<const robust::DriftPlan> plan_;
+  mutable std::mutex mu_;
+  std::size_t round_ = 0;
+  mutable std::vector<CacheEntry> cache_;  // one slot per client
+};
+
+}  // namespace fedclust::fl

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <future>
+#include <limits>
 #include <string>
 
 #include "check/audit.hpp"
+#include "fl/drift_fleet.hpp"
 #include "fl/streaming.hpp"
 #include "tensor/kernels.hpp"
 #include "utils/logging.hpp"
@@ -115,6 +117,15 @@ Federation::Federation(nn::Model template_model,
     FEDCLUST_REQUIRE(source_->train_size(i) > 0,
                      "client " << i << " has no training data");
   }
+  if (config_.drift.enabled) {
+    // The class count comes from one materialized shard (drift rotates
+    // labels mod classes); only paid when drift is actually on.
+    const std::size_t classes = source_->get(0)->train.spec().classes;
+    drift_plan_ = std::make_shared<const robust::DriftPlan>(
+        config_.drift, config_.seed, source_->num_clients(), classes);
+    drift_fleet_ = std::make_shared<DriftFleet>(source_, drift_plan_);
+    source_ = drift_fleet_;
+  }
   if (config_.network.enabled) {
     const std::uint64_t net_seed =
         config_.network.seed != 0 ? config_.network.seed : config_.seed;
@@ -131,15 +142,17 @@ Federation::Federation(nn::Model template_model,
       layout_.push_back(slice.size);
     }
     // Codec-aware robust-rule guard: a top-k sparse frame decodes to the
-    // reference everywhere outside its kept coordinates, so trimmed-mean /
-    // coordinate-median order statistics over such updates are dominated
-    // by reference-filled values — the trim is biased TOWARD the broadcast
-    // instead of toward the honest majority. Norm-clip keeps its
-    // semantics (it clips the whole delta, dense or sparse), so fall back
-    // to it rather than silently computing a biased statistic.
+    // reference everywhere outside its kept coordinates, so coordinate-
+    // median order statistics over such updates are dominated by
+    // reference-filled values — the statistic is biased TOWARD the
+    // broadcast instead of toward the honest majority. Norm-clip keeps
+    // its semantics (it clips the whole delta, dense or sparse), so fall
+    // back to it rather than silently computing a biased statistic.
+    // Trimmed mean is NOT guarded anymore: aggregate_weighted dispatches
+    // it to robust::sparse_trimmed_mean, which trims per coordinate over
+    // the updates that actually shipped that coordinate.
     if (config_.compression.upload == compress::CodecKind::kTopK &&
-        (config_.robust.rule == robust::AggregationRule::kTrimmedMean ||
-         config_.robust.rule == robust::AggregationRule::kCoordinateMedian)) {
+        config_.robust.rule == robust::AggregationRule::kCoordinateMedian) {
       LOG_WARN("top-k upload codec with "
                << robust::to_string(config_.robust.rule)
                << " biases coordinate order statistics toward the reference; "
@@ -257,7 +270,41 @@ std::vector<std::size_t> Federation::sample_clients(std::size_t round) const {
     std::erase_if(ids,
                   [&](std::size_t c) { return quarantine_.quarantined(c); });
   }
+  // Departed slots drop out of sampling the same way — drawn first, then
+  // erased, so active clients' draws are unperturbed by churn.
+  if (drift_plan_ != nullptr) {
+    std::erase_if(
+        ids, [&](std::size_t c) { return !drift_plan_->active(round, c); });
+  }
   return ids;
+}
+
+void Federation::drift_advance(std::size_t round) {
+  if (drift_plan_ == nullptr) return;
+  if (drift_primed_ && round <= drift_round_) return;
+  // Newcomers taking over slots in (previous, round] start with a clean
+  // quarantine ledger — strikes belong to the departed client, not the
+  // slot.
+  const std::size_t from = drift_primed_ ? drift_round_ + 1 : 0;
+  for (std::size_t r = from; r <= round; ++r) {
+    for (const std::size_t slot : drift_plan_->arrivals_at(r)) {
+      quarantine_.clear(slot);
+    }
+  }
+  drift_round_ = round;
+  drift_primed_ = true;
+  drift_fleet_->set_round(round);
+}
+
+void Federation::drift_resume(std::size_t next_round) {
+  if (drift_plan_ == nullptr) return;
+  drift_round_ = next_round == 0 ? 0 : next_round - 1;
+  drift_primed_ = true;
+  drift_fleet_->set_round(drift_round_);
+}
+
+bool Federation::client_active(std::size_t round, std::size_t client) const {
+  return drift_plan_ == nullptr || drift_plan_->active(round, client);
 }
 
 bool Federation::client_fails(std::size_t client, std::size_t round) const {
@@ -272,13 +319,17 @@ std::vector<std::size_t> Federation::round_survivors(
     const LocalTrainConfig& local, bool allow_failures,
     const NetPayloads* net_payloads, std::size_t fault_attempt) {
   // The server never solicits quarantined clients, even on explicit
-  // lists (formation re-solicitation goes through here too).
+  // lists (formation re-solicitation goes through here too). Departed
+  // drift slots are filtered the same way — a defensive second gate
+  // behind sample_clients, since drivers may pass explicit lists.
   std::vector<std::size_t> solicited;
   solicited.reserve(clients.size());
   for (const std::size_t cid : clients) {
-    if (!config_.robust.validate.enabled || !quarantine_.quarantined(cid)) {
-      solicited.push_back(cid);
+    if (config_.robust.validate.enabled && quarantine_.quarantined(cid)) {
+      continue;
     }
+    if (drift_plan_ != nullptr && !drift_plan_->active(round, cid)) continue;
+    solicited.push_back(cid);
   }
 
   // Fault fate per client — functional over (round, client, attempt), so
@@ -466,6 +517,10 @@ std::vector<ClientUpdate> Federation::train_clients(
       config_override != nullptr ? *config_override : config_.local;
   if (config_.audit) local.audit = true;
 
+  // Every training round advances the drift clock (monotone no-op once
+  // a driver already advanced it for newcomer admission).
+  drift_advance(round);
+
   const std::vector<std::size_t> survivors = round_survivors(
       clients, round, local, allow_failures, net_payloads, fault_attempt);
 
@@ -611,6 +666,8 @@ Federation::FoldResult Federation::train_clients_folded(
       config_override != nullptr ? *config_override : config_.local;
   if (config_.audit) local.audit = true;
 
+  drift_advance(round);
+
   const std::vector<std::size_t> survivors =
       round_survivors(clients, round, local, /*allow_failures=*/true,
                       net_payloads, /*fault_attempt=*/0);
@@ -736,8 +793,34 @@ AccuracySummary Federation::evaluate_personalized(
     const std::function<std::span<const float>(std::size_t)>& weights_for)
     const {
   AccuracySummary out;
-  out.per_client.assign(source_->num_clients(), 0.0);
-  pool_.parallel_for(0, source_->num_clients(), [&](std::size_t i) {
+  const std::size_t n = source_->num_clients();
+  if (drift_plan_ != nullptr) {
+    // Departed slots score NaN and are excluded from the mean/std, so a
+    // static baseline's degradation under drift is attributable to the
+    // drift itself, never to ghost evaluations of clients that left.
+    out.per_client.assign(n, std::numeric_limits<double>::quiet_NaN());
+    std::vector<std::size_t> alive;
+    alive.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (drift_plan_->active(drift_round_, i)) alive.push_back(i);
+    }
+    if (alive.empty()) return out;
+    pool_.parallel_for(0, alive.size(), [&](std::size_t a) {
+      out.per_client[alive[a]] =
+          evaluate_client(alive[a], weights_for(alive[a])).accuracy;
+    });
+    double sum = 0.0;
+    for (const std::size_t i : alive) sum += out.per_client[i];
+    out.mean = sum / static_cast<double>(alive.size());
+    double var = 0.0;
+    for (const std::size_t i : alive) {
+      var += (out.per_client[i] - out.mean) * (out.per_client[i] - out.mean);
+    }
+    out.std = std::sqrt(var / static_cast<double>(alive.size()));
+    return out;
+  }
+  out.per_client.assign(n, 0.0);
+  pool_.parallel_for(0, n, [&](std::size_t i) {
     out.per_client[i] = evaluate_client(i, weights_for(i)).accuracy;
   });
   double sum = 0.0;
@@ -887,6 +970,35 @@ std::vector<float> Federation::aggregate_weighted(
   std::vector<std::span<const float>> inputs;
   inputs.reserve(updates.size());
   for (const ClientUpdate& u : updates) inputs.emplace_back(u.weights);
+  // Sparse-aware trimmed mean over top-k frames: a decoded top-k update
+  // equals the broadcast in every coordinate it did not ship, so the
+  // trim runs per coordinate over the updates that actually shipped it
+  // (anything else drowns the order statistic in reference copies — the
+  // bias the old norm-clip fallback guarded against). The fill must be
+  // the broadcast AS THE CLIENTS SAW IT, i.e. download-codec decoded,
+  // so "not shipped" detection is bit-exact.
+  if (config_.robust.rule == robust::AggregationRule::kTrimmedMean &&
+      up_codec_ != nullptr &&
+      up_codec_->kind() == compress::CodecKind::kTopK &&
+      !reference.empty() && !updates.empty()) {
+    FEDCLUST_REQUIRE(reference.size() == model_size_,
+                     "sparse trimmed mean needs the full pre-round model");
+    bool whole_models = true;
+    for (const ClientUpdate& u : updates) {
+      whole_models = whole_models && u.weights.size() == model_size_;
+    }
+    if (whole_models) {
+      const std::vector<float> ref_rt = download_roundtrip(reference);
+      const std::span<const float> fill =
+          ref_rt.empty() ? reference : std::span<const float>(ref_rt);
+      std::vector<float> out = robust::sparse_trimmed_mean(
+          inputs, config_.robust.trim_frac, fill, aggregation_pool());
+      if (config_.audit) {
+        check::assert_all_finite(out, "sparse trimmed-mean output");
+      }
+      return out;
+    }
+  }
   std::vector<float> out = robust::robust_aggregate(
       inputs, coefficients, config_.robust.rule, config_.robust, reference,
       aggregation_pool());

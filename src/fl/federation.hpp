@@ -24,10 +24,13 @@
 #include "net/topology.hpp"
 #include "nn/model.hpp"
 #include "robust/aggregate.hpp"
+#include "robust/drift.hpp"
 #include "robust/fault.hpp"
 #include "utils/thread_pool.hpp"
 
 namespace fedclust::fl {
+
+class DriftFleet;
 
 /// Engine-level configuration shared by all algorithms.
 struct FederationConfig {
@@ -83,6 +86,15 @@ struct FederationConfig {
   /// out first. Declared last: the member name shadows namespace
   /// `robust` for later declarations in this scope.
   robust::FaultConfig faults{};
+  /// Deterministic distribution drift and churn (robust/drift.hpp):
+  /// scheduled label rotation/shift, departures, newcomer cohorts. When
+  /// enabled the engine wraps its client source in a DriftFleet, filters
+  /// sampling and evaluation to active slots, and wipes a slot's
+  /// quarantine strikes when a newcomer takes it over. Disabled by
+  /// default: no plan is built and the engine is bit-identical to a
+  /// drift-free build. Synchronous engine only (the async scheduler has
+  /// no round clock to advance the fleet by).
+  robust::DriftConfig drift{};
   /// Robust aggregation rule + server-side update validation/quarantine.
   /// Default = plain weighted mean, no validation: the engine is then
   /// bit-identical to the pre-robustness engine.
@@ -370,6 +382,28 @@ class Federation {
       std::vector<ClientUpdate> updates,
       const std::vector<std::span<const float>>& starts);
 
+  /// The run's drift plan, or null when config().drift is disabled.
+  const robust::DriftPlan* drift_plan() const { return drift_plan_.get(); }
+  bool drift_enabled() const { return drift_plan_ != nullptr; }
+
+  /// Advances the drift clock to `round` (monotone; no-op when drift is
+  /// off or the clock is already there). Applies the churn bookkeeping
+  /// for every round crossed: newcomer slots get a clean quarantine
+  /// ledger — strikes must never leak from a departed client to the
+  /// newcomer reusing its slot. train_clients calls this at round entry;
+  /// protocol drivers that need the fleet advanced earlier (newcomer
+  /// admission before training) may call it themselves.
+  void drift_advance(std::size_t round);
+
+  /// Primes the drift clock after a checkpoint resume: positions the
+  /// fleet at `next_round - 1` WITHOUT replaying churn bookkeeping (the
+  /// restored quarantine ledger already reflects it).
+  void drift_resume(std::size_t next_round);
+
+  /// Whether `client`'s slot is active at `round` (always true with
+  /// drift off; false between a departure and the slot's reuse).
+  bool client_active(std::size_t round, std::size_t client) const;
+
   /// The run's fault-injection plan (inert unless config().faults is
   /// enabled).
   const robust::FaultPlan& fault_plan() const { return fault_plan_; }
@@ -444,6 +478,12 @@ class Federation {
   std::vector<float> initial_weights_;
   robust::FaultPlan fault_plan_;
   robust::Quarantine quarantine_;
+  /// Drift machinery (null/idle unless config.drift.enabled): the plan,
+  /// the fleet decorator source_ points at, and the advanced-to round.
+  std::shared_ptr<const robust::DriftPlan> drift_plan_;
+  std::shared_ptr<DriftFleet> drift_fleet_;
+  std::size_t drift_round_ = 0;
+  bool drift_primed_ = false;
   /// Update codecs (null unless config.compression.enabled) and the
   /// per-tensor segment layout they quantize over.
   std::unique_ptr<compress::UpdateCodec> up_codec_;

@@ -26,6 +26,13 @@ struct RoundMetrics {
   /// fingerprints mean bit-identical weights — the determinism audit
   /// compares trajectories through this field.
   std::uint64_t weights_fp = 0;
+  /// Drift telemetry (dynamic FedClust only; zeros otherwise). The score
+  /// is the detector's largest windowed mean-shift drop observed this
+  /// round, alarms counts clusters whose drop breached hysteresis, and
+  /// reclusters counts split/merge recoveries applied this round.
+  double drift_score = 0.0;
+  std::size_t drift_alarms = 0;
+  std::size_t reclusters = 0;
 };
 
 /// Everything a benchmark needs from one algorithm execution.

@@ -160,6 +160,52 @@ AggregationRule aggregation_rule_from_string(const std::string& name) {
   FEDCLUST_CHECK(false, "unknown aggregation rule '" << name << "'");
 }
 
+std::vector<float> sparse_trimmed_mean(
+    const std::vector<std::span<const float>>& inputs, double trim_frac,
+    std::span<const float> reference_fill, ThreadPool* pool) {
+  FEDCLUST_REQUIRE(!inputs.empty(), "sparse_trimmed_mean over zero updates");
+  FEDCLUST_REQUIRE(trim_frac >= 0.0 && trim_frac < 0.5,
+                   "trim_frac must be in [0, 0.5)");
+  const std::size_t n = inputs.size();
+  const std::size_t dim = reference_fill.size();
+  for (const auto& in : inputs) {
+    FEDCLUST_REQUIRE(in.size() == dim,
+                     "update size mismatch in sparse_trimmed_mean");
+  }
+  std::vector<float> out(dim);
+  chunked(dim, pool, [&](std::size_t begin, std::size_t end) {
+    std::vector<float> column;
+    column.reserve(n);
+    for (std::size_t d = begin; d < end; ++d) {
+      const float fill = reference_fill[d];
+      column.clear();
+      for (std::size_t u = 0; u < n; ++u) {
+        // Bit-equality with the broadcast marks "not shipped" — the
+        // top-k decode wrote the reference there verbatim. A shipped
+        // coordinate that happens to equal the reference is
+        // indistinguishable, and treating it as absent changes nothing:
+        // its value is the fill either way.
+        if (inputs[u][d] != fill) column.push_back(inputs[u][d]);
+      }
+      const std::size_t m = column.size();
+      if (m == 0) {
+        out[d] = fill;  // nobody moved this coordinate
+        continue;
+      }
+      std::size_t trim = static_cast<std::size_t>(
+          std::floor(trim_frac * static_cast<double>(m)));
+      if (2 * trim >= m) trim = (m - 1) / 2;  // keep at least one value
+      std::sort(column.begin(), column.end());
+      double sum = 0.0;
+      for (std::size_t u = trim; u < m - trim; ++u) {
+        sum += static_cast<double>(column[u]);
+      }
+      out[d] = static_cast<float>(sum / static_cast<double>(m - 2 * trim));
+    }
+  });
+  return out;
+}
+
 std::vector<float> robust_aggregate(
     const std::vector<std::span<const float>>& inputs,
     const std::vector<double>& coefficients, AggregationRule rule,

@@ -68,4 +68,20 @@ std::vector<float> robust_aggregate(
     const RobustConfig& config, std::span<const float> reference,
     ThreadPool* pool);
 
+/// Sparse-aware trimmed mean over top-k codec frames. A decoded top-k
+/// update carries the broadcast `reference_fill` verbatim in every
+/// coordinate it did NOT ship, so "participated in coordinate d" is
+/// exactly `inputs[u][d] != reference_fill[d]` (bit-equal). Per
+/// coordinate the rule trims floor(trim_frac * m) from each side of the
+/// m PARTICIPATING values and averages the rest; a coordinate nobody
+/// shipped stays at the reference — the same "no update, no movement"
+/// semantics the dense decode already has. With dense inputs (every
+/// coordinate differing from the reference) this degenerates to the
+/// classic trimmed mean over all n updates. Requires trim_frac in
+/// [0, 0.5); when floor(trim_frac * m) would trim everything the trim
+/// shrinks to keep at least one value (m <= 2 keeps all m).
+std::vector<float> sparse_trimmed_mean(
+    const std::vector<std::span<const float>>& inputs, double trim_frac,
+    std::span<const float> reference_fill, ThreadPool* pool);
+
 }  // namespace fedclust::robust

@@ -13,9 +13,10 @@ namespace {
 namespace wire = nn::wire;
 
 constexpr char kMagic[4] = {'F', 'C', 'K', 'P'};
-// v1: synchronous run state. v2 appends the async scheduler block; the
-// loader accepts both so pre-async checkpoints keep resuming.
-constexpr std::uint32_t kVersion = 2;
+// v1: synchronous run state. v2 appends the async scheduler block; v3
+// appends drift telemetry to RoundRecord plus the drift-detector block.
+// The loader accepts all three so older checkpoints keep resuming.
+constexpr std::uint32_t kVersion = 3;
 
 void put_u64_vec(std::vector<std::uint8_t>& buf,
                  const std::vector<std::uint64_t>& v) {
@@ -111,6 +112,9 @@ void save_checkpoint(const RunCheckpoint& ck, const std::string& path) {
     wire::put_u64(buf, m.num_clusters);
     wire::put_f64(buf, m.sim_seconds);
     wire::put_u64(buf, m.weights_fp);
+    wire::put_f64(buf, m.drift_score);
+    wire::put_u64(buf, m.drift_alarms);
+    wire::put_u64(buf, m.reclusters);
   }
 
   put_u64_vec(buf, ck.comm.round_download);
@@ -153,6 +157,18 @@ void save_checkpoint(const RunCheckpoint& ck, const std::string& path) {
     wire::put_f32(buf, s.weights);
   }
 
+  // v3 drift-detector block.
+  wire::put_u32(buf, ck.drift.present ? 1 : 0);
+  wire::put_u64(buf, ck.drift.recoveries);
+  wire::put_u64(buf, ck.drift.cooldown);
+  wire::put_f64(buf, ck.drift.threshold);
+  put_u64_vec(buf, ck.drift.streaks);
+  wire::put_u64(buf, static_cast<std::uint64_t>(ck.drift.windows.size()));
+  for (const std::vector<double>& w : ck.drift.windows) {
+    wire::put_u64(buf, static_cast<std::uint64_t>(w.size()));
+    for (double x : w) wire::put_f64(buf, x);
+  }
+
   // Integrity trailer over everything written above (magic included).
   wire::put_u32(buf, crc32(buf.data(), buf.size()));
 
@@ -189,7 +205,7 @@ RunCheckpoint load_checkpoint(const std::string& path) {
   FEDCLUST_CHECK(std::memcmp(magic, kMagic, 4) == 0,
                  path << " is not a fedclust run checkpoint");
   const std::uint32_t version = r.u32();
-  FEDCLUST_CHECK(version == 1 || version == kVersion,
+  FEDCLUST_CHECK(version >= 1 && version <= kVersion,
                  "unsupported checkpoint version " << version);
 
   RunCheckpoint ck;
@@ -213,6 +229,11 @@ RunCheckpoint load_checkpoint(const std::string& path) {
     m.num_clusters = r.u64();
     m.sim_seconds = r.f64();
     m.weights_fp = r.u64();
+    if (version >= 3) {
+      m.drift_score = r.f64();
+      m.drift_alarms = r.u64();
+      m.reclusters = r.u64();
+    }
   }
 
   ck.comm.round_download = get_u64_vec(r);
@@ -265,6 +286,24 @@ RunCheckpoint load_checkpoint(const std::string& path) {
                      "checkpoint: implausible start length " << len);
       s.weights.resize(static_cast<std::size_t>(len));
       r.f32(s.weights);
+    }
+  }
+  if (version >= 3) {
+    ck.drift.present = r.u32() != 0;
+    ck.drift.recoveries = r.u64();
+    ck.drift.cooldown = r.u64();
+    ck.drift.threshold = r.f64();
+    ck.drift.streaks = get_u64_vec(r);
+    const std::uint64_t num_windows = r.u64();
+    FEDCLUST_CHECK(num_windows <= r.remaining(),
+                   "checkpoint: implausible window count " << num_windows);
+    ck.drift.windows.resize(static_cast<std::size_t>(num_windows));
+    for (std::vector<double>& w : ck.drift.windows) {
+      const std::uint64_t len = r.u64();
+      FEDCLUST_CHECK(len * 8 <= r.remaining(),
+                     "checkpoint: implausible window length " << len);
+      w.resize(static_cast<std::size_t>(len));
+      for (double& x : w) x = r.f64();
     }
   }
   FEDCLUST_CHECK(r.remaining() == 0,

@@ -14,8 +14,10 @@
 // The trailing CRC makes torn or bit-flipped files fail loudly at load
 // time instead of silently resuming a corrupted run. Version 2 appends
 // the async scheduler block (in-flight dispatches, per-cluster buffers,
-// dispatch frontier); the loader still accepts version-1 files, which
-// simply have no async state.
+// dispatch frontier); version 3 appends per-round drift telemetry and
+// the drift-detector block so the evolving partition of a dynamic run
+// resumes bit-identically. The loader still accepts version-1/2 files,
+// which simply have no async/drift state.
 //
 // This header mirrors fl::RoundMetrics and fl::CommMeter state as plain
 // structs instead of including fl/ headers: robust/ sits below fl/ in
@@ -43,6 +45,10 @@ struct RoundRecord {
   std::uint64_t num_clusters = 1;
   double sim_seconds = 0.0;
   std::uint64_t weights_fp = 0;
+  // --- v3: drift telemetry (zero when dynamic clustering is off) ---
+  double drift_score = 0.0;         ///< detector mean-shift score
+  std::uint64_t drift_alarms = 0;   ///< clusters alarmed at this eval
+  std::uint64_t reclusters = 0;     ///< cumulative recovery operations
 };
 
 /// Full state of a CommMeter (per-round + per-client series + totals).
@@ -102,6 +108,22 @@ struct AsyncSnapshot {
   std::vector<AsyncStartRecord> starts;
 };
 
+/// Drift-detector state (FCKP v3). `present` is false when dynamic
+/// clustering is off and for every v1/v2 file. The trailing accuracy
+/// windows and breach streaks are the only detector state — alarms are
+/// re-derived from them — so carrying these makes kill/resume of a
+/// dynamic run bit-identical, including the round a recovery fires.
+struct DriftSnapshot {
+  bool present = false;
+  std::uint64_t recoveries = 0;  ///< recovery re-clusterings applied
+  std::uint64_t cooldown = 0;    ///< post-recovery observe() holdoff left
+  /// The formation run's applied dendrogram cut — the split stage of a
+  /// post-resume recovery must cut at exactly this distance.
+  double threshold = 0.0;
+  std::vector<std::uint64_t> streaks;       ///< per-cluster breach streaks
+  std::vector<std::vector<double>> windows; ///< per-cluster trailing accs
+};
+
 /// Everything needed to resume a FedClust run after `next_round - 1`
 /// completed.
 struct RunCheckpoint {
@@ -120,6 +142,10 @@ struct RunCheckpoint {
   /// Event-driven engine state (fl/async); present only for checkpoints
   /// written mid-async-run.
   AsyncSnapshot async;
+  /// Dynamic-clustering detector state (v3); the evolving partition
+  /// itself rides the ordinary labels/cluster_weights/partial_weights
+  /// fields, which a recovery rewrites in place.
+  DriftSnapshot drift;
 };
 
 /// Serializes `ck` to `path` ("FCKP" format with CRC32 trailer).

@@ -158,6 +158,10 @@ std::size_t Quarantine::strikes(std::size_t client) const {
   return client < counts_.size() ? counts_[client] : 0;
 }
 
+void Quarantine::clear(std::size_t client) {
+  if (client < counts_.size()) counts_[client] = 0;
+}
+
 std::vector<std::size_t> Quarantine::quarantined_clients() const {
   std::vector<std::size_t> out;
   for (std::size_t c = 0; c < counts_.size(); ++c) {

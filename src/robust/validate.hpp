@@ -104,6 +104,10 @@ class Quarantine {
   std::size_t strikes(std::size_t client) const;
   std::size_t max_strikes() const { return max_strikes_; }
 
+  /// Wipes `client`'s strikes. Churn hand-over: a newcomer reusing a
+  /// departed client's slot must not inherit its predecessor's ledger.
+  void clear(std::size_t client);
+
   /// Sorted ids of all quarantined clients.
   std::vector<std::size_t> quarantined_clients() const;
   /// Total strikes recorded across all clients.

@@ -81,4 +81,9 @@ std::uint64_t ModelRegistry::version() const {
   return current_ ? current_->version : 0;
 }
 
+std::uint64_t ModelRegistry::reload_checkpoint(
+    const nn::Model& template_model, const robust::RunCheckpoint& checkpoint) {
+  return publish(freeze_checkpoint(template_model, checkpoint));
+}
+
 }  // namespace fedclust::serve

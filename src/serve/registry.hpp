@@ -85,6 +85,14 @@ class ModelRegistry {
   /// Version of the current snapshot (0 before the first publish).
   std::uint64_t version() const;
 
+  /// freeze_checkpoint + publish in one step: hot-reloads the registry
+  /// from a training-side checkpoint. The serving loop for a dynamic
+  /// FedClust run calls this after a drift recovery — the re-clustered
+  /// partition (possibly with a different cluster count) replaces the
+  /// stale snapshot without blocking in-flight requests.
+  std::uint64_t reload_checkpoint(const nn::Model& template_model,
+                                  const robust::RunCheckpoint& checkpoint);
+
  private:
   mutable std::mutex mutex_;
   std::shared_ptr<const ModelSnapshot> current_;

@@ -10,8 +10,10 @@
 //    dispatch frontier.
 //  * AsyncResume — FCKP v2 resume is bit-identical to the
 //    uninterrupted run.
-//  * CodecRobustGuard — top-k upload frames + coordinate order
-//    statistics fall back to norm-clip (satellite regression).
+//  * CodecRobustGuard — under top-k upload frames the trimmed mean
+//    stays sparse-aware (robust::sparse_trimmed_mean) while the
+//    coordinate median still falls back to norm-clip (negative
+//    control).
 #include "fl/async.hpp"
 
 #include <gtest/gtest.h>
@@ -173,6 +175,36 @@ TEST(AsyncStaleness, FlushMixingMatchesHandComputedMean) {
   }
 }
 
+TEST(AsyncStaleness, DecayTowardHandComputed) {
+  // out = current + lr * (target - current) in double per coordinate:
+  // {1,2} toward {3,6} at lr 0.5 → {2,4}.
+  const std::vector<float> current{1.0f, 2.0f};
+  const std::vector<float> target{3.0f, 6.0f};
+  const std::vector<float> half = decay_toward(current, target, 0.5);
+  ASSERT_EQ(half.size(), 2u);
+  EXPECT_EQ(half[0], 2.0f);
+  EXPECT_EQ(half[1], 4.0f);
+  // lr = 1 is exact identity on the target.
+  EXPECT_EQ(decay_toward(current, target, 1.0), target);
+}
+
+TEST(AsyncStaleness, LrDecayOffIsBitIdentical) {
+  // lr_decay_staleness = 0 disables the knob entirely; the engine must
+  // reproduce the pre-knob trajectory bit for bit.
+  AsyncConfig plain;
+  plain.buffer_k = 2;
+  AsyncConfig off = plain;
+  off.lr_decay_staleness = 0.0;
+  off.lr_decay = 0.25;
+  const FederationConfig cfg = cellular_config();
+  auto run_with = [&](const AsyncConfig& ac) {
+    auto [fed, groups] = make_grouped_federation(6, 480, 42, cfg);
+    algorithms::GlobalAverageAdapter adapter;
+    return run_async(fed, adapter, ac, 5);
+  };
+  expect_same_rounds(run_with(plain), run_with(off));
+}
+
 // -- async determinism --------------------------------------------------------
 
 AsyncConfig small_async() {
@@ -329,30 +361,52 @@ TEST(AsyncResume, BitIdenticalAfterReload) {
 
 // -- codec-aware robust guard (satellite regression) --------------------------
 
-TEST(CodecRobustGuard, TopkOrderStatisticsFallBackToNormClip) {
-  for (const robust::AggregationRule rule :
-       {robust::AggregationRule::kTrimmedMean,
-        robust::AggregationRule::kCoordinateMedian}) {
-    FederationConfig cfg;
-    cfg.compression.enabled = true;
-    cfg.compression.upload = compress::CodecKind::kTopK;
-    cfg.robust.rule = rule;
-    auto [fed, groups] = make_grouped_federation(6, 480, 42, cfg);
-    EXPECT_EQ(fed.config().robust.rule, robust::AggregationRule::kNormClip);
-  }
+// The coordinate median still has no sparse-aware form, so it keeps the
+// norm-clip fallback as the negative control; the trimmed mean now
+// dispatches to robust::sparse_trimmed_mean and keeps its rule.
+TEST(CodecRobustGuard, TopkCoordinateMedianFallsBackToNormClip) {
+  FederationConfig cfg;
+  cfg.compression.enabled = true;
+  cfg.compression.upload = compress::CodecKind::kTopK;
+  cfg.robust.rule = robust::AggregationRule::kCoordinateMedian;
+  auto [fed, groups] = make_grouped_federation(6, 480, 42, cfg);
+  EXPECT_EQ(fed.config().robust.rule, robust::AggregationRule::kNormClip);
+}
+
+TEST(CodecRobustGuard, TopkTrimmedMeanKeepsItsRule) {
+  FederationConfig cfg;
+  cfg.compression.enabled = true;
+  cfg.compression.upload = compress::CodecKind::kTopK;
+  cfg.robust.rule = robust::AggregationRule::kTrimmedMean;
+  auto [fed, groups] = make_grouped_federation(6, 480, 42, cfg);
+  EXPECT_EQ(fed.config().robust.rule, robust::AggregationRule::kTrimmedMean);
 }
 
 TEST(CodecRobustGuard, FallbackMatchesExplicitNormClip) {
   FederationConfig guarded;
   guarded.compression.enabled = true;
   guarded.compression.upload = compress::CodecKind::kTopK;
-  guarded.robust.rule = robust::AggregationRule::kTrimmedMean;
+  guarded.robust.rule = robust::AggregationRule::kCoordinateMedian;
   FederationConfig explicit_clip = guarded;
   explicit_clip.robust.rule = robust::AggregationRule::kNormClip;
   auto [fed_a, ga] = make_grouped_federation(6, 480, 42, guarded);
   auto [fed_b, gb] = make_grouped_federation(6, 480, 42, explicit_clip);
   algorithms::FedAvg algo;
   expect_same_rounds(algo.run(fed_a, 3), algo.run(fed_b, 3));
+}
+
+TEST(CodecRobustGuard, TopkTrimmedMeanRunsSparseAware) {
+  // A full FedAvg run under top-k upload + trimmed mean must complete
+  // with finite weights — the sparse-aware rule aggregates only the
+  // shipped coordinates instead of degrading to norm-clip.
+  FederationConfig cfg;
+  cfg.compression.enabled = true;
+  cfg.compression.upload = compress::CodecKind::kTopK;
+  cfg.robust.rule = robust::AggregationRule::kTrimmedMean;
+  auto [fed, groups] = make_grouped_federation(6, 480, 42, cfg);
+  algorithms::FedAvg algo;
+  const RunResult result = algo.run(fed, 3);
+  EXPECT_GT(result.final_accuracy.mean, 0.0);
 }
 
 TEST(CodecRobustGuard, DenseCodecsKeepTheirRule) {

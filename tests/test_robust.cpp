@@ -406,6 +406,60 @@ TEST(RobustAggregate, BitIdenticalAcrossPoolSizes) {
   }
 }
 
+TEST(RobustAggregate, SparseTrimmedMeanSkipsNonParticipants) {
+  // Reference fill {10, 20}. Coordinate 0: updates {1, 2, 3, 100, 10}
+  // — the last equals the fill, so only four participate; trim_frac
+  // 0.25 drops 1 from each side → mean of {2, 3}. Coordinate 1: only
+  // one update moved it, floor(0.25·1) = 0 trimmed → its value alone.
+  const std::vector<std::vector<float>> inputs{{1.0f, 20.0f},
+                                               {2.0f, 20.0f},
+                                               {3.0f, 7.0f},
+                                               {100.0f, 20.0f},
+                                               {10.0f, 20.0f}};
+  const std::vector<float> fill{10.0f, 20.0f};
+  const auto out = sparse_trimmed_mean(as_spans(inputs), 0.25, fill, nullptr);
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+  EXPECT_FLOAT_EQ(out[1], 7.0f);
+}
+
+TEST(RobustAggregate, SparseTrimmedMeanKeepsUntouchedCoordinates) {
+  // Nobody shipped coordinate 1: it stays at the reference bit for bit.
+  const std::vector<std::vector<float>> inputs{{1.0f, 20.0f}, {3.0f, 20.0f}};
+  const std::vector<float> fill{10.0f, 20.0f};
+  const auto out = sparse_trimmed_mean(as_spans(inputs), 0.2, fill, nullptr);
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+  EXPECT_EQ(out[1], 20.0f);
+}
+
+TEST(RobustAggregate, SparseTrimmedMeanDenseMatchesClassic) {
+  // With every coordinate shipped (all values differ from the fill) the
+  // sparse rule is the classic trimmed mean over all n updates.
+  const std::vector<std::vector<float>> inputs{
+      {1.0f, -100.0f}, {2.0f, 1.0f}, {3.0f, 2.0f}, {4.0f, 3.0f},
+      {100.0f, 4.0f}};
+  RobustConfig cfg;
+  cfg.trim_frac = 0.2;
+  const std::vector<double> coeffs(5, 0.2);
+  const auto classic =
+      robust_aggregate(as_spans(inputs), coeffs, AggregationRule::kTrimmedMean,
+                       cfg, {}, nullptr);
+  const std::vector<float> fill(2, 777.0f);
+  const auto sparse = sparse_trimmed_mean(as_spans(inputs), 0.2, fill, nullptr);
+  EXPECT_EQ(classic, sparse);
+}
+
+TEST(RobustAggregate, SparseTrimmedMeanShrinksTrimToKeepOne) {
+  // Two participants at trim_frac 0.4: floor(0.4·2) = 0... but at five
+  // participants floor(0.4·5) = 2 would trim 4 of 5 — fine (one left);
+  // at two participants with trim_frac 0.49 the shrink keeps both.
+  const std::vector<std::vector<float>> inputs{{1.0f}, {3.0f}};
+  const std::vector<float> fill{0.0f};
+  const auto out = sparse_trimmed_mean(as_spans(inputs), 0.49, fill, nullptr);
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+  EXPECT_THROW(sparse_trimmed_mean(as_spans(inputs), 0.5, fill, nullptr),
+               Error);
+}
+
 TEST(RobustAggregate, WeightedMeanIsTheEnginesJob) {
   const std::vector<std::vector<float>> inputs{{1.0f}, {2.0f}};
   EXPECT_THROW(robust_aggregate(as_spans(inputs), {0.5, 0.5},
